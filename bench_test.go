@@ -1,0 +1,405 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation, plus ablations for the design choices called out in
+// DESIGN.md. Simulation-backed benchmarks report virtual-time metrics
+// (sim-ns/task, µs latency, overlap ratio); runtime-stack benchmarks
+// report real wall-clock costs on the host.
+//
+// Run with: go test -bench=. -benchmem
+package pioman_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pioman/internal/core"
+	"pioman/internal/cpuset"
+	"pioman/internal/experiments"
+	"pioman/internal/mpi"
+	"pioman/internal/nmad"
+	"pioman/internal/simmachine"
+	"pioman/internal/simmpi"
+	"pioman/internal/topology"
+)
+
+// ---- Tables I & II: task-scheduling micro-benchmark (simulated) ----
+
+func benchmarkTable(b *testing.B, machine string) {
+	topo, err := topology.ByName(machine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, _ := simmachine.ParamsFor(machine)
+	cases := []struct {
+		name string
+		run  func(m *simmachine.Machine, iters int) simmachine.BenchResult
+	}{
+		{"per-core-local", func(m *simmachine.Machine, it int) simmachine.BenchResult { return m.PerCoreBench(0, it) }},
+		{"per-core-remote", func(m *simmachine.Machine, it int) simmachine.BenchResult {
+			return m.PerCoreBench(topo.NCPUs-1, it)
+		}},
+		{"per-chip", func(m *simmachine.Machine, it int) simmachine.BenchResult { return m.PerChipBench(1, it) }},
+		{"global", func(m *simmachine.Machine, it int) simmachine.BenchResult { return m.GlobalBench(it) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var last simmachine.BenchResult
+			for i := 0; i < b.N; i++ {
+				m := simmachine.NewMachine(topo, params)
+				last = c.run(m, 100)
+			}
+			b.ReportMetric(last.MeanNS, "sim-ns/task")
+		})
+	}
+}
+
+func BenchmarkTableI_Borderline(b *testing.B) { benchmarkTable(b, "borderline") }
+func BenchmarkTableII_Kwak(b *testing.B)      { benchmarkTable(b, "kwak") }
+
+// ---- Figure 4: multi-threaded latency (simulated) ----
+
+func BenchmarkFig4_MTLatency(b *testing.B) {
+	for _, kind := range []simmpi.EngineKind{simmpi.MVAPICHLike, simmpi.PIOManLike} {
+		for _, threads := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/threads=%d", kind, threads), func(b *testing.B) {
+				var lat float64
+				for i := 0; i < b.N; i++ {
+					lat = experiments.RunMTLatency(kind, threads).LatencyUS
+				}
+				b.ReportMetric(lat, "sim-µs-one-way")
+			})
+		}
+	}
+}
+
+// ---- Figures 5-7: overlap benchmark (simulated) ----
+
+func benchmarkOverlap(b *testing.B, side experiments.ComputeSide) {
+	for _, kind := range []simmpi.EngineKind{simmpi.MVAPICHLike, simmpi.OpenMPILike, simmpi.PIOManLike} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				// 1 MB with computation ≈ 2x the transfer time: the
+				// regime where the figures separate the engines.
+				ratio = experiments.RunOverlap(kind, side, 1<<20, 1500).Ratio
+			}
+			b.ReportMetric(ratio, "overlap-ratio")
+		})
+	}
+}
+
+func BenchmarkFig5_OverlapSender(b *testing.B)   { benchmarkOverlap(b, experiments.ComputeSender) }
+func BenchmarkFig6_OverlapReceiver(b *testing.B) { benchmarkOverlap(b, experiments.ComputeReceiver) }
+func BenchmarkFig7_OverlapBoth(b *testing.B)     { benchmarkOverlap(b, experiments.ComputeBoth) }
+
+// ---- Real runtime stack: task engine costs on the host ----
+
+// BenchmarkTaskSubmitSchedule measures the real cost of submitting an
+// empty task and scheduling it locally — the host-machine analogue of
+// the paper's 700 ns reference.
+func BenchmarkTaskSubmitSchedule(b *testing.B) {
+	e := core.New(core.Config{Topology: topology.Host()})
+	task := core.Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.Reset()
+		e.MustSubmit(&task)
+		e.Schedule(0)
+	}
+}
+
+// BenchmarkEmptyHierarchyScan measures Algorithm 1 over an empty queue
+// hierarchy — all Algorithm-2 fast paths, no locks taken.
+func BenchmarkEmptyHierarchyScan(b *testing.B) {
+	e := core.New(core.Config{Topology: topology.Kwak()})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(i % 16)
+	}
+}
+
+// ---- Ablation: Algorithm 2's double-checked dequeue ----
+
+func BenchmarkGetTask(b *testing.B) {
+	for _, alwaysLock := range []bool{false, true} {
+		name := "double-checked"
+		if alwaysLock {
+			name = "always-lock"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := core.New(core.Config{Topology: topology.Kwak(), AlwaysLock: alwaysLock})
+			b.RunParallel(func(pb *testing.PB) {
+				cpu := 0
+				for pb.Next() {
+					e.Schedule(cpu)
+					cpu = (cpu + 1) % 16
+				}
+			})
+		})
+	}
+}
+
+// ---- Ablation: queue protection strategy (spinlock / mutex / lock-free) ----
+
+func BenchmarkQueueKind(b *testing.B) {
+	for _, kind := range []core.QueueKind{core.QueueSpinlock, core.QueueMutex, core.QueueLockFree} {
+		b.Run(kind.String(), func(b *testing.B) {
+			e := core.New(core.Config{Topology: topology.Host(), QueueKind: kind})
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				task := core.Task{Fn: func(any) bool { return true }}
+				for pb.Next() {
+					task.Reset()
+					e.MustSubmit(&task)
+					for !task.Done() {
+						e.Schedule(0)
+					}
+				}
+			})
+		})
+	}
+}
+
+// ---- Ablation: hierarchical queues vs. a single global list ----
+
+func BenchmarkHierarchyVsBigLock(b *testing.B) {
+	for _, single := range []bool{false, true} {
+		name := "hierarchy"
+		if single {
+			name = "big-lock"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := core.New(core.Config{Topology: topology.Host(), SingleGlobalQueue: single})
+			ncpu := e.Topology().NCPUs
+			b.RunParallel(func(pb *testing.PB) {
+				cpu := 0
+				task := core.Task{Fn: func(any) bool { return true }}
+				for pb.Next() {
+					task.Reset()
+					task.CPUSet = cpuset.New(cpu % ncpu)
+					e.MustSubmit(&task)
+					for !task.Done() {
+						e.Schedule(cpu % ncpu)
+					}
+					cpu++
+				}
+			})
+		})
+	}
+}
+
+// ---- Ablation: zero-allocation packet-embedded tasks ----
+
+// BenchmarkEmbeddedTaskReuse shows that reusing the task embedded in a
+// packet wrapper allocates nothing on the submit path (paper §IV-B).
+func BenchmarkEmbeddedTaskReuse(b *testing.B) {
+	e := core.New(core.Config{Topology: topology.Host()})
+	type packetWrapper struct {
+		task    core.Task
+		payload [256]byte
+	}
+	p := &packetWrapper{}
+	p.task.Fn = func(any) bool { return true }
+	p.task.CPUSet = cpuset.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.task.Reset()
+		e.MustSubmit(&p.task)
+		e.Schedule(0)
+	}
+}
+
+// ---- Real communication stack ----
+
+func newBenchPair(b *testing.B) (*mpi.Comm, *mpi.Comm, func()) {
+	comms, engines, err := mpi.LocalCluster(2, nmad.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cleanup := func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}
+	return comms[0], comms[1], cleanup
+}
+
+// BenchmarkPingPongEager measures small-message round-trip latency on
+// the real stack over in-process rails.
+func BenchmarkPingPongEager(b *testing.B) {
+	c0, c1, cleanup := newBenchPair(b)
+	defer cleanup()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			data, _, err := c1.Recv(0, 1)
+			if err != nil {
+				return
+			}
+			if len(data) == 0 {
+				return // stop marker
+			}
+			if err := c1.Send(0, 2, data); err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c0.Send(1, 1, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c0.Recv(1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = c0.Send(1, 1, nil)
+	<-done
+}
+
+// BenchmarkRendezvous1MB measures large-message throughput through the
+// RTS/CTS/data rendezvous on the real stack.
+func BenchmarkRendezvous1MB(b *testing.B) {
+	c0, c1, cleanup := newBenchPair(b)
+	defer cleanup()
+	payload := make([]byte, 1<<20)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			data, _, err := c1.Recv(0, 1)
+			if err != nil || len(data) == 0 {
+				return
+			}
+		}
+	}()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c0.Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = c0.Send(1, 1, nil)
+	<-done
+}
+
+// BenchmarkAggregationThroughput compares small-message streams with
+// and without the aggregation strategy.
+func BenchmarkAggregationThroughput(b *testing.B) {
+	for _, strat := range []nmad.StrategyKind{nmad.StrategyDefault, nmad.StrategyAggreg} {
+		name := "default"
+		if strat == nmad.StrategyAggreg {
+			name = "aggregation"
+		}
+		b.Run(name, func(b *testing.B) {
+			comms, engines, err := mpi.LocalCluster(2, nmad.Config{Strategy: strat})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, e := range engines {
+					e.Close()
+				}
+			}()
+			c0, c1 := comms[0], comms[1]
+			msg := make([]byte, 64)
+			const batch = 32
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					// Drain one batch, then acknowledge so the sender
+					// cannot outrun the receiver unboundedly.
+					for j := 0; j < batch; j++ {
+						if _, _, err := c1.Recv(0, 1); err != nil {
+							return
+						}
+					}
+					if err := c1.Send(0, 2, nil); err != nil {
+						return
+					}
+				}
+			}()
+			reqs := make([]*mpi.Request, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range reqs {
+					r, err := c0.Isend(1, 1, msg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reqs[j] = r
+				}
+				if err := mpi.Waitall(reqs...); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c0.Recv(1, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, e := range engines {
+				e.Close()
+			}
+			<-done
+		})
+	}
+}
+
+// BenchmarkMTLatencyRealStack is the Figure 4 workload on the real
+// runtime stack: N receiver goroutines blocked in Recv while a sender
+// ping-pongs with each in turn. PIOMan-style blocking waits keep
+// per-message latency stable as receiver threads multiply.
+func BenchmarkMTLatencyRealStack(b *testing.B) {
+	for _, threads := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			c0, c1, cleanup := newBenchPair(b)
+			defer cleanup()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					for {
+						data, _, err := c1.Recv(0, th)
+						if err != nil {
+							return
+						}
+						if len(data) == 0 {
+							return
+						}
+						if err := c1.Send(0, 1000+th, data); err != nil {
+							return
+						}
+					}
+				}(th)
+			}
+			msg := []byte{1, 2, 3, 4}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th := i % threads
+				if err := c0.Send(1, th, msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := c0.Recv(1, 1000+th); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			_ = stop
+			for th := 0; th < threads; th++ {
+				_ = c0.Send(1, th, nil)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,37 @@
+// Command lstopo prints a machine topology tree together with the task
+// queues PIOMan would map onto it (paper Figures 2 and 3).
+//
+// Usage:
+//
+//	lstopo -machine kwak
+//	lstopo -machine borderline
+//	lstopo -machine host
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pioman/internal/core"
+	"pioman/internal/topology"
+)
+
+func main() {
+	machine := flag.String("machine", "kwak", "machine model: borderline, kwak, or host")
+	flag.Parse()
+
+	topo, err := topology.ByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(topo)
+
+	engine := core.New(core.Config{Topology: topo})
+	fmt.Printf("\ntask queues (%d total, one per topology node):\n", len(engine.Queues()))
+	for _, q := range engine.Queues() {
+		n := q.Node()
+		fmt.Printf("  depth %d  %-28s scheduling domain: %s\n", n.Depth, n.Kind, n.CPUSet)
+	}
+}

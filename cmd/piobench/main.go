@@ -1,0 +1,54 @@
+// Command piobench regenerates the tables and figures of the paper's
+// evaluation (§V). Each experiment prints its measurements in the
+// paper's format next to the paper's published values.
+//
+// Usage:
+//
+//	piobench -list             # show available experiments
+//	piobench -run table1       # run one experiment
+//	piobench -run all          # run everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pioman/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id to run (see -list), or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-18s %-10s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+
+	if *run == "all" {
+		out, err := experiments.RunAll()
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	e, ok := experiments.ByID(*run)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+		os.Exit(2)
+	}
+	out, err := e.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("### %s — %s\n%s\n%s", e.ID, e.Paper, e.Description, out)
+}

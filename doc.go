@@ -1,0 +1,23 @@
+// Package pioman is a Go reproduction of "A scalable and generic task
+// scheduling system for communication libraries" (Trahay & Denis, IEEE
+// Cluster 2009) — the PIOMan I/O manager, the Marcel-style scheduler
+// hooks it relies on, and the NewMadeleine-style communication engine
+// built on top of it.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the paper's contribution: the ltask engine with
+//     topology-mapped hierarchical task queues (Algorithms 1 and 2);
+//   - internal/cpuset, internal/topology — CPU sets and machine trees;
+//   - internal/sched — lightweight threads with idle / context-switch /
+//     timer keypoint hooks driving the task engine;
+//   - internal/nmad, internal/mpi — the communication library and its
+//     MPI-flavoured interface on the real runtime stack;
+//   - internal/simtime, internal/simmachine, internal/simnet,
+//     internal/simmpi, internal/experiments — the virtual-time
+//     substrates and harnesses that regenerate every table and figure
+//     of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for reproduced-versus-published results.
+package pioman

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pioman/internal/cpuset"
+	"pioman/internal/topology"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Topology is the machine the queue hierarchy is mapped onto.
+	// Defaults to topology.Host().
+	Topology *topology.Topology
+	// QueueKind selects the queue protection strategy (default spinlock).
+	QueueKind QueueKind
+	// SingleGlobalQueue disables the hierarchy and stores every task in
+	// one global list — the "naive solution" / big-lock baseline of §III
+	// used by the ablation benchmarks.
+	SingleGlobalQueue bool
+	// AlwaysLock disables Algorithm 2's unlocked emptiness pre-check, for
+	// the double-checked-locking ablation.
+	AlwaysLock bool
+}
+
+// Engine is the task manager. It owns one queue per topology node and
+// serves Submit (place a task on the deepest covering queue) and Schedule
+// (Algorithm 1: drain queues from the local core up to the global root).
+//
+// All methods are safe for concurrent use.
+type Engine struct {
+	cfg  Config
+	topo *topology.Topology
+
+	// queues[i] corresponds to topo.Nodes()[i].
+	queues []*Queue
+	byNode map[*topology.Node]*Queue
+	// paths[cpu] is the queue scan order for that CPU: per-core first,
+	// global last.
+	paths [][]*Queue
+
+	idle   []atomic.Bool
+	notify atomic.Pointer[func(cpuset.Set)]
+
+	// Urgent (preemptive) task support — see urgent.go.
+	urgentQ     atomic.Pointer[Queue]
+	interrupt   atomic.Pointer[func(cs cpuset.Set)]
+	urgentCount atomic.Uint64
+
+	submitted  atomic.Uint64
+	executions atomic.Uint64
+	requeues   atomic.Uint64
+	skips      atomic.Uint64
+	execPerCPU []atomic.Uint64
+}
+
+// New builds an engine for the configured topology.
+func New(cfg Config) *Engine {
+	if cfg.Topology == nil {
+		cfg.Topology = topology.Host()
+	}
+	e := &Engine{
+		cfg:        cfg,
+		topo:       cfg.Topology,
+		byNode:     make(map[*topology.Node]*Queue),
+		idle:       make([]atomic.Bool, cfg.Topology.NCPUs),
+		execPerCPU: make([]atomic.Uint64, cfg.Topology.NCPUs),
+	}
+	for _, n := range e.topo.Nodes() {
+		if cfg.SingleGlobalQueue && n != e.topo.Root {
+			continue
+		}
+		q := newQueue(n, cfg.QueueKind)
+		e.queues = append(e.queues, q)
+		e.byNode[n] = q
+	}
+	e.paths = make([][]*Queue, e.topo.NCPUs)
+	for cpu := 0; cpu < e.topo.NCPUs; cpu++ {
+		if cfg.SingleGlobalQueue {
+			e.paths[cpu] = []*Queue{e.byNode[e.topo.Root]}
+			continue
+		}
+		for _, n := range e.topo.PathToRoot(cpu) {
+			e.paths[cpu] = append(e.paths[cpu], e.byNode[n])
+		}
+	}
+	return e
+}
+
+// Topology returns the machine the engine is mapped onto.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// Queues returns every queue, ordered like Topology().Nodes(). In
+// single-global-queue mode there is exactly one.
+func (e *Engine) Queues() []*Queue { return e.queues }
+
+// QueueFor returns the queue a task with the given CPU set would be
+// placed on.
+func (e *Engine) QueueFor(cs cpuset.Set) *Queue {
+	if e.cfg.SingleGlobalQueue {
+		return e.byNode[e.topo.Root]
+	}
+	return e.byNode[e.topo.FindCovering(cs)]
+}
+
+// Submit places the task on the queue of the deepest topology node
+// covering its CPU set (the global queue for the empty set). The task
+// must be in StateFree and have a non-nil Fn.
+func (e *Engine) Submit(t *Task) error {
+	if t.Fn == nil {
+		return fmt.Errorf("core: Submit of task with nil Fn")
+	}
+	if !t.state.CompareAndSwap(uint32(StateFree), uint32(StateSubmitted)) {
+		return fmt.Errorf("core: Submit of task in state %v", t.State())
+	}
+	t.lastCPU.Store(-1)
+	q := e.QueueFor(t.CPUSet)
+	t.home = q
+	e.submitted.Add(1)
+	q.enqueue(t)
+	if fn := e.notify.Load(); fn != nil {
+		(*fn)(t.CPUSet)
+	}
+	return nil
+}
+
+// SetNotifier installs a callback invoked after every successful Submit
+// with the task's CPU set. The thread scheduler uses it to wake idle VPs
+// that may run the new task. Safe to call concurrently with Submit.
+func (e *Engine) SetNotifier(fn func(cpuset.Set)) {
+	if fn == nil {
+		e.notify.Store(nil)
+		return
+	}
+	e.notify.Store(&fn)
+}
+
+// MustSubmit is Submit that panics on error, for call sites where a
+// submission failure is a programming bug.
+func (e *Engine) MustSubmit(t *Task) {
+	if err := e.Submit(t); err != nil {
+		panic(err)
+	}
+}
+
+// SubmitToIdle implements NewMadeleine's request-submission policy
+// (§IV-B): find the idle core nearest to home; if one exists, pin the
+// task to it, otherwise place the task in the global queue so that the
+// first core to become available picks it up.
+func (e *Engine) SubmitToIdle(t *Task, home int) error {
+	if cpu := e.FindIdleNear(home); cpu >= 0 {
+		t.CPUSet = cpuset.New(cpu)
+	} else {
+		t.CPUSet = cpuset.Set{}
+	}
+	return e.Submit(t)
+}
+
+// SetIdle records whether a CPU is currently idle. The thread scheduler
+// calls this from its idle hook.
+func (e *Engine) SetIdle(cpu int, idle bool) {
+	if cpu >= 0 && cpu < len(e.idle) {
+		e.idle[cpu].Store(idle)
+	}
+}
+
+// IsIdle reports whether a CPU was last marked idle.
+func (e *Engine) IsIdle(cpu int) bool {
+	return cpu >= 0 && cpu < len(e.idle) && e.idle[cpu].Load()
+}
+
+// FindIdleNear returns the idle CPU topologically nearest to home
+// (excluding home itself), or -1 when every other core is busy. Proximity
+// is by walking up home's topology path, preferring cores that share the
+// closest ancestor — minimizing cache effects, as §IV-B requires.
+func (e *Engine) FindIdleNear(home int) int {
+	if home < 0 || home >= e.topo.NCPUs {
+		home = 0
+	}
+	seen := cpuset.New(home)
+	for _, node := range e.topo.PathToRoot(home) {
+		found := -1
+		node.CPUSet.ForEach(func(cpu int) bool {
+			if !seen.IsSet(cpu) && e.idle[cpu].Load() {
+				found = cpu
+				return false
+			}
+			return true
+		})
+		if found >= 0 {
+			return found
+		}
+		seen = cpuset.Or(seen, node.CPUSet)
+	}
+	return -1
+}
+
+// Schedule implements the paper's Algorithm 1 (Task_Schedule) for the
+// given CPU: scan the per-core queue first, then each ancestor queue up
+// to the global queue, executing every task found. Repeat tasks whose
+// body reports incompletion are re-enqueued on their home queue. Tasks
+// whose CPU set excludes this CPU are put back and skipped.
+//
+// Each queue is drained at most its length-at-entry times per call so a
+// persistent Repeat task cannot livelock the caller. Returns the number
+// of task executions performed.
+func (e *Engine) Schedule(cpu int) int {
+	return e.schedule(cpu, -1)
+}
+
+// ScheduleOne executes at most one task on behalf of cpu, returning
+// whether one ran. Thread-scheduler hooks with tight latency budgets
+// (context switches, timer ticks) use this entry point.
+func (e *Engine) ScheduleOne(cpu int) bool {
+	return e.schedule(cpu, 1) > 0
+}
+
+func (e *Engine) schedule(cpu int, max int) int {
+	if cpu < 0 || cpu >= len(e.paths) {
+		return 0
+	}
+	// Urgent (preemptive) tasks run before anything hierarchical.
+	ran := e.scheduleUrgent(cpu, max)
+	if max > 0 && ran >= max {
+		return ran
+	}
+	for _, q := range e.paths[cpu] {
+		// Bound the pass: tasks re-enqueued during this scan (repeats or
+		// CPU-set mismatches) are not reconsidered until the next call.
+		bound := q.Len()
+		for i := 0; i < bound; i++ {
+			var t *Task
+			if e.cfg.AlwaysLock {
+				t = q.dequeueAlwaysLock()
+			} else {
+				t = q.dequeue()
+			}
+			if t == nil {
+				break
+			}
+			if !t.CPUSet.IsEmpty() && !t.CPUSet.IsSet(cpu) {
+				// Not allowed here (possible for ancestor queues holding
+				// tasks whose CPU set is a strict subset): put it back.
+				e.skips.Add(1)
+				q.enqueue(t)
+				continue
+			}
+			e.run(t, cpu, q)
+			ran++
+			if max > 0 && ran >= max {
+				return ran
+			}
+		}
+	}
+	return ran
+}
+
+// run executes one dequeued task on cpu and routes it to completion or
+// re-enqueue.
+func (e *Engine) run(t *Task, cpu int, q *Queue) {
+	t.state.Store(uint32(StateRunning))
+	t.lastCPU.Store(int64(cpu))
+	t.runs.Add(1)
+	e.executions.Add(1)
+	e.execPerCPU[cpu].Add(1)
+	done := t.Fn(t.Arg)
+	if t.Options&Repeat != 0 && !done {
+		t.state.Store(uint32(StateSubmitted))
+		e.requeues.Add(1)
+		t.home.enqueue(t)
+		return
+	}
+	t.markDone()
+}
+
+// WaitActive waits for t to complete while executing pending tasks on
+// behalf of cpu — the paper's overlap mechanism: a thread blocked on
+// communication turns its core into a task-processing core.
+func (e *Engine) WaitActive(t *Task, cpu int) {
+	for !t.Done() {
+		if e.Schedule(cpu) == 0 {
+			// Nothing runnable here; let other goroutines progress.
+			yield()
+		}
+	}
+}
+
+// Pending returns the total number of tasks currently enqueued across
+// all queues, urgent queue included (approximate under concurrency).
+func (e *Engine) Pending() int {
+	n := 0
+	for _, q := range e.queues {
+		n += q.Len()
+	}
+	if uq := e.urgentQ.Load(); uq != nil {
+		n += uq.Len()
+	}
+	return n
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Submitted  uint64   // Submit calls accepted
+	Executions uint64   // task body invocations
+	Requeues   uint64   // Repeat re-enqueues
+	Skips      uint64   // dequeues put back due to CPU-set mismatch
+	ExecPerCPU []uint64 // executions indexed by CPU
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Submitted:  e.submitted.Load(),
+		Executions: e.executions.Load(),
+		Requeues:   e.requeues.Load(),
+		Skips:      e.skips.Load(),
+		ExecPerCPU: make([]uint64, len(e.execPerCPU)),
+	}
+	for i := range e.execPerCPU {
+		s.ExecPerCPU[i] = e.execPerCPU[i].Load()
+	}
+	return s
+}
+
+// ResetStats zeroes the engine counters (queue counters included).
+func (e *Engine) ResetStats() {
+	e.submitted.Store(0)
+	e.executions.Store(0)
+	e.requeues.Store(0)
+	e.skips.Store(0)
+	for i := range e.execPerCPU {
+		e.execPerCPU[i].Store(0)
+	}
+	for _, q := range e.queues {
+		q.enqueues.Store(0)
+		q.dequeues.Store(0)
+		q.spin.Reset()
+	}
+}

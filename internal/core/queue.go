@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pioman/internal/spinlock"
+	"pioman/internal/topology"
+)
+
+// QueueKind selects how a task queue is protected against concurrent
+// access — the ablation axis of §IV-A (spinlocks chosen because critical
+// sections are shorter than a context switch) and §VI (lock-free as
+// future work).
+type QueueKind int
+
+const (
+	// QueueSpinlock protects the intrusive task list with an instrumented
+	// test-and-test-and-set spinlock. This is the paper's implementation.
+	QueueSpinlock QueueKind = iota
+	// QueueMutex uses sync.Mutex — the "classical mutex" the paper warns
+	// risks costly context switches.
+	QueueMutex
+	// QueueLockFree uses a Michael-Scott lock-free queue — the paper's
+	// future-work direction; it allocates one node per enqueue.
+	QueueLockFree
+)
+
+// String returns the kind name.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueSpinlock:
+		return "spinlock"
+	case QueueMutex:
+		return "mutex"
+	case QueueLockFree:
+		return "lockfree"
+	default:
+		return "unknown"
+	}
+}
+
+// Queue is one task list bound to a topology node. It is multi-producer,
+// multi-consumer: any core may submit, any core whose CPU lies below the
+// node may drain it.
+type Queue struct {
+	node *topology.Node
+	kind QueueKind
+
+	// Locked variants: intrusive doubly-checked list (Algorithm 2).
+	spin  spinlock.Instrumented
+	mutex sync.Mutex
+	head  *Task
+	tail  *Task
+	size  atomic.Int64
+
+	// Lock-free variant.
+	lf *spinlock.MSQueue[*Task]
+
+	enqueues atomic.Uint64
+	dequeues atomic.Uint64
+}
+
+func newQueue(node *topology.Node, kind QueueKind) *Queue {
+	q := &Queue{node: node, kind: kind}
+	if kind == QueueLockFree {
+		q.lf = spinlock.NewMSQueue[*Task]()
+	}
+	return q
+}
+
+// Node returns the topology node this queue is attached to.
+func (q *Queue) Node() *topology.Node { return q.node }
+
+// Len returns the approximate queue length.
+func (q *Queue) Len() int {
+	if q.kind == QueueLockFree {
+		return q.lf.Len()
+	}
+	return int(q.size.Load())
+}
+
+// Empty reports whether the queue appears empty without taking the lock —
+// the first, unlocked check of Algorithm 2.
+func (q *Queue) Empty() bool { return q.Len() <= 0 }
+
+// Enqueues returns the total number of tasks enqueued (including Repeat
+// re-enqueues).
+func (q *Queue) Enqueues() uint64 { return q.enqueues.Load() }
+
+// Dequeues returns the total number of successful dequeues.
+func (q *Queue) Dequeues() uint64 { return q.dequeues.Load() }
+
+// LockStats returns (acquisitions, contended acquisitions) for the
+// spinlock variant; zeros otherwise.
+func (q *Queue) LockStats() (acquires, contended uint64) {
+	if q.kind == QueueSpinlock {
+		return q.spin.Acquires(), q.spin.Contended()
+	}
+	return 0, 0
+}
+
+func (q *Queue) lock() {
+	if q.kind == QueueMutex {
+		q.mutex.Lock()
+	} else {
+		q.spin.Lock()
+	}
+}
+
+func (q *Queue) unlock() {
+	if q.kind == QueueMutex {
+		q.mutex.Unlock()
+	} else {
+		q.spin.Unlock()
+	}
+}
+
+// enqueue appends t to the queue.
+func (q *Queue) enqueue(t *Task) {
+	q.enqueues.Add(1)
+	if q.kind == QueueLockFree {
+		q.lf.Enqueue(t)
+		return
+	}
+	q.lock()
+	t.next = nil
+	if q.tail == nil {
+		q.head = t
+		q.tail = t
+	} else {
+		q.tail.next = t
+		q.tail = t
+	}
+	q.size.Add(1)
+	q.unlock()
+}
+
+// dequeue implements the paper's Algorithm 2 (Get_Task): evaluate the
+// queue without holding the lock to avoid needless contention; only when
+// it appears non-empty, acquire the lock, re-check, and dequeue. Returns
+// nil when the queue is (or appears) empty.
+func (q *Queue) dequeue() *Task {
+	if q.kind == QueueLockFree {
+		if t, ok := q.lf.Dequeue(); ok {
+			q.dequeues.Add(1)
+			return t
+		}
+		return nil
+	}
+	if q.size.Load() <= 0 { // unlocked notempty() check
+		return nil
+	}
+	q.lock()
+	var t *Task
+	if q.head != nil { // locked re-check
+		t = q.head
+		q.head = t.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		t.next = nil
+		q.size.Add(-1)
+	}
+	q.unlock()
+	if t != nil {
+		q.dequeues.Add(1)
+	}
+	return t
+}
+
+// dequeueAlwaysLock is the naive Get_Task without the unlocked emptiness
+// pre-check, kept for the Algorithm 2 ablation benchmark.
+func (q *Queue) dequeueAlwaysLock() *Task {
+	if q.kind == QueueLockFree {
+		if t, ok := q.lf.Dequeue(); ok {
+			q.dequeues.Add(1)
+			return t
+		}
+		return nil
+	}
+	q.lock()
+	var t *Task
+	if q.head != nil {
+		t = q.head
+		q.head = t.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		t.next = nil
+		q.size.Add(-1)
+	}
+	q.unlock()
+	if t != nil {
+		q.dequeues.Add(1)
+	}
+	return t
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"pioman/internal/cpuset"
+)
+
+// Urgent tasks implement the paper's §VI future-work direction:
+// "preemptive tasks — that is, tasks that can be executed immediately,
+// even on a distant CPU where a thread is computing".
+//
+// An urgent task bypasses the topology hierarchy: it lands on a
+// dedicated queue scanned *before* the per-core queue by every CPU, and
+// submission raises an interrupt-like notification so a busy CPU's next
+// keypoint (or the IPI hook installed by the thread scheduler) runs it
+// at once.
+
+// initUrgent lazily creates the urgent queue (root-level domain).
+func (e *Engine) initUrgent() *Queue {
+	if q := e.urgentQ.Load(); q != nil {
+		return q
+	}
+	q := newQueue(e.topo.Root, e.cfg.QueueKind)
+	if e.urgentQ.CompareAndSwap(nil, q) {
+		return q
+	}
+	return e.urgentQ.Load()
+}
+
+// SubmitUrgent submits a task for immediate execution on any allowed
+// CPU, ahead of all hierarchically queued tasks. The task's CPU set is
+// still honoured. If an interrupt hook is installed (see
+// SetInterrupter), it is invoked so a computing CPU executes the task
+// without waiting for its next natural keypoint.
+func (e *Engine) SubmitUrgent(t *Task) error {
+	if t.Fn == nil {
+		return fmt.Errorf("core: SubmitUrgent of task with nil Fn")
+	}
+	if !t.state.CompareAndSwap(uint32(StateFree), uint32(StateSubmitted)) {
+		return fmt.Errorf("core: SubmitUrgent of task in state %v", t.State())
+	}
+	t.lastCPU.Store(-1)
+	q := e.initUrgent()
+	t.home = q
+	e.submitted.Add(1)
+	e.urgentCount.Add(1)
+	q.enqueue(t)
+	if fn := e.interrupt.Load(); fn != nil {
+		(*fn)(t.CPUSet)
+	}
+	if fn := e.notify.Load(); fn != nil {
+		(*fn)(t.CPUSet)
+	}
+	return nil
+}
+
+// SetInterrupter installs the IPI-like hook invoked on every urgent
+// submission with the task's CPU set. The thread scheduler uses it to
+// run the task immediately on a target CPU instead of waiting for a
+// scheduling hole.
+func (e *Engine) SetInterrupter(fn func(cs cpuset.Set)) {
+	if fn == nil {
+		e.interrupt.Store(nil)
+		return
+	}
+	e.interrupt.Store(&fn)
+}
+
+// UrgentSubmitted returns how many urgent tasks have been submitted.
+func (e *Engine) UrgentSubmitted() uint64 { return e.urgentCount.Load() }
+
+// scheduleUrgent drains the urgent queue (bounded by its length at
+// entry) on behalf of cpu, before any hierarchical queue is looked at.
+func (e *Engine) scheduleUrgent(cpu int, max int) int {
+	q := e.urgentQ.Load()
+	if q == nil {
+		return 0
+	}
+	ran := 0
+	bound := q.Len()
+	for i := 0; i < bound; i++ {
+		t := q.dequeue()
+		if t == nil {
+			break
+		}
+		if !t.CPUSet.IsEmpty() && !t.CPUSet.IsSet(cpu) {
+			e.skips.Add(1)
+			q.enqueue(t)
+			continue
+		}
+		e.run(t, cpu, q)
+		ran++
+		if max > 0 && ran >= max {
+			break
+		}
+	}
+	return ran
+}

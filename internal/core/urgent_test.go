@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pioman/internal/cpuset"
+	"pioman/internal/topology"
+)
+
+func TestUrgentRunsBeforeHierarchical(t *testing.T) {
+	e := kwakEngine()
+	var order []string
+	normal := &Task{Fn: func(any) bool { order = append(order, "normal"); return true }, CPUSet: cpuset.New(0)}
+	urgent := &Task{Fn: func(any) bool { order = append(order, "urgent"); return true }}
+	e.MustSubmit(normal)
+	if err := e.SubmitUrgent(urgent); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Schedule(0); n != 2 {
+		t.Fatalf("ran %d tasks, want 2", n)
+	}
+	if len(order) != 2 || order[0] != "urgent" {
+		t.Errorf("order = %v, want urgent first", order)
+	}
+	if e.UrgentSubmitted() != 1 {
+		t.Errorf("UrgentSubmitted = %d", e.UrgentSubmitted())
+	}
+}
+
+func TestUrgentHonorsCPUSet(t *testing.T) {
+	e := kwakEngine()
+	urgent := &Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(7)}
+	if err := e.SubmitUrgent(urgent); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Schedule(0); n != 0 {
+		t.Fatalf("CPU 0 ran %d urgent tasks restricted to CPU 7", n)
+	}
+	if n := e.Schedule(7); n != 1 {
+		t.Fatalf("CPU 7 ran %d tasks, want 1", n)
+	}
+	if urgent.LastCPU() != 7 {
+		t.Errorf("LastCPU = %d", urgent.LastCPU())
+	}
+}
+
+func TestUrgentInterrupterFires(t *testing.T) {
+	e := kwakEngine()
+	var interrupted atomic.Int32
+	e.SetInterrupter(func(cs cpuset.Set) {
+		interrupted.Add(1)
+		// Execute the task immediately, IPI-style.
+		e.ScheduleOne(cs.First())
+	})
+	urgent := &Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(3)}
+	if err := e.SubmitUrgent(urgent); err != nil {
+		t.Fatal(err)
+	}
+	if interrupted.Load() != 1 {
+		t.Error("interrupter did not fire")
+	}
+	if !urgent.Done() {
+		t.Error("urgent task should have been executed by the interrupter")
+	}
+	// Clearing the interrupter must disable it.
+	e.SetInterrupter(nil)
+	u2 := &Task{Fn: func(any) bool { return true }}
+	e.SubmitUrgent(u2)
+	if interrupted.Load() != 1 {
+		t.Error("cleared interrupter still fired")
+	}
+	e.Schedule(0)
+}
+
+func TestUrgentRepeat(t *testing.T) {
+	e := kwakEngine()
+	count := 0
+	urgent := &Task{
+		Fn:      func(any) bool { count++; return count >= 3 },
+		Options: Repeat,
+	}
+	if err := e.SubmitUrgent(urgent); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5 && !urgent.Done(); i++ {
+		e.Schedule(1)
+	}
+	if count != 3 {
+		t.Errorf("repeat urgent ran %d times, want 3", count)
+	}
+}
+
+func TestUrgentErrors(t *testing.T) {
+	e := kwakEngine()
+	if err := e.SubmitUrgent(&Task{}); err == nil {
+		t.Error("nil Fn should fail")
+	}
+	task := &Task{Fn: func(any) bool { return true }}
+	if err := e.SubmitUrgent(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitUrgent(task); err == nil {
+		t.Error("double SubmitUrgent should fail")
+	}
+	e.Schedule(0)
+}
+
+func TestUrgentCountsInPending(t *testing.T) {
+	e := kwakEngine()
+	e.SubmitUrgent(&Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(9)})
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Schedule(9)
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after drain", e.Pending())
+	}
+}
+
+func TestUrgentWithSingleGlobalQueueMode(t *testing.T) {
+	e := New(Config{Topology: topology.Kwak(), SingleGlobalQueue: true})
+	u := &Task{Fn: func(any) bool { return true }}
+	if err := e.SubmitUrgent(u); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Schedule(5); n != 1 {
+		t.Errorf("ran %d, want 1", n)
+	}
+}

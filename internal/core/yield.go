@@ -1,0 +1,7 @@
+package core
+
+import "runtime"
+
+// yield cedes the processor to other goroutines. Separated out so tests
+// can count scheduling holes if needed.
+func yield() { runtime.Gosched() }

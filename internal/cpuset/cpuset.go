@@ -1,0 +1,333 @@
+// Package cpuset implements CPU-set bitmaps in the style of hwloc bitmaps
+// and Linux cpusets. A Set records which logical processors (identified by
+// small non-negative integers) may execute a task.
+//
+// The zero value of Set is the empty set, ready to use. All query methods
+// accept the zero value; mutating methods grow the underlying storage on
+// demand. Sets are value types holding a reference to their word storage:
+// use Clone when an independent copy is required.
+package cpuset
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bitmap of CPU indices. CPU 0 is the lowest-order bit of the
+// first word.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set containing exactly the given CPUs.
+func New(cpus ...int) Set {
+	var s Set
+	for _, c := range cpus {
+		s.Set(c)
+	}
+	return s
+}
+
+// NewRange returns a set containing all CPUs in [lo, hi] inclusive.
+// It panics if lo or hi is negative or lo > hi.
+func NewRange(lo, hi int) Set {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("cpuset: invalid range [%d,%d]", lo, hi))
+	}
+	var s Set
+	s.grow(hi)
+	for w := range s.words {
+		base := w * wordBits
+		for b := 0; b < wordBits; b++ {
+			cpu := base + b
+			if cpu >= lo && cpu <= hi {
+				s.words[w] |= 1 << uint(b)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Set) grow(cpu int) {
+	need := cpu/wordBits + 1
+	for len(s.words) < need {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Set adds cpu to the set. It panics if cpu is negative.
+func (s *Set) Set(cpu int) {
+	if cpu < 0 {
+		panic("cpuset: negative CPU index")
+	}
+	s.grow(cpu)
+	s.words[cpu/wordBits] |= 1 << uint(cpu%wordBits)
+}
+
+// Clear removes cpu from the set. Clearing an absent CPU is a no-op.
+func (s *Set) Clear(cpu int) {
+	if cpu < 0 || cpu/wordBits >= len(s.words) {
+		return
+	}
+	s.words[cpu/wordBits] &^= 1 << uint(cpu%wordBits)
+}
+
+// IsSet reports whether cpu is in the set.
+func (s Set) IsSet(cpu int) bool {
+	if cpu < 0 || cpu/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[cpu/wordBits]&(1<<uint(cpu%wordBits)) != 0
+}
+
+// Count returns the number of CPUs in the set.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set contains no CPUs.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// First returns the smallest CPU in the set, or -1 if the set is empty.
+func (s Set) First() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Last returns the largest CPU in the set, or -1 if the set is empty.
+func (s Set) Last() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Next returns the smallest CPU in the set strictly greater than cpu,
+// or -1 if there is none. Next(-1) returns the first CPU.
+func (s Set) Next(cpu int) int {
+	start := cpu + 1
+	if start < 0 {
+		start = 0
+	}
+	for i := start / wordBits; i < len(s.words); i++ {
+		w := s.words[i]
+		if i == start/wordBits {
+			w &= ^uint64(0) << uint(start%wordBits)
+		}
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every CPU in the set in ascending order. If fn
+// returns false the iteration stops early.
+func (s Set) ForEach(fn func(cpu int) bool) {
+	for cpu := s.First(); cpu >= 0; cpu = s.Next(cpu) {
+		if !fn(cpu) {
+			return
+		}
+	}
+}
+
+// Slice returns the CPUs in the set in ascending order.
+func (s Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(cpu int) bool {
+		out = append(out, cpu)
+		return true
+	})
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and o contain exactly the same CPUs.
+func (s Set) Equal(o Set) bool {
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.word(i) != o.word(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) word(i int) uint64 {
+	if i < len(s.words) {
+		return s.words[i]
+	}
+	return 0
+}
+
+// SubsetOf reports whether every CPU in s is also in o.
+func (s Set) SubsetOf(o Set) bool {
+	n := len(s.words)
+	for i := 0; i < n; i++ {
+		if s.words[i]&^o.word(i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share at least one CPU.
+func (s Set) Intersects(o Set) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// And returns the intersection of a and b.
+func And(a, b Set) Set {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	out := Set{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = a.words[i] & b.words[i]
+	}
+	return out
+}
+
+// Or returns the union of a and b.
+func Or(a, b Set) Set {
+	n := len(a.words)
+	if len(b.words) > n {
+		n = len(b.words)
+	}
+	out := Set{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = a.word(i) | b.word(i)
+	}
+	return out
+}
+
+// AndNot returns the set difference a \ b.
+func AndNot(a, b Set) Set {
+	out := Set{words: make([]uint64, len(a.words))}
+	for i := range a.words {
+		out.words[i] = a.words[i] &^ b.word(i)
+	}
+	return out
+}
+
+// Xor returns the symmetric difference of a and b.
+func Xor(a, b Set) Set {
+	n := len(a.words)
+	if len(b.words) > n {
+		n = len(b.words)
+	}
+	out := Set{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = a.word(i) ^ b.word(i)
+	}
+	return out
+}
+
+// String formats the set as a comma-separated list of ranges, e.g.
+// "0-3,8,10-11". The empty set formats as "".
+func (s Set) String() string {
+	var b strings.Builder
+	first := true
+	cpu := s.First()
+	for cpu >= 0 {
+		lo := cpu
+		hi := cpu
+		for {
+			next := s.Next(hi)
+			if next != hi+1 {
+				cpu = next
+				break
+			}
+			hi = next
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if lo == hi {
+			fmt.Fprintf(&b, "%d", lo)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", lo, hi)
+		}
+	}
+	return b.String()
+}
+
+// Parse parses the format produced by String: a comma-separated list of
+// decimal CPU indices or lo-hi ranges. The empty string parses to the
+// empty set.
+func Parse(text string) (Set, error) {
+	var s Set
+	if text == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Set{}, fmt.Errorf("cpuset: empty element in %q", text)
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			l, err := strconv.Atoi(lo)
+			if err != nil {
+				return Set{}, fmt.Errorf("cpuset: bad range start %q: %v", part, err)
+			}
+			h, err := strconv.Atoi(hi)
+			if err != nil {
+				return Set{}, fmt.Errorf("cpuset: bad range end %q: %v", part, err)
+			}
+			if l < 0 || h < l {
+				return Set{}, fmt.Errorf("cpuset: invalid range %q", part)
+			}
+			for c := l; c <= h; c++ {
+				s.Set(c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 0 {
+			return Set{}, fmt.Errorf("cpuset: bad CPU index %q", part)
+		}
+		s.Set(c)
+	}
+	return s, nil
+}

@@ -1,0 +1,410 @@
+package cpuset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Error("zero Set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count() = %d, want 0", s.Count())
+	}
+	if s.First() != -1 {
+		t.Errorf("First() = %d, want -1", s.First())
+	}
+	if s.Last() != -1 {
+		t.Errorf("Last() = %d, want -1", s.Last())
+	}
+	if s.IsSet(0) || s.IsSet(100) {
+		t.Error("zero Set should contain no CPUs")
+	}
+	if s.String() != "" {
+		t.Errorf("String() = %q, want \"\"", s.String())
+	}
+}
+
+func TestSetClearIsSet(t *testing.T) {
+	var s Set
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(130)
+	for _, c := range []int{0, 63, 64, 130} {
+		if !s.IsSet(c) {
+			t.Errorf("IsSet(%d) = false, want true", c)
+		}
+	}
+	for _, c := range []int{1, 62, 65, 129, 131} {
+		if s.IsSet(c) {
+			t.Errorf("IsSet(%d) = true, want false", c)
+		}
+	}
+	s.Clear(63)
+	if s.IsSet(63) {
+		t.Error("Clear(63) did not remove 63")
+	}
+	s.Clear(1000) // out of range: no-op
+	if s.Count() != 3 {
+		t.Errorf("Count() = %d, want 3", s.Count())
+	}
+}
+
+func TestSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set(-1) should panic")
+		}
+	}()
+	var s Set
+	s.Set(-1)
+}
+
+func TestNewRange(t *testing.T) {
+	s := NewRange(3, 9)
+	if s.Count() != 7 {
+		t.Fatalf("Count() = %d, want 7", s.Count())
+	}
+	for c := 3; c <= 9; c++ {
+		if !s.IsSet(c) {
+			t.Errorf("IsSet(%d) = false", c)
+		}
+	}
+	if s.IsSet(2) || s.IsSet(10) {
+		t.Error("range boundaries leaked")
+	}
+	single := NewRange(5, 5)
+	if !single.Equal(New(5)) {
+		t.Error("NewRange(5,5) != New(5)")
+	}
+}
+
+func TestNewRangeCrossesWords(t *testing.T) {
+	s := NewRange(60, 70)
+	if s.Count() != 11 {
+		t.Fatalf("Count() = %d, want 11", s.Count())
+	}
+	if s.First() != 60 || s.Last() != 70 {
+		t.Errorf("First/Last = %d/%d, want 60/70", s.First(), s.Last())
+	}
+}
+
+func TestNewRangeInvalidPanics(t *testing.T) {
+	for _, r := range [][2]int{{-1, 3}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRange(%d,%d) should panic", r[0], r[1])
+				}
+			}()
+			NewRange(r[0], r[1])
+		}()
+	}
+}
+
+func TestFirstLastNext(t *testing.T) {
+	s := New(2, 5, 64, 100)
+	if got := s.First(); got != 2 {
+		t.Errorf("First() = %d, want 2", got)
+	}
+	if got := s.Last(); got != 100 {
+		t.Errorf("Last() = %d, want 100", got)
+	}
+	want := []int{2, 5, 64, 100}
+	got := []int{}
+	for c := s.Next(-1); c >= 0; c = s.Next(c) {
+		got = append(got, c)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Next iteration = %v, want %v", got, want)
+	}
+	if s.Next(100) != -1 {
+		t.Error("Next past last should be -1")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := NewRange(0, 9)
+	n := 0
+	s.ForEach(func(cpu int) bool {
+		n++
+		return cpu < 4
+	})
+	if n != 5 { // visits 0..4; fn returns false at cpu=4, stopping iteration
+		t.Errorf("visited %d CPUs, want 5", n)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New(7, 1, 3)
+	if got := s.Slice(); !reflect.DeepEqual(got, []int{1, 3, 7}) {
+		t.Errorf("Slice() = %v", got)
+	}
+	var empty Set
+	if got := empty.Slice(); len(got) != 0 {
+		t.Errorf("empty Slice() = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1, 2)
+	b := a.Clone()
+	b.Set(3)
+	if a.IsSet(3) {
+		t.Error("mutation of clone leaked into original")
+	}
+	a.Clear(1)
+	if !b.IsSet(1) {
+		t.Error("mutation of original leaked into clone")
+	}
+}
+
+func TestEqualDifferentStorageLengths(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	b.Set(200)
+	b.Clear(200) // b now has longer storage but same content
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("Equal must ignore trailing zero words")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Error("{1,2} should be subset of {1,2,3}")
+	}
+	if b.SubsetOf(a) {
+		t.Error("{1,2,3} should not be subset of {1,2}")
+	}
+	var empty Set
+	if !empty.SubsetOf(a) || !empty.SubsetOf(empty) {
+		t.Error("empty set is a subset of everything")
+	}
+	wide := New(100)
+	if wide.SubsetOf(a) {
+		t.Error("{100} is not a subset of {1,2}")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := New(1, 2)
+	b := New(2, 3)
+	c := New(4)
+	if !a.Intersects(b) {
+		t.Error("{1,2} intersects {2,3}")
+	}
+	if a.Intersects(c) {
+		t.Error("{1,2} does not intersect {4}")
+	}
+	var empty Set
+	if empty.Intersects(a) || a.Intersects(empty) {
+		t.Error("empty set intersects nothing")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := New(0, 1, 2, 64)
+	b := New(2, 3, 64, 65)
+	if got := And(a, b); !got.Equal(New(2, 64)) {
+		t.Errorf("And = %v", got)
+	}
+	if got := Or(a, b); !got.Equal(New(0, 1, 2, 3, 64, 65)) {
+		t.Errorf("Or = %v", got)
+	}
+	if got := AndNot(a, b); !got.Equal(New(0, 1)) {
+		t.Errorf("AndNot = %v", got)
+	}
+	if got := Xor(a, b); !got.Equal(New(0, 1, 3, 65)) {
+		t.Errorf("Xor = %v", got)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	cases := []struct {
+		set  Set
+		want string
+	}{
+		{New(), ""},
+		{New(0), "0"},
+		{New(0, 1, 2, 3), "0-3"},
+		{New(0, 2, 4), "0,2,4"},
+		{New(0, 1, 5, 6, 7, 9), "0-1,5-7,9"},
+		{New(63, 64, 65), "63-65"},
+	}
+	for _, c := range cases {
+		if got := c.set.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Set
+	}{
+		{"", New()},
+		{"0", New(0)},
+		{"0-3", NewRange(0, 3)},
+		{"0,2,4", New(0, 2, 4)},
+		{" 1 , 3-5 ", New(1, 3, 4, 5)},
+		{"63-65", New(63, 64, 65)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{",", "a", "1-", "-3", "5-2", "1,,2", "-1"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		var s Set
+		n := rng.Intn(20)
+		for j := 0; j < n; j++ {
+			s.Set(rng.Intn(256))
+		}
+		parsed, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("round trip parse error for %q: %v", s.String(), err)
+		}
+		if !parsed.Equal(s) {
+			t.Fatalf("round trip mismatch: %v -> %q -> %v", s.Slice(), s.String(), parsed.Slice())
+		}
+	}
+}
+
+// mkSet builds a set from a random bitmask over 128 CPUs, for quick-check
+// properties.
+func mkSet(bits [2]uint64) Set {
+	var s Set
+	for w, word := range bits {
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				s.Set(w*64 + b)
+			}
+		}
+	}
+	return s
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// a \ b == a AND NOT b  implies  (a\b) ∪ (a∩b) == a
+	f := func(aw, bw [2]uint64) bool {
+		a, b := mkSet(aw), mkSet(bw)
+		return Or(AndNot(a, b), And(a, b)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXorIsSymDiff(t *testing.T) {
+	f := func(aw, bw [2]uint64) bool {
+		a, b := mkSet(aw), mkSet(bw)
+		want := Or(AndNot(a, b), AndNot(b, a))
+		return Xor(a, b).Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountConsistency(t *testing.T) {
+	f := func(aw, bw [2]uint64) bool {
+		a, b := mkSet(aw), mkSet(bw)
+		// |a| + |b| == |a∪b| + |a∩b|
+		return a.Count()+b.Count() == Or(a, b).Count()+And(a, b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetIffAndEqual(t *testing.T) {
+	f := func(aw, bw [2]uint64) bool {
+		a, b := mkSet(aw), mkSet(bw)
+		return a.SubsetOf(b) == And(a, b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIterationMatchesMembership(t *testing.T) {
+	f := func(aw [2]uint64) bool {
+		a := mkSet(aw)
+		seen := map[int]bool{}
+		prev := -1
+		ok := true
+		a.ForEach(func(cpu int) bool {
+			if cpu <= prev {
+				ok = false // must be strictly ascending
+			}
+			prev = cpu
+			seen[cpu] = true
+			return true
+		})
+		if !ok || len(seen) != a.Count() {
+			return false
+		}
+		for c := range seen {
+			if !a.IsSet(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(aw [2]uint64) bool {
+		a := mkSet(aw)
+		p, err := Parse(a.String())
+		return err == nil && p.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIsSet(b *testing.B) {
+	s := NewRange(0, 127)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.IsSet(i & 127)
+	}
+}
+
+func BenchmarkAnd(b *testing.B) {
+	x := NewRange(0, 127)
+	y := NewRange(64, 191)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = And(x, y)
+	}
+}

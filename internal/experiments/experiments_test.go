@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pioman/internal/simmpi"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "ablation-biglock"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("All() returned %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestByIDNormalizes(t *testing.T) {
+	if _, ok := ByID(" Table1 "); !ok {
+		t.Error("ByID should trim and lowercase")
+	}
+	if _, ok := ByID("nonesuch"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	ids := All()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1].ID >= ids[i].ID {
+			t.Errorf("All() not sorted: %q before %q", ids[i-1].ID, ids[i].ID)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := RunTable("borderline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerCore) != 8 || len(r.PerChip) != 4 {
+		t.Fatalf("row lengths = %d/%d, want 8/4", len(r.PerCore), len(r.PerChip))
+	}
+	// Paper shape assertions for Table I.
+	local := r.PerCore[0]
+	if local < 600 || local > 900 {
+		t.Errorf("local per-core = %.0f, want ≈770", local)
+	}
+	for chip, v := range r.PerChip {
+		if v < local*0.9 {
+			t.Errorf("per-chip[%d] = %.0f should not undercut local %.0f", chip, v, local)
+		}
+	}
+	if r.Global < 2500 || r.Global > 8000 {
+		t.Errorf("global = %.0f, want ≈4720", r.Global)
+	}
+	if r.Global < 2*r.PerChip[1] {
+		t.Errorf("global (%.0f) must dominate per-chip (%.0f)", r.Global, r.PerChip[1])
+	}
+	out := r.Render()
+	for _, want := range []string{"per-core queues", "paper", "4720", "global queue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r, err := RunTable("kwak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerCore) != 16 || len(r.PerChip) != 4 {
+		t.Fatalf("row lengths = %d/%d, want 16/4", len(r.PerCore), len(r.PerChip))
+	}
+	local := r.PerCore[0]
+	remote := r.PerCore[8]
+	if remote-local < 600 {
+		t.Errorf("kwak remote NUMA overhead = %.0f, want ≈1µs", remote-local)
+	}
+	if r.Global < 8000 || r.Global > 22000 {
+		t.Errorf("kwak global = %.0f, want ≈13585", r.Global)
+	}
+	// Growth with core count: 16-core global must exceed 8-core global.
+	r8, err := RunTable("borderline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Global < 1.8*r8.Global {
+		t.Errorf("global queue cost should grow quickly with cores (%.0f vs %.0f)", r.Global, r8.Global)
+	}
+}
+
+func TestRunTableUnknownMachine(t *testing.T) {
+	if _, err := RunTable("nonesuch"); err == nil {
+		t.Error("unknown machine should fail")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	mv1 := RunMTLatency(simmpi.MVAPICHLike, 1)
+	mv64 := RunMTLatency(simmpi.MVAPICHLike, 64)
+	pm1 := RunMTLatency(simmpi.PIOManLike, 1)
+	pm64 := RunMTLatency(simmpi.PIOManLike, 64)
+
+	// MVAPICH grows markedly with threads; PIOMan stays flat; base
+	// latency favours MVAPICH; at high thread counts PIOMan wins.
+	if mv64.LatencyUS < 4*mv1.LatencyUS {
+		t.Errorf("MVAPICH: %.1f µs @1 -> %.1f µs @64, want strong growth", mv1.LatencyUS, mv64.LatencyUS)
+	}
+	if pm64.LatencyUS > 1.5*pm1.LatencyUS {
+		t.Errorf("PIOMan: %.1f µs @1 -> %.1f µs @64, want flat", pm1.LatencyUS, pm64.LatencyUS)
+	}
+	if mv1.LatencyUS > pm1.LatencyUS {
+		t.Errorf("at 1 thread MVAPICH (%.1f) should beat PIOMan (%.1f)", mv1.LatencyUS, pm1.LatencyUS)
+	}
+	if pm64.LatencyUS > mv64.LatencyUS {
+		t.Errorf("at 64 threads PIOMan (%.1f) should beat MVAPICH (%.1f)", pm64.LatencyUS, mv64.LatencyUS)
+	}
+}
+
+func TestFig5SenderSideEveryoneOverlaps(t *testing.T) {
+	// At Tcomp comfortably above the transfer time, all engines reach a
+	// high overlap ratio on the sender side.
+	for _, kind := range overlapEngines {
+		pt := RunOverlap(kind, ComputeSender, 1<<20, 1500)
+		if pt.Ratio < 0.9 {
+			t.Errorf("%v sender-side overlap @1.5ms = %.2f, want > 0.9", kind, pt.Ratio)
+		}
+	}
+}
+
+func TestFig6ReceiverSideOnlyPIOManOverlaps(t *testing.T) {
+	pioman := RunOverlap(simmpi.PIOManLike, ComputeReceiver, 1<<20, 1500)
+	mvapich := RunOverlap(simmpi.MVAPICHLike, ComputeReceiver, 1<<20, 1500)
+	openmpi := RunOverlap(simmpi.OpenMPILike, ComputeReceiver, 1<<20, 1500)
+	if pioman.Ratio < 0.9 {
+		t.Errorf("PIOMan receiver-side overlap = %.2f, want > 0.9", pioman.Ratio)
+	}
+	// Baselines saturate near Tcomp/(Tcomp+Txfer) ≈ 1500/2185 ≈ 0.69.
+	for _, pt := range []OverlapPoint{mvapich, openmpi} {
+		if pt.Ratio > 0.8 {
+			t.Errorf("baseline receiver-side overlap = %.2f, want < 0.8 (no progression)", pt.Ratio)
+		}
+	}
+	if pioman.Ratio <= mvapich.Ratio {
+		t.Error("PIOMan must beat MVAPICH on receiver-side overlap")
+	}
+}
+
+func TestFig7BothSidesPIOManWins(t *testing.T) {
+	pioman := RunOverlap(simmpi.PIOManLike, ComputeBoth, 32<<10, 150)
+	mvapich := RunOverlap(simmpi.MVAPICHLike, ComputeBoth, 32<<10, 150)
+	if pioman.Ratio <= mvapich.Ratio {
+		t.Errorf("both-sides overlap: PIOMan %.2f should beat MVAPICH %.2f", pioman.Ratio, mvapich.Ratio)
+	}
+	if pioman.Ratio < 0.85 {
+		t.Errorf("PIOMan both-sides overlap = %.2f, want near 1", pioman.Ratio)
+	}
+}
+
+func TestOverlapRatioMonotoneInCompute(t *testing.T) {
+	// More computation means more to hide: the ratio must not decrease
+	// along the sweep for PIOMan.
+	prev := -1.0
+	for _, comp := range overlapSweep(1 << 20) {
+		pt := RunOverlap(simmpi.PIOManLike, ComputeReceiver, 1<<20, comp)
+		if pt.Ratio < prev-0.02 {
+			t.Errorf("overlap ratio dropped from %.3f to %.3f at %v µs", prev, pt.Ratio, comp)
+		}
+		prev = pt.Ratio
+	}
+}
+
+func TestOverlapZeroComputeZeroRatio(t *testing.T) {
+	pt := RunOverlap(simmpi.MVAPICHLike, ComputeSender, 32<<10, 0)
+	if pt.Ratio != 0 {
+		t.Errorf("zero compute should give ratio 0, got %.3f", pt.Ratio)
+	}
+}
+
+func TestExperimentRunsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment renders are slow")
+	}
+	for _, e := range All() {
+		out, err := e.Run()
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short: %q", e.ID, out)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pioman/internal/simmpi"
+	"pioman/internal/simnet"
+	"pioman/internal/simtime"
+	"pioman/internal/stats"
+)
+
+// ComputeSide says which process computes between the non-blocking call
+// and its Wait in the overlap benchmark [Shet et al., 2008].
+type ComputeSide int
+
+const (
+	// ComputeSender: computation on the sender (paper Figure 5).
+	ComputeSender ComputeSide = iota
+	// ComputeReceiver: computation on the receiver (Figure 6).
+	ComputeReceiver
+	// ComputeBoth: computation on both sides (Figure 7).
+	ComputeBoth
+)
+
+// String names the side as in the figure captions.
+func (s ComputeSide) String() string {
+	switch s {
+	case ComputeSender:
+		return "sender"
+	case ComputeReceiver:
+		return "receiver"
+	case ComputeBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("ComputeSide(%d)", int(s))
+	}
+}
+
+// OverlapPoint is one measurement: computation time vs. achieved overlap
+// ratio (Tcomp / Ttotal).
+type OverlapPoint struct {
+	ComputeUS float64
+	Ratio     float64
+}
+
+// RunOverlap runs one overlap measurement: a non-blocking transfer of
+// size bytes, compute for computeUS µs on the given side(s), then wait.
+// Overlap = Tcomp / Ttotal measured on the computing side (max of sides
+// for ComputeBoth).
+func RunOverlap(kind simmpi.EngineKind, side ComputeSide, size int, computeUS float64) OverlapPoint {
+	sim := simtime.New()
+	defer sim.Close()
+	fabric := simnet.NewFabric(sim, simnet.IBParams())
+	sNode := fabric.AddNode(1)
+	rNode := fabric.AddNode(1)
+	sender := simmpi.NewEngine(sim, sNode, simmpi.DefaultConfig(kind))
+	receiver := simmpi.NewEngine(sim, rNode, simmpi.DefaultConfig(kind))
+	sender.Start()
+	receiver.Start()
+
+	compute := simtime.Duration(computeUS * 1000)
+	var senderTotal, receiverTotal simtime.Duration
+
+	sim.Spawn("sender", func(p *simtime.Proc) {
+		start := p.Now()
+		req := sender.Isend(p, rNode.ID(), 1, size)
+		if side == ComputeSender || side == ComputeBoth {
+			p.Sleep(compute)
+		}
+		sender.Wait(p, req)
+		senderTotal = p.Now() - start
+	})
+	sim.Spawn("receiver", func(p *simtime.Proc) {
+		start := p.Now()
+		req := receiver.Irecv(p, sNode.ID(), 1, size)
+		if side == ComputeReceiver || side == ComputeBoth {
+			p.Sleep(compute)
+		}
+		receiver.Wait(p, req)
+		receiverTotal = p.Now() - start
+	})
+	sim.Run()
+
+	var total simtime.Duration
+	switch side {
+	case ComputeSender:
+		total = senderTotal
+	case ComputeReceiver:
+		total = receiverTotal
+	default:
+		total = senderTotal
+		if receiverTotal > total {
+			total = receiverTotal
+		}
+	}
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(compute) / float64(total)
+	}
+	return OverlapPoint{ComputeUS: computeUS, Ratio: ratio}
+}
+
+// overlapSweep returns the paper's x-axis for each message size:
+// 0-200 µs for 32 KB, 0-2000 µs for 1 MB.
+func overlapSweep(size int) []float64 {
+	if size <= 32<<10 {
+		return []float64{0, 12.5, 25, 50, 75, 100, 125, 150, 175, 200}
+	}
+	return []float64{0, 125, 250, 500, 750, 1000, 1250, 1500, 1750, 2000}
+}
+
+// overlapEngines are the curves of Figures 5-7.
+var overlapEngines = []simmpi.EngineKind{
+	simmpi.MVAPICHLike, simmpi.OpenMPILike, simmpi.PIOManLike,
+}
+
+// RunOverlapFigure produces the two panels (32 KB and 1 MB) of one
+// overlap figure.
+func RunOverlapFigure(side ComputeSide) []stats.Figure {
+	var figs []stats.Figure
+	for _, size := range []int{32 << 10, 1 << 20} {
+		name := "32 KB"
+		if size == 1<<20 {
+			name = "1 MB"
+		}
+		phrase := side.String() + " side"
+		if side == ComputeBoth {
+			phrase = "both sides"
+		}
+		fig := stats.Figure{
+			Title:  fmt.Sprintf("Overlap, computation on %s, %s", phrase, name),
+			XLabel: "computation time (µs)",
+			YLabel: "overlap ratio",
+		}
+		for _, kind := range overlapEngines {
+			s := fig.AddSeries(kind.String())
+			for _, comp := range overlapSweep(size) {
+				pt := RunOverlap(kind, side, size, comp)
+				s.Add(pt.ComputeUS, pt.Ratio)
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+func renderOverlap(side ComputeSide, shape string) func() (string, error) {
+	return func() (string, error) {
+		var b strings.Builder
+		for _, fig := range RunOverlapFigure(side) {
+			b.WriteString(fig.String())
+			b.WriteByte('\n')
+		}
+		b.WriteString(shape)
+		return b.String(), nil
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID:          "fig5",
+		Paper:       "Figure 5",
+		Description: "Overlap benchmark, computation on the sender side (32 KB and 1 MB panels).",
+		Run: renderOverlap(ComputeSender,
+			"Paper shape: all engines overlap on the sender side — the RDMA-Read\n"+
+				"rendezvous lets the receiver pull data without the sender's host.\n"),
+	})
+	register(Experiment{
+		ID:          "fig6",
+		Paper:       "Figure 6",
+		Description: "Overlap benchmark, computation on the receiver side (32 KB and 1 MB panels).",
+		Run: renderOverlap(ComputeReceiver,
+			"Paper shape: MVAPICH and OpenMPI do not overlap when the receiver\n"+
+				"computes (ratio saturates at Tcomp/(Tcomp+Txfer)); PIOMan's background\n"+
+				"progression drives the handshake and reaches ratios near 1.\n"),
+	})
+	register(Experiment{
+		ID:          "fig7",
+		Paper:       "Figure 7",
+		Description: "Overlap benchmark, computation on both sides (32 KB and 1 MB panels).",
+		Run: renderOverlap(ComputeBoth,
+			"Paper shape: baselines overlap only the sender side, so the receiver\n"+
+				"side serializes; PIOMan overlaps both and approaches ratio 1.\n"),
+	})
+}

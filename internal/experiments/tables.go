@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pioman/internal/simmachine"
+	"pioman/internal/stats"
+	"pioman/internal/topology"
+)
+
+// Paper-published micro-benchmark values (nanoseconds).
+var (
+	// Table I, borderline (4-way dual-core Opteron 8218).
+	paperT1PerCore = []float64{770, 788, 839, 818, 846, 858, 858, 1819}
+	paperT1PerChip = []float64{1114, 1059, 1157, 1199}
+	paperT1Global  = 4720.0
+
+	// Table II, kwak (4-way quad-core Opteron 8347HE).
+	paperT2PerCore = []float64{723, 697, 697, 697, 1777, 1787, 1776, 1777,
+		1777, 1867, 1866, 1867, 1747, 1737, 1737, 1787}
+	paperT2PerChip = []float64{1905, 2037, 2046, 5216}
+	paperT2Global  = 13585.0
+)
+
+// TableResult is the reproduced Table I or Table II.
+type TableResult struct {
+	Machine    string
+	PerCore    []float64 // simulated ns, indexed by CPU
+	PerChip    []float64 // simulated ns, indexed by chip
+	Global     float64
+	GlobalDist []int // task executions per core on the global queue
+
+	PaperPerCore []float64
+	PaperPerChip []float64
+	PaperGlobal  float64
+}
+
+// taskBenchIters balances accuracy and run time for table harnesses.
+const taskBenchIters = 300
+
+// RunTable reproduces Table I ("borderline") or Table II ("kwak").
+func RunTable(machine string) (*TableResult, error) {
+	topo, err := topology.ByName(machine)
+	if err != nil {
+		return nil, err
+	}
+	params, err := simmachine.ParamsFor(machine)
+	if err != nil {
+		return nil, err
+	}
+	m := simmachine.NewMachine(topo, params)
+	res := &TableResult{Machine: machine}
+	for cpu := 0; cpu < topo.NCPUs; cpu++ {
+		res.PerCore = append(res.PerCore, m.PerCoreBench(cpu, taskBenchIters).MeanNS)
+	}
+	// Both evaluation machines have four chips (one per NUMA node).
+	for chip := 0; chip < 4; chip++ {
+		res.PerChip = append(res.PerChip, m.PerChipBench(chip, taskBenchIters).MeanNS)
+	}
+	g := m.GlobalBench(taskBenchIters)
+	res.Global = g.MeanNS
+	res.GlobalDist = g.ExecPerCore
+	switch machine {
+	case "borderline":
+		res.PaperPerCore, res.PaperPerChip, res.PaperGlobal = paperT1PerCore, paperT1PerChip, paperT1Global
+	case "kwak":
+		res.PaperPerCore, res.PaperPerChip, res.PaperGlobal = paperT2PerCore, paperT2PerChip, paperT2Global
+	}
+	return res, nil
+}
+
+// Render formats the result in the paper's table layout, with the paper's
+// own measurements interleaved for comparison.
+func (r *TableResult) Render() string {
+	var b strings.Builder
+	t := stats.Table{
+		Title:   fmt.Sprintf("Micro-benchmark of task scheduling on %s (simulated vs. paper, ns)", r.Machine),
+		Header:  []string{"queue level", "source", "values"},
+		Caption: "Time given in nanoseconds; task submitted by core #0.",
+	}
+	t.AddRow("per-core queues", "simulated", joinF(r.PerCore))
+	t.AddRow("per-core queues", "paper", joinF(r.PaperPerCore))
+	t.AddRow("per-chip queues", "simulated", joinF(r.PerChip))
+	t.AddRow("per-chip queues", "paper", joinF(r.PaperPerChip))
+	t.AddRow("global queue", "simulated", fmt.Sprintf("%.0f", r.Global))
+	t.AddRow("global queue", "paper", fmt.Sprintf("%.0f", r.PaperGlobal))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "global-queue task distribution per core: %v\n", r.GlobalDist)
+	perNode := map[int]int{}
+	topo, _ := topology.ByName(r.Machine)
+	for cpu, n := range r.GlobalDist {
+		perNode[topo.NUMAOf[cpu]] += n
+	}
+	fmt.Fprintf(&b, "global-queue task distribution per NUMA node: %v\n", perNode)
+	return b.String()
+}
+
+func joinF(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%.0f", v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func init() {
+	register(Experiment{
+		ID:          "table1",
+		Paper:       "Table I",
+		Description: "Task-scheduling micro-benchmark on borderline (8 cores): per-core, per-chip, global queues.",
+		Run: func() (string, error) {
+			r, err := RunTable("borderline")
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	})
+	register(Experiment{
+		ID:          "table2",
+		Paper:       "Table II",
+		Description: "Task-scheduling micro-benchmark on kwak (16 cores, 4 NUMA nodes): per-core, per-chip, global queues.",
+		Run: func() (string, error) {
+			r, err := RunTable("kwak")
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	})
+	register(Experiment{
+		ID:          "ablation-biglock",
+		Paper:       "§III motivation",
+		Description: "Hierarchical queues vs. a single global list: the big-lock penalty at each placement.",
+		Run:         runBigLockAblation,
+	})
+}
+
+// runBigLockAblation contrasts hierarchical placement with the naive
+// single-global-list design the paper argues against in §III.
+func runBigLockAblation() (string, error) {
+	var b strings.Builder
+	for _, machine := range []string{"borderline", "kwak"} {
+		topo, err := topology.ByName(machine)
+		if err != nil {
+			return "", err
+		}
+		params, _ := simmachine.ParamsFor(machine)
+		m := simmachine.NewMachine(topo, params)
+		local := m.PerCoreBench(0, taskBenchIters).MeanNS
+		chip := m.PerChipBench(0, taskBenchIters).MeanNS
+		global := m.GlobalBench(taskBenchIters).MeanNS
+		t := stats.Table{
+			Title:  fmt.Sprintf("%s: hierarchical placement vs. big-lock global list", machine),
+			Header: []string{"placement", "ns/task", "vs. local"},
+		}
+		t.AddRow("per-core (hierarchy)", fmt.Sprintf("%.0f", local), "1.0x")
+		t.AddRow("per-chip (hierarchy)", fmt.Sprintf("%.0f", chip), fmt.Sprintf("%.1fx", chip/local))
+		t.AddRow("global (big lock)", fmt.Sprintf("%.0f", global), fmt.Sprintf("%.1fx", global/local))
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("A single shared list pays the global-queue cost for every task;\n" +
+		"the hierarchy pays it only for tasks that genuinely span the machine.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// collectiveTagBase separates collective traffic from point-to-point
+// user tags and from barrier tokens.
+const collectiveTagBase = uint64(1) << 41
+
+// participants returns this rank plus all connected peers, sorted — the
+// implicit "communicator group" of a fully connected LocalCluster. Every
+// rank must see the same group for collectives to match.
+func (c *Comm) participants() []int {
+	ranks := append(c.Peers(), c.rank)
+	sort.Ints(ranks)
+	return ranks
+}
+
+// vrank maps a rank into 0..n-1 with root at 0 (standard binomial-tree
+// relabeling).
+func vrank(rank, root, n int) int { return ((rank-root)%n + n) % n }
+
+// Bcast broadcasts data from root to every connected rank along a
+// binomial tree; non-root callers receive and return the payload. seq
+// distinguishes concurrent broadcast generations and must match across
+// ranks (use a counter or a user tag).
+func (c *Comm) Bcast(root int, seq int, data []byte) ([]byte, error) {
+	if seq < 0 {
+		return nil, fmt.Errorf("mpi: negative Bcast seq")
+	}
+	group := c.participants()
+	n := len(group)
+	pos := sort.SearchInts(group, c.rank)
+	if pos == n || group[pos] != c.rank {
+		return nil, fmt.Errorf("mpi: rank %d not in its own group", c.rank)
+	}
+	rootPos := sort.SearchInts(group, root)
+	if rootPos == n || group[rootPos] != root {
+		return nil, fmt.Errorf("mpi: Bcast root %d not in group %v", root, group)
+	}
+	tag := collectiveTagBase + uint64(seq)
+
+	v := vrank(pos, rootPos, n)
+	// Receive from the parent (clear the lowest set bit of v).
+	if v != 0 {
+		parentV := v &^ (v & -v)
+		parent := group[(parentV+rootPos)%n]
+		g, err := c.gate(parent)
+		if err != nil {
+			return nil, err
+		}
+		req := g.Irecv(tag)
+		if err := req.Wait(); err != nil {
+			return nil, err
+		}
+		data = req.Data
+	}
+	// Forward to children: v + 2^k for each k above v's lowest set bit.
+	for bit := 1; bit < n; bit <<= 1 {
+		if v&bit != 0 {
+			break
+		}
+		childV := v | bit
+		if childV >= n {
+			break
+		}
+		child := group[(childV+rootPos)%n]
+		g, err := c.gate(child)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Isend(tag, data).Wait(); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// Gather collects one payload from every rank at root. The root returns
+// the payloads indexed by rank position in the sorted group (its own
+// contribution included); other ranks return nil. seq must match across
+// ranks.
+func (c *Comm) Gather(root int, seq int, contribution []byte) ([][]byte, error) {
+	if seq < 0 {
+		return nil, fmt.Errorf("mpi: negative Gather seq")
+	}
+	group := c.participants()
+	tag := collectiveTagBase + uint64(1)<<20 + uint64(seq)
+	if c.rank != root {
+		g, err := c.gate(root)
+		if err != nil {
+			return nil, err
+		}
+		return nil, g.Isend(tag, contribution).Wait()
+	}
+	out := make([][]byte, len(group))
+	for i, r := range group {
+		if r == c.rank {
+			out[i] = contribution
+			continue
+		}
+		g, err := c.gate(r)
+		if err != nil {
+			return nil, err
+		}
+		req := g.Irecv(tag)
+		if err := req.Wait(); err != nil {
+			return nil, err
+		}
+		out[i] = req.Data
+	}
+	return out, nil
+}

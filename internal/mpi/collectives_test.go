@@ -1,0 +1,186 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBcastFromRankZero(t *testing.T) {
+	const n = 4
+	c := cluster(t, n)
+	payload := []byte("broadcast me")
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var data []byte
+			if r == 0 {
+				data = payload
+			}
+			results[r], errs[r] = c[r].Bcast(0, 1, data)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if !bytes.Equal(results[r], payload) {
+			t.Errorf("rank %d got %q", r, results[r])
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	const n = 5
+	c := cluster(t, n)
+	payload := []byte("root is two")
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var data []byte
+			if r == 2 {
+				data = payload
+			}
+			out, err := c[r].Bcast(2, 7, data)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if !bytes.Equal(results[r], payload) {
+			t.Errorf("rank %d got %q", r, results[r])
+		}
+	}
+}
+
+func TestBcastSequencesDoNotCross(t *testing.T) {
+	const n = 3
+	c := cluster(t, n)
+	var wg sync.WaitGroup
+	out := make([][][]byte, n)
+	for r := 0; r < n; r++ {
+		out[r] = make([][]byte, 4)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for seq := 0; seq < 4; seq++ {
+				var data []byte
+				if r == 0 {
+					data = []byte(fmt.Sprintf("gen-%d", seq))
+				}
+				got, err := c[r].Bcast(0, 100+seq, data)
+				if err != nil {
+					t.Errorf("rank %d seq %d: %v", r, seq, err)
+					return
+				}
+				out[r][seq] = got
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		for seq := 0; seq < 4; seq++ {
+			want := fmt.Sprintf("gen-%d", seq)
+			if string(out[r][seq]) != want {
+				t.Errorf("rank %d seq %d = %q, want %q", r, seq, out[r][seq], want)
+			}
+		}
+	}
+}
+
+func TestBcastValidation(t *testing.T) {
+	c := cluster(t, 2)
+	if _, err := c[0].Bcast(0, -1, nil); err == nil {
+		t.Error("negative seq should fail")
+	}
+	if _, err := c[0].Bcast(99, 1, nil); err == nil {
+		t.Error("root outside group should fail")
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 4
+	c := cluster(t, n)
+	var wg sync.WaitGroup
+	var rootResult [][]byte
+	var rootErr error
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			contribution := []byte(fmt.Sprintf("from-%d", r))
+			out, err := c[r].Gather(1, 3, contribution)
+			if r == 1 {
+				rootResult, rootErr = out, err
+			} else if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if rootErr != nil {
+		t.Fatal(rootErr)
+	}
+	if len(rootResult) != n {
+		t.Fatalf("gathered %d contributions, want %d", len(rootResult), n)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("from-%d", i)
+		if string(rootResult[i]) != want {
+			t.Errorf("slot %d = %q, want %q", i, rootResult[i], want)
+		}
+	}
+}
+
+func TestGatherValidation(t *testing.T) {
+	c := cluster(t, 2)
+	if _, err := c[0].Gather(0, -2, nil); err == nil {
+		t.Error("negative seq should fail")
+	}
+}
+
+func TestBcastLargePayloadUsesRendezvous(t *testing.T) {
+	const n = 3
+	c := cluster(t, n)
+	big := make([]byte, 256<<10)
+	for i := range big {
+		big[i] = byte(i * 11)
+	}
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var data []byte
+			if r == 0 {
+				data = big
+			}
+			out, err := c[r].Bcast(0, 9, data)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if !bytes.Equal(results[r], big) {
+			t.Errorf("rank %d payload corrupted", r)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package mpi
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pioman/internal/nmad"
+)
+
+func cluster(t *testing.T, n int) []*Comm {
+	t.Helper()
+	comms, engines, err := LocalCluster(n, nmad.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	})
+	return comms
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	c := cluster(t, 2)
+	done := make(chan error, 1)
+	go func() { done <- c[0].Send(1, 7, []byte("ping")) }()
+	data, from, err := c[1].Recv(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 0 || string(data) != "ping" {
+		t.Errorf("Recv = %q from %d", data, from)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	c := cluster(t, 2)
+	rreq, err := c[1].Irecv(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq, err := c[0].Isend(1, 3, []byte("nonblocking"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sreq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := rreq.Wait()
+	if err != nil || string(data) != "nonblocking" {
+		t.Fatalf("Wait = %q, %v", data, err)
+	}
+}
+
+func TestLargeMessageRendezvous(t *testing.T) {
+	c := cluster(t, 2)
+	big := make([]byte, 512<<10)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []byte
+	var rerr error
+	go func() {
+		defer wg.Done()
+		got, _, rerr = c[1].Recv(0, 1)
+	}()
+	if err := c[0].Send(1, 1, big); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	c := cluster(t, 3)
+	if err := c[2].Send(0, 5, []byte("from two")); err != nil {
+		t.Fatal(err)
+	}
+	data, from, err := c[0].Recv(AnySource, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 2 || string(data) != "from two" {
+		t.Errorf("Recv = %q from %d, want from 2", data, from)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	c := cluster(t, 2)
+	if _, ok := c[1].Iprobe(0, 9); ok {
+		t.Error("Iprobe before send should be false")
+	}
+	if err := c[0].Send(1, 9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if from, ok := c[1].Iprobe(0, 9); ok {
+			if from != 0 {
+				t.Errorf("Iprobe source = %d", from)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Iprobe never saw the message")
+		}
+		c[1].Engine().Tasks().Schedule(0)
+	}
+	// The message is still receivable.
+	data, _, err := c[1].Recv(0, 9)
+	if err != nil || string(data) != "x" {
+		t.Fatalf("Recv after probe = %q, %v", data, err)
+	}
+}
+
+func TestTagValidation(t *testing.T) {
+	c := cluster(t, 2)
+	if _, err := c[0].Isend(1, -1, nil); err == nil {
+		t.Error("negative tag should fail")
+	}
+	if _, err := c[0].Isend(1, maxUserTag, nil); err == nil {
+		t.Error("oversized tag should fail")
+	}
+	if _, err := c[0].Irecv(1, -5); err == nil {
+		t.Error("negative recv tag should fail")
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	c := cluster(t, 2)
+	if err := c[0].Send(9, 1, nil); err == nil {
+		t.Error("send to unconnected rank should fail")
+	}
+	if _, err := c[0].Irecv(9, 1); err == nil {
+		t.Error("recv from unconnected rank should fail")
+	}
+}
+
+func TestIrecvAnySourceRejected(t *testing.T) {
+	c := cluster(t, 2)
+	if _, err := c[0].Irecv(AnySource, 1); err == nil {
+		t.Error("Irecv with AnySource should be rejected")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 3
+	c := cluster(t, n)
+	var phase [n]atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				phase[r].Store(int64(round))
+				if err := c[r].Barrier(); err != nil {
+					t.Errorf("rank %d barrier: %v", r, err)
+					return
+				}
+				// After the barrier, nobody can still be in an older round.
+				for o := 0; o < n; o++ {
+					if got := phase[o].Load(); got < int64(round) {
+						t.Errorf("rank %d saw rank %d in round %d during round %d", r, o, got, round)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestThreadMultipleConcurrentRanks(t *testing.T) {
+	// MPI_THREAD_MULTIPLE: many goroutines using the same communicator
+	// concurrently, mirroring the OSU multi-threaded latency test.
+	c := cluster(t, 2)
+	const threads = 6
+	const rounds = 15
+	var wg sync.WaitGroup
+	// Receiver threads on rank 1, one tag each.
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				data, _, err := c[1].Recv(0, th)
+				if err != nil {
+					t.Errorf("recv thread %d: %v", th, err)
+					return
+				}
+				if err := c[1].Send(0, 1000+th, data); err != nil {
+					t.Errorf("reply thread %d: %v", th, err)
+					return
+				}
+			}
+		}(th)
+	}
+	// Sender threads on rank 0.
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				msg := []byte{byte(th), byte(r)}
+				if err := c[0].Send(1, th, msg); err != nil {
+					t.Errorf("send thread %d: %v", th, err)
+					return
+				}
+				echo, _, err := c[0].Recv(1, 1000+th)
+				if err != nil {
+					t.Errorf("echo thread %d: %v", th, err)
+					return
+				}
+				if !bytes.Equal(echo, msg) {
+					t.Errorf("thread %d round %d: echo %v != %v", th, r, echo, msg)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+}
+
+func TestWaitall(t *testing.T) {
+	c := cluster(t, 2)
+	var sends []*Request
+	for i := 0; i < 5; i++ {
+		req, err := c[0].Isend(1, i, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sends = append(sends, req)
+	}
+	var recvs []*Request
+	for i := 0; i < 5; i++ {
+		req, err := c[1].Irecv(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recvs = append(recvs, req)
+	}
+	if err := Waitall(sends...); err != nil {
+		t.Fatal(err)
+	}
+	if err := Waitall(recvs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapComputeWhileTransfer(t *testing.T) {
+	// Integration check of the paper's headline property on the real
+	// stack: a large transfer progresses while the receiver computes
+	// between Irecv and Wait (background progression does the work).
+	c := cluster(t, 2)
+	big := make([]byte, 1<<20)
+	go func() {
+		_ = c[0].Send(1, 1, big)
+	}()
+	req, err := c[1].Irecv(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Compute": do not call into MPI at all.
+	deadline := time.Now().Add(5 * time.Second)
+	for !req.Test() {
+		if time.Now().After(deadline) {
+			t.Fatal("transfer made no progress during computation (no background progression)")
+		}
+		time.Sleep(time.Millisecond) // busy with application work
+	}
+	data, err := req.Wait()
+	if err != nil || len(data) != len(big) {
+		t.Fatalf("Wait = %d bytes, %v", len(data), err)
+	}
+}
+
+func TestLocalClusterValidation(t *testing.T) {
+	if _, _, err := LocalCluster(0, nmad.Config{}); err == nil {
+		t.Error("zero-rank cluster should fail")
+	}
+}

@@ -1,0 +1,205 @@
+package nmad
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Driver abstracts one network rail: a point-to-point link to a peer
+// engine. Send may block briefly (handing the frame to the wire); Poll
+// must never block — it is called from PIOMan polling tasks.
+//
+// Implementations: MemPair (in-process), TCP (stdlib net), and the
+// simulation drivers in the experiments.
+type Driver interface {
+	// Name identifies the driver kind ("mem", "tcp").
+	Name() string
+	// Send transmits one frame. The payload is copied or fully written
+	// before return; the caller may reuse the buffer.
+	Send(hdr Header, payload []byte) error
+	// Poll returns the next received frame, if any.
+	Poll() (Frame, bool, error)
+	// Close shuts the rail down; subsequent Sends fail and Polls report
+	// no frames.
+	Close() error
+}
+
+// ErrClosed is returned when using a closed driver.
+var ErrClosed = errors.New("nmad: driver closed")
+
+// ---- In-process memory driver ----
+
+// memDriver is one endpoint of an in-process rail: frames written by the
+// peer land in rx.
+type memDriver struct {
+	rx     chan Frame
+	peer   *memDriver
+	closed atomic.Bool
+}
+
+// MemPair returns two connected in-process rails — the loopback
+// equivalent of a NIC pair, used by tests, examples and single-process
+// benchmarks.
+func MemPair() (Driver, Driver) {
+	a := &memDriver{rx: make(chan Frame, 4096)}
+	b := &memDriver{rx: make(chan Frame, 4096)}
+	a.peer = b
+	b.peer = a
+	return a, b
+}
+
+func (d *memDriver) Name() string { return "mem" }
+
+func (d *memDriver) Send(hdr Header, payload []byte) error {
+	if d.closed.Load() || d.peer.closed.Load() {
+		return ErrClosed
+	}
+	// Copy the payload: the wire owns its bytes, like a real DMA.
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	select {
+	case d.peer.rx <- Frame{Hdr: hdr, Payload: cp}:
+		return nil
+	default:
+		return fmt.Errorf("nmad: mem rail backpressure (rx ring full)")
+	}
+}
+
+func (d *memDriver) Poll() (Frame, bool, error) {
+	select {
+	case f := <-d.rx:
+		return f, true, nil
+	default:
+		if d.closed.Load() {
+			return Frame{}, false, ErrClosed
+		}
+		return Frame{}, false, nil
+	}
+}
+
+func (d *memDriver) Close() error {
+	d.closed.Store(true)
+	return nil
+}
+
+// ---- TCP driver ----
+
+// tcpDriver frames nmad packets over a stream connection. A reader
+// goroutine (standing in for the NIC's RX DMA engine) deposits frames
+// into a ring that Poll drains without blocking.
+type tcpDriver struct {
+	conn    net.Conn
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	rx      chan Frame
+	readErr atomic.Pointer[error]
+	closed  atomic.Bool
+}
+
+// NewTCP wraps an established stream connection (TCP socket, Unix
+// socket, net.Pipe end) as an nmad rail.
+func NewTCP(conn net.Conn) Driver {
+	d := &tcpDriver{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		rx:   make(chan Frame, 1024),
+	}
+	go d.readLoop()
+	return d
+}
+
+// DialTCP connects to a listening peer.
+func DialTCP(addr string) (Driver, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCP(conn), nil
+}
+
+// AcceptTCP accepts one rail from a listener.
+func AcceptTCP(ln net.Listener) (Driver, error) {
+	conn, err := ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCP(conn), nil
+}
+
+func (d *tcpDriver) Name() string { return "tcp" }
+
+func (d *tcpDriver) Send(hdr Header, payload []byte) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	var hbuf [headerBytes + 4]byte
+	hdr.encode(hbuf[:headerBytes])
+	binary.LittleEndian.PutUint32(hbuf[headerBytes:], uint32(len(payload)))
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if _, err := d.bw.Write(hbuf[:]); err != nil {
+		return err
+	}
+	if _, err := d.bw.Write(payload); err != nil {
+		return err
+	}
+	return d.bw.Flush()
+}
+
+func (d *tcpDriver) readLoop() {
+	br := bufio.NewReaderSize(d.conn, 64<<10)
+	for {
+		var hbuf [headerBytes + 4]byte
+		if _, err := io.ReadFull(br, hbuf[:]); err != nil {
+			d.storeErr(err)
+			return
+		}
+		hdr, err := decodeHeader(hbuf[:headerBytes])
+		if err != nil {
+			d.storeErr(err)
+			return
+		}
+		plen := binary.LittleEndian.Uint32(hbuf[headerBytes:])
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			d.storeErr(err)
+			return
+		}
+		d.rx <- Frame{Hdr: hdr, Payload: payload}
+	}
+}
+
+func (d *tcpDriver) storeErr(err error) {
+	if d.closed.Load() {
+		err = ErrClosed
+	}
+	d.readErr.Store(&err)
+}
+
+func (d *tcpDriver) Poll() (Frame, bool, error) {
+	select {
+	case f := <-d.rx:
+		return f, true, nil
+	default:
+		// A read error after a local Close is the expected shutdown; any
+		// other error — including an abrupt EOF from a vanished peer —
+		// must surface so outstanding requests fail instead of hanging.
+		if ep := d.readErr.Load(); ep != nil && !errors.Is(*ep, ErrClosed) {
+			return Frame{}, false, *ep
+		}
+		return Frame{}, false, nil
+	}
+}
+
+func (d *tcpDriver) Close() error {
+	if d.closed.CompareAndSwap(false, true) {
+		return d.conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package nmad
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/cpuset"
+	"pioman/internal/topology"
+)
+
+// StrategyKind selects the sending strategy applied to small messages
+// (paper Fig. 1: the optimization layer between application flows and
+// NICs).
+type StrategyKind int
+
+const (
+	// StrategyDefault sends each message as its own frame immediately.
+	StrategyDefault StrategyKind = iota
+	// StrategyAggreg packs pending small messages heading to the same
+	// gate into one frame — fewer, larger packets on the wire.
+	StrategyAggreg
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Tasks is the PIOMan task engine driving progression. When nil a
+	// private engine on the host topology is created.
+	Tasks *core.Engine
+	// EagerThreshold is the largest payload sent eagerly; larger
+	// messages use the RTS/CTS rendezvous (default 8 KiB).
+	EagerThreshold int
+	// Strategy selects the small-message send strategy.
+	Strategy StrategyKind
+	// MaxAggr bounds the payload bytes packed into one aggregate frame
+	// (default 16 KiB).
+	MaxAggr int
+	// AutoProgress starts a background progression goroutine (default
+	// on; disable when an external sched.Runtime drives the task
+	// engine). Zero value means on; set NoAutoProgress to disable.
+	NoAutoProgress bool
+	// ProgressIdle is how long the background progression goroutine
+	// sleeps when no task ran (default 20 µs).
+	ProgressIdle time.Duration
+}
+
+// Stats are engine-wide counters.
+type Stats struct {
+	MsgsSent   uint64 // application messages sent
+	MsgsRecv   uint64 // application messages received
+	FramesSent uint64 // frames put on a wire
+	FramesRecv uint64 // frames taken off a wire
+	EagerSent  uint64 // messages sent eagerly
+	Aggregated uint64 // messages that travelled inside an aggregate
+	AggrFrames uint64 // aggregate frames sent
+	RdvStarted uint64 // rendezvous handshakes initiated
+	RdvData    uint64 // rendezvous data fragments sent
+}
+
+// Engine is one communication endpoint multiplexing any number of gates
+// (peer connections) over the PIOMan task engine.
+type Engine struct {
+	cfg   Config
+	tasks *core.Engine
+
+	mu         sync.Mutex
+	gates      []*Gate
+	recvQ      []*Request
+	unexpected []inbound
+	rdvRecv    map[rdvKey]*Request
+	sendRdv    map[rdvKey]*sendRdvState
+
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	msgsSent, msgsRecv, framesSent, framesRecv atomic.Uint64
+	eagerSent, aggregated, aggrFrames          atomic.Uint64
+	rdvStarted, rdvData                        atomic.Uint64
+}
+
+type rdvKey struct {
+	gate  *Gate
+	msgID uint64
+}
+
+type inbound struct {
+	gate    *Gate
+	hdr     Header
+	payload []byte
+}
+
+type sendRdvState struct {
+	data      []byte
+	req       *Request
+	remaining atomic.Int32
+}
+
+// NewEngine builds an engine and starts its progression.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Tasks == nil {
+		cfg.Tasks = core.New(core.Config{Topology: topology.Host()})
+	}
+	if cfg.EagerThreshold <= 0 {
+		cfg.EagerThreshold = 8 << 10
+	}
+	if cfg.MaxAggr <= 0 {
+		cfg.MaxAggr = 16 << 10
+	}
+	if cfg.ProgressIdle <= 0 {
+		cfg.ProgressIdle = 20 * time.Microsecond
+	}
+	e := &Engine{
+		cfg:     cfg,
+		tasks:   cfg.Tasks,
+		rdvRecv: make(map[rdvKey]*Request),
+		sendRdv: make(map[rdvKey]*sendRdvState),
+	}
+	if !cfg.NoAutoProgress {
+		e.wg.Add(1)
+		go e.progressLoop()
+	}
+	return e
+}
+
+// Tasks exposes the underlying task engine (for wiring into a
+// sched.Runtime or for WaitActive-style helpers).
+func (e *Engine) Tasks() *core.Engine { return e.tasks }
+
+// progressLoop is the background progression context: the stand-in for
+// idle cores and timer interrupts executing PIOMan tasks while the
+// application computes.
+func (e *Engine) progressLoop() {
+	defer e.wg.Done()
+	ncpu := e.tasks.Topology().NCPUs
+	cpu := 1 % ncpu
+	for !e.stopped.Load() {
+		ran := e.tasks.Schedule(cpu)
+		if ran == 0 {
+			e.tasks.SetIdle(cpu, true)
+			time.Sleep(e.cfg.ProgressIdle)
+			e.tasks.SetIdle(cpu, false)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// Close stops progression, completes outstanding receives with an error
+// and closes every rail of every gate.
+func (e *Engine) Close() error {
+	if !e.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.mu.Lock()
+	pending := append([]*Request(nil), e.recvQ...)
+	for _, r := range e.rdvRecv {
+		pending = append(pending, r)
+	}
+	gates := append([]*Gate(nil), e.gates...)
+	e.recvQ = nil
+	e.mu.Unlock()
+	for _, r := range pending {
+		r.complete(ErrClosed)
+	}
+	var firstErr error
+	for _, g := range gates {
+		for _, rail := range g.rails {
+			if err := rail.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	e.wg.Wait()
+	return firstErr
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		MsgsSent:   e.msgsSent.Load(),
+		MsgsRecv:   e.msgsRecv.Load(),
+		FramesSent: e.framesSent.Load(),
+		FramesRecv: e.framesRecv.Load(),
+		EagerSent:  e.eagerSent.Load(),
+		Aggregated: e.aggregated.Load(),
+		AggrFrames: e.aggrFrames.Load(),
+		RdvStarted: e.rdvStarted.Load(),
+		RdvData:    e.rdvData.Load(),
+	}
+}
+
+// Gate is a connection to one peer over one or more rails. Large
+// rendezvous payloads are striped across all rails (multirail).
+type Gate struct {
+	eng       *Engine
+	id        int
+	rails     []Driver
+	railMu    []sync.Mutex
+	nextMsgID atomic.Uint64
+
+	aggMu       sync.Mutex
+	aggPending  []pendingSend
+	aggFlushing bool
+
+	pktPool sync.Pool
+}
+
+type pendingSend struct {
+	hdr     Header
+	payload []byte
+	req     *Request
+}
+
+// NewGate attaches a connection made of the given rails and starts one
+// repeated polling task per rail. The polling tasks run until the engine
+// closes; their CPU set is unrestricted on the flat host topology (on a
+// topology with caches PIOMan pins them near the submitting core).
+func (e *Engine) NewGate(rails ...Driver) (*Gate, error) {
+	if len(rails) == 0 {
+		return nil, errors.New("nmad: gate needs at least one rail")
+	}
+	g := &Gate{eng: e, rails: rails, railMu: make([]sync.Mutex, len(rails))}
+	g.pktPool.New = func() any { return new(Packet) }
+	e.mu.Lock()
+	g.id = len(e.gates)
+	e.gates = append(e.gates, g)
+	e.mu.Unlock()
+
+	for i := range rails {
+		rail := i
+		pollTask := &core.Task{
+			Options: core.Repeat,
+			CPUSet:  cpuset.Set{},
+			Fn: func(any) bool {
+				f, ok, err := g.rails[rail].Poll()
+				if err != nil {
+					// Rail dead: stop polling it and fail every request
+					// still bound to this gate so waiters do not hang.
+					e.failGate(g, err)
+					return true
+				}
+				if ok {
+					e.framesRecv.Add(1)
+					e.handleFrame(g, f)
+				}
+				return e.stopped.Load()
+			},
+		}
+		if err := e.tasks.Submit(pollTask); err != nil {
+			return nil, fmt.Errorf("nmad: submitting poll task: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// failGate completes every outstanding request bound to the gate with
+// the given error: posted receives, in-flight rendezvous reassemblies,
+// and sends waiting for a CTS.
+func (e *Engine) failGate(g *Gate, err error) {
+	e.mu.Lock()
+	var victims []*Request
+	kept := e.recvQ[:0]
+	for _, r := range e.recvQ {
+		if r.gate == g {
+			victims = append(victims, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	e.recvQ = kept
+	for key, r := range e.rdvRecv {
+		if key.gate == g {
+			victims = append(victims, r)
+			delete(e.rdvRecv, key)
+		}
+	}
+	for key, st := range e.sendRdv {
+		if key.gate == g {
+			victims = append(victims, st.req)
+			delete(e.sendRdv, key)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range victims {
+		r.complete(err)
+	}
+}
+
+// Rails returns the number of rails of the gate.
+func (g *Gate) Rails() int { return len(g.rails) }
+
+// packet takes a wrapper from the gate pool.
+func (g *Gate) packet() *Packet {
+	p := g.pktPool.Get().(*Packet)
+	p.reset()
+	p.gate = g
+	return p
+}
+
+// sendPacket submits the packet's embedded task: the actual driver Send
+// runs on an idle core when one exists, otherwise wherever the next
+// scheduling hole appears (paper §IV-B submission offload).
+func (g *Gate) sendPacket(p *Packet) {
+	p.Task.Arg = p
+	p.Task.Fn = sendPacketTask
+	p.Task.OnDone = recyclePacket
+	g.eng.tasks.MustSubmit(&p.Task)
+}
+
+// sendPacketTask is the task body shared by every packet send.
+func sendPacketTask(arg any) bool {
+	p := arg.(*Packet)
+	g := p.gate
+	g.railMu[p.rail].Lock()
+	err := g.rails[p.rail].Send(p.Hdr, p.Payload)
+	g.railMu[p.rail].Unlock()
+	g.eng.framesSent.Add(1)
+	if p.req != nil {
+		if err != nil {
+			p.req.complete(err)
+		} else if p.req.decRemaining() {
+			p.req.complete(nil)
+		}
+	}
+	return true
+}
+
+// recyclePacket returns the wrapper to its gate's pool. It runs as the
+// task's OnDone hook — the final touch of the task lifecycle — so the
+// reset cannot race with the engine's completion bookkeeping.
+func recyclePacket(t *core.Task) {
+	p := t.Arg.(*Packet)
+	pool := &p.gate.pktPool
+	p.reset()
+	pool.Put(p)
+}

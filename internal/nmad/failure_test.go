@@ -1,0 +1,179 @@
+package nmad
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultyDriver wraps a driver and injects failures on demand.
+type faultyDriver struct {
+	inner   Driver
+	sendErr atomic.Pointer[error]
+	pollErr atomic.Pointer[error]
+	sends   atomic.Int64
+	failKth int64 // fail the k-th send (1-based); 0 = never
+}
+
+func (d *faultyDriver) Name() string { return "faulty" }
+
+func (d *faultyDriver) Send(hdr Header, payload []byte) error {
+	n := d.sends.Add(1)
+	if ep := d.sendErr.Load(); ep != nil {
+		return *ep
+	}
+	if d.failKth > 0 && n == d.failKth {
+		return errors.New("injected send failure")
+	}
+	return d.inner.Send(hdr, payload)
+}
+
+func (d *faultyDriver) Poll() (Frame, bool, error) {
+	if ep := d.pollErr.Load(); ep != nil {
+		return Frame{}, false, *ep
+	}
+	return d.inner.Poll()
+}
+
+func (d *faultyDriver) Close() error { return d.inner.Close() }
+
+func TestSendFailureCompletesRequestWithError(t *testing.T) {
+	da, db := MemPair()
+	_ = db
+	fd := &faultyDriver{inner: da, failKth: 1}
+	e := NewEngine(Config{})
+	defer e.Close()
+	g, err := e.NewGate(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := g.Isend(1, []byte("doomed"))
+	if err := req.Wait(); err == nil {
+		t.Fatal("send over failing rail should report an error")
+	}
+}
+
+func TestPollFailureFailsOutstandingRequests(t *testing.T) {
+	da, db := MemPair()
+	_ = db
+	fd := &faultyDriver{inner: da}
+	e := NewEngine(Config{})
+	defer e.Close()
+	g, err := e.NewGate(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := g.Irecv(1)
+	// Kill the rail: polling must fail the posted receive promptly.
+	boom := errors.New("link down")
+	fd.pollErr.Store(&boom)
+	select {
+	case <-recv.Done():
+		if !errors.Is(recv.Err(), boom) {
+			t.Errorf("recv error = %v, want link down", recv.Err())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("posted receive hung after rail failure")
+	}
+}
+
+func TestPollFailureFailsRendezvousSender(t *testing.T) {
+	da, db := MemPair()
+	_ = db
+	fd := &faultyDriver{inner: da}
+	e := NewEngine(Config{})
+	defer e.Close()
+	g, err := e.NewGate(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large send waits for a CTS that will never come.
+	req := g.Isend(2, make([]byte, 1<<20))
+	boom := errors.New("link down")
+	fd.pollErr.Store(&boom)
+	select {
+	case <-req.Done():
+		if req.Err() == nil {
+			t.Error("rendezvous sender should observe the failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rendezvous sender hung after rail failure")
+	}
+}
+
+func TestTCPPeerDisappearsMidStream(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := <-accepted
+
+	e := NewEngine(Config{})
+	defer e.Close()
+	g, err := e.NewGate(NewTCP(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := g.Irecv(1)
+	// The peer vanishes without a clean shutdown.
+	peer.Close()
+	select {
+	case <-recv.Done():
+		if recv.Err() == nil {
+			t.Error("receive should fail when the TCP peer disappears")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receive hung after TCP peer closed the connection")
+	}
+}
+
+func TestHealthyGateUnaffectedByFailingGate(t *testing.T) {
+	e := NewEngine(Config{})
+	defer e.Close()
+	// Gate A fails; gate B (same engine) keeps working.
+	da, _ := MemPair()
+	fd := &faultyDriver{inner: da}
+	ga, err := e.NewGate(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerEngine := NewEngine(Config{})
+	defer peerEngine.Close()
+	db1, db2 := MemPair()
+	gb, err := e.NewGate(db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPeer, err := peerEngine.NewGate(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doomed := ga.Irecv(1)
+	boom := errors.New("down")
+	fd.pollErr.Store(&boom)
+	<-doomed.Done()
+
+	// Traffic on the healthy gate still flows.
+	if err := gb.Send(5, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := gPeer.Recv(5)
+	if err != nil || string(data) != "alive" {
+		t.Fatalf("healthy gate Recv = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,475 @@
+package nmad
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// enginePair builds two connected engines with the given rail count and
+// strategy.
+func enginePair(t *testing.T, rails int, strategy StrategyKind) (*Engine, *Gate, *Engine, *Gate) {
+	t.Helper()
+	ea := NewEngine(Config{Strategy: strategy})
+	eb := NewEngine(Config{Strategy: strategy})
+	var railsA, railsB []Driver
+	for i := 0; i < rails; i++ {
+		da, db := MemPair()
+		railsA = append(railsA, da)
+		railsB = append(railsB, db)
+	}
+	ga, err := ea.NewGate(railsA...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := eb.NewGate(railsB...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ea.Close()
+		eb.Close()
+	})
+	return ea, ga, eb, gb
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	_, ga, _, gb := enginePair(t, 1, StrategyDefault)
+	msg := []byte("hello pioman")
+	if err := ga.Send(42, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gb.Recv(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("received %q, want %q", got, msg)
+	}
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	_, ga, _, gb := enginePair(t, 1, StrategyDefault)
+	req := gb.Irecv(7)
+	if req.Test() {
+		t.Fatal("request complete before any send")
+	}
+	if err := ga.Send(7, []byte("late binding")); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Data) != "late binding" {
+		t.Errorf("Data = %q", req.Data)
+	}
+}
+
+func TestUnexpectedMessageMatchedLater(t *testing.T) {
+	_, ga, _, gb := enginePair(t, 1, StrategyDefault)
+	if err := ga.Send(9, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let it arrive unexpected
+	got, err := gb.Recv(9)
+	if err != nil || string(got) != "early" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestTagSeparation(t *testing.T) {
+	_, ga, _, gb := enginePair(t, 1, StrategyDefault)
+	r1 := gb.Irecv(1)
+	r2 := gb.Irecv(2)
+	if err := ga.Send(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.Send(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Wait(); err != nil || string(r1.Data) != "one" {
+		t.Errorf("tag 1 got %q, %v", r1.Data, r1.Err())
+	}
+	if err := r2.Wait(); err != nil || string(r2.Data) != "two" {
+		t.Errorf("tag 2 got %q, %v", r2.Data, r2.Err())
+	}
+}
+
+func TestSameTagFIFO(t *testing.T) {
+	_, ga, _, gb := enginePair(t, 1, StrategyDefault)
+	for i := 0; i < 10; i++ {
+		if err := ga.Send(5, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got, err := gb.Recv(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %v", i, got)
+		}
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	ea, ga, eb, gb := enginePair(t, 1, StrategyDefault)
+	big := make([]byte, 256<<10)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	var recvd []byte
+	var recvErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		recvd, recvErr = gb.Recv(3)
+	}()
+	if err := ga.Send(3, big); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if !bytes.Equal(recvd, big) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+	if ea.Stats().RdvStarted == 0 {
+		t.Error("large message should have used the rendezvous protocol")
+	}
+	if eb.Stats().MsgsRecv != 1 {
+		t.Errorf("MsgsRecv = %d, want 1", eb.Stats().MsgsRecv)
+	}
+}
+
+func TestMultirailStripesData(t *testing.T) {
+	ea, ga, _, gb := enginePair(t, 2, StrategyDefault)
+	big := make([]byte, 300<<10)
+	for i := range big {
+		big[i] = byte(i ^ (i >> 8))
+	}
+	done := make(chan struct{})
+	var recvd []byte
+	var recvErr error
+	go func() {
+		defer close(done)
+		recvd, recvErr = gb.Recv(1)
+	}()
+	if err := ga.Send(1, big); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if !bytes.Equal(recvd, big) {
+		t.Fatal("multirail payload corrupted")
+	}
+	if got := ea.Stats().RdvData; got != 2 {
+		t.Errorf("rendezvous data fragments = %d, want 2 (one per rail)", got)
+	}
+}
+
+func TestAggregationPacksMessages(t *testing.T) {
+	ea, ga, _, gb := enginePair(t, 1, StrategyAggreg)
+	const n = 50
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, ga.Isend(uint64(100+i), []byte(fmt.Sprintf("msg-%d", i))))
+	}
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := gb.Recv(uint64(100 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("msg-%d", i) {
+			t.Fatalf("message %d = %q", i, got)
+		}
+	}
+	st := ea.Stats()
+	if st.FramesSent >= n {
+		t.Errorf("frames sent = %d for %d messages; aggregation should pack them", st.FramesSent, n)
+	}
+	if st.Aggregated == 0 {
+		t.Error("no messages recorded as aggregated")
+	}
+}
+
+func TestAggregationSingletonStaysPlain(t *testing.T) {
+	ea, ga, _, gb := enginePair(t, 1, StrategyAggreg)
+	if err := ga.Send(1, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gb.Recv(1)
+	if err != nil || string(got) != "solo" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+	if ea.Stats().AggrFrames != 0 {
+		t.Error("a lone message should not produce an aggregate frame")
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	_, ga, _, gb := enginePair(t, 1, StrategyDefault)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := ga.Send(1, []byte{byte(i)}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := ga.Recv(2); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := gb.Recv(1); err != nil {
+				errs <- err
+				return
+			}
+			if err := gb.Send(2, []byte{byte(i)}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSendersReceivers(t *testing.T) {
+	_, ga, _, gb := enginePair(t, 1, StrategyDefault)
+	const threads = 8
+	const per = 25
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(2)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ga.Send(uint64(th), []byte{byte(th), byte(i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(th)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got, err := gb.Recv(uint64(th))
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				if got[0] != byte(th) || got[1] != byte(i) {
+					t.Errorf("thread %d message %d: got %v", th, i, got)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+}
+
+func TestCloseCompletesOutstandingReceives(t *testing.T) {
+	ea := NewEngine(Config{})
+	da, db := MemPair()
+	_ = db
+	ga, err := ea.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ga.Irecv(1)
+	if err := ea.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.WaitBlocking(); err == nil {
+		t.Error("outstanding receive should fail at Close")
+	}
+	// Sends after close fail fast.
+	req2 := ga.Isend(1, []byte("x"))
+	if err := req2.WaitBlocking(); err == nil {
+		t.Error("send after Close should fail")
+	}
+}
+
+func TestGateNeedsRails(t *testing.T) {
+	e := NewEngine(Config{})
+	defer e.Close()
+	if _, err := e.NewGate(); err == nil {
+		t.Error("gate with no rails should fail")
+	}
+}
+
+func TestTCPDriverEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type acceptResult struct {
+		d   Driver
+		err error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		d, err := AcceptTCP(ln)
+		acceptCh <- acceptResult{d, err}
+	}()
+	dialer, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-acceptCh
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+
+	ea := NewEngine(Config{})
+	eb := NewEngine(Config{})
+	defer ea.Close()
+	defer eb.Close()
+	ga, err := ea.NewGate(dialer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := eb.NewGate(acc.d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Small eager message and a large rendezvous message over real TCP.
+	if err := ga.Send(1, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gb.Recv(1)
+	if err != nil || string(got) != "over tcp" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+
+	big := make([]byte, 128<<10)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	done := make(chan struct{})
+	var recvd []byte
+	var recvErr error
+	go func() {
+		defer close(done)
+		recvd, recvErr = gb.Recv(2)
+	}()
+	if err := ga.Send(2, big); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if !bytes.Equal(recvd, big) {
+		t.Fatal("TCP rendezvous payload corrupted")
+	}
+}
+
+func TestNetPipeDriver(t *testing.T) {
+	ca, cb := net.Pipe()
+	ea := NewEngine(Config{})
+	eb := NewEngine(Config{})
+	defer ea.Close()
+	defer eb.Close()
+	ga, err := ea.NewGate(NewTCP(ca))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := eb.NewGate(NewTCP(cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ga.Send(1, []byte("pipe")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gb.Recv(1)
+	if err != nil || string(got) != "pipe" {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Kind: KindData, Tag: 0xDEADBEEF, MsgID: 42, FragIdx: 3, FragCnt: 7, Offset: 1024, Total: 4096}
+	var buf [headerBytes]byte
+	h.encode(buf[:])
+	got, err := decodeHeader(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: %+v != %+v", got, h)
+	}
+	if _, err := decodeHeader(buf[:5]); err == nil {
+		t.Error("short header should fail to decode")
+	}
+}
+
+func TestAggrPackUnpackRoundTrip(t *testing.T) {
+	batch := []pendingSend{
+		{hdr: Header{Tag: 1, MsgID: 10}, payload: []byte("alpha")},
+		{hdr: Header{Tag: 2, MsgID: 11}, payload: []byte("")},
+		{hdr: Header{Tag: 3, MsgID: 12}, payload: []byte("gamma-longer-payload")},
+	}
+	frames := unpackAggr(packAggr(batch))
+	if len(frames) != 3 {
+		t.Fatalf("unpacked %d frames, want 3", len(frames))
+	}
+	for i, f := range frames {
+		if f.Hdr.Tag != batch[i].hdr.Tag || !bytes.Equal(f.Payload, batch[i].payload) {
+			t.Errorf("frame %d = %+v payload %q", i, f.Hdr, f.Payload)
+		}
+	}
+}
+
+func TestUnpackAggrTruncated(t *testing.T) {
+	batch := []pendingSend{{hdr: Header{Tag: 1}, payload: []byte("full")}}
+	raw := packAggr(batch)
+	if got := unpackAggr(raw[:len(raw)-2]); len(got) != 0 {
+		t.Errorf("truncated aggregate should yield no frames, got %d", len(got))
+	}
+}
+
+func TestStatsProgression(t *testing.T) {
+	ea, ga, eb, gb := enginePair(t, 1, StrategyDefault)
+	for i := 0; i < 5; i++ {
+		if err := ga.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gb.Recv(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, sb := ea.Stats(), eb.Stats()
+	if sa.MsgsSent != 5 || sa.EagerSent != 5 {
+		t.Errorf("sender stats = %+v", sa)
+	}
+	if sb.MsgsRecv != 5 || sb.FramesRecv < 5 {
+		t.Errorf("receiver stats = %+v", sb)
+	}
+}

@@ -1,0 +1,127 @@
+// Package nmad is a NewMadeleine-like communication engine built on the
+// PIOMan task engine (internal/core). It multiplexes application
+// messages over one or more network drivers ("rails"), applies dynamic
+// scheduling strategies (aggregation of small messages, multirail
+// splitting of large ones — paper Fig. 1), and delegates every internal
+// operation — polling a driver, submitting a packet, answering a
+// rendezvous handshake — to PIOMan tasks so communication progresses in
+// the background and overlaps with computation.
+//
+// The task structure is embedded in the packet wrapper, so submitting
+// the send of a packet performs no allocation (paper §IV-B).
+package nmad
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pioman/internal/core"
+)
+
+// Kind discriminates wire frames.
+type Kind uint8
+
+// Frame kinds of the nmad wire protocol.
+const (
+	// KindEager carries a whole small message.
+	KindEager Kind = iota + 1
+	// KindAggr carries several small messages packed into one frame.
+	KindAggr
+	// KindRTS announces a large message (rendezvous request-to-send).
+	KindRTS
+	// KindCTS grants a rendezvous (clear-to-send).
+	KindCTS
+	// KindData carries one fragment of a rendezvous payload.
+	KindData
+)
+
+// String names the frame kind.
+func (k Kind) String() string {
+	switch k {
+	case KindEager:
+		return "eager"
+	case KindAggr:
+		return "aggr"
+	case KindRTS:
+		return "rts"
+	case KindCTS:
+		return "cts"
+	case KindData:
+		return "data"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Header is the fixed-size frame header.
+type Header struct {
+	Kind    Kind
+	Tag     uint64 // application tag
+	MsgID   uint64 // per-gate message id (sender-assigned)
+	FragIdx uint32 // fragment index (KindData)
+	FragCnt uint32 // total fragments (KindData)
+	Offset  uint32 // byte offset of this fragment in the full payload
+	Total   uint32 // total message size in bytes
+}
+
+// headerBytes is the encoded header size.
+const headerBytes = 1 + 8 + 8 + 4 + 4 + 4 + 4
+
+// encode serializes the header into buf (which must hold headerBytes).
+func (h Header) encode(buf []byte) {
+	buf[0] = byte(h.Kind)
+	binary.LittleEndian.PutUint64(buf[1:], h.Tag)
+	binary.LittleEndian.PutUint64(buf[9:], h.MsgID)
+	binary.LittleEndian.PutUint32(buf[17:], h.FragIdx)
+	binary.LittleEndian.PutUint32(buf[21:], h.FragCnt)
+	binary.LittleEndian.PutUint32(buf[25:], h.Offset)
+	binary.LittleEndian.PutUint32(buf[29:], h.Total)
+}
+
+// decodeHeader parses a header from buf.
+func decodeHeader(buf []byte) (Header, error) {
+	if len(buf) < headerBytes {
+		return Header{}, fmt.Errorf("nmad: short header (%d bytes)", len(buf))
+	}
+	return Header{
+		Kind:    Kind(buf[0]),
+		Tag:     binary.LittleEndian.Uint64(buf[1:]),
+		MsgID:   binary.LittleEndian.Uint64(buf[9:]),
+		FragIdx: binary.LittleEndian.Uint32(buf[17:]),
+		FragCnt: binary.LittleEndian.Uint32(buf[21:]),
+		Offset:  binary.LittleEndian.Uint32(buf[25:]),
+		Total:   binary.LittleEndian.Uint32(buf[29:]),
+	}, nil
+}
+
+// Frame is one unit on the wire: a header plus payload.
+type Frame struct {
+	Hdr     Header
+	Payload []byte
+}
+
+// Packet is the send-side packet wrapper. The PIOMan task is embedded in
+// the wrapper — submitting the packet to the task engine allocates
+// nothing beyond the wrapper itself, which strategies pool and reuse
+// (paper §IV-B: "the task structure does not require an allocation since
+// it is included in the packet wrapper structure").
+type Packet struct {
+	Task core.Task // embedded; Task.Arg points back at the Packet
+
+	Hdr     Header
+	Payload []byte
+
+	gate *Gate
+	rail int
+	req  *Request // request to complete once the frame is on the wire
+}
+
+// reset prepares a pooled packet for reuse.
+func (p *Packet) reset() {
+	p.Task.Reset()
+	p.Hdr = Header{}
+	p.Payload = nil
+	p.gate = nil
+	p.rail = 0
+	p.req = nil
+}

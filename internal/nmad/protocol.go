@@ -1,0 +1,332 @@
+package nmad
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pioman/internal/core"
+)
+
+// Isend starts a non-blocking send of data to the gate's peer under the
+// given tag. Small payloads go eagerly (possibly aggregated); large ones
+// negotiate an RTS/CTS rendezvous and stripe the payload across the
+// gate's rails. The returned request completes once the payload is on
+// the wire (eager, buffered semantics) or fully transferred (rendezvous).
+func (g *Gate) Isend(tag uint64, data []byte) *Request {
+	e := g.eng
+	req := newRequest(e)
+	if e.stopped.Load() {
+		req.complete(ErrClosed)
+		return req
+	}
+	e.msgsSent.Add(1)
+	msgID := g.nextMsgID.Add(1)
+
+	if len(data) <= e.cfg.EagerThreshold {
+		e.eagerSent.Add(1)
+		hdr := Header{Kind: KindEager, Tag: tag, MsgID: msgID, Total: uint32(len(data))}
+		if e.cfg.Strategy == StrategyAggreg {
+			g.aggPush(hdr, data, req)
+			return req
+		}
+		p := g.packet()
+		p.Hdr = hdr
+		p.Payload = data
+		p.req = req
+		g.sendPacket(p)
+		return req
+	}
+
+	// Rendezvous: register the payload, announce with an RTS, wait for
+	// the CTS to arrive (handled by a polling task) before moving data.
+	e.rdvStarted.Add(1)
+	st := &sendRdvState{data: data, req: req}
+	e.mu.Lock()
+	e.sendRdv[rdvKey{gate: g, msgID: msgID}] = st
+	e.mu.Unlock()
+	p := g.packet()
+	p.Hdr = Header{Kind: KindRTS, Tag: tag, MsgID: msgID, Total: uint32(len(data))}
+	g.sendPacket(p)
+	return req
+}
+
+// Send is the blocking convenience wrapper around Isend.
+func (g *Gate) Send(tag uint64, data []byte) error {
+	return g.Isend(tag, data).Wait()
+}
+
+// Irecv posts a non-blocking receive for the next message on (gate,
+// tag). On completion the payload is in Request.Data.
+func (g *Gate) Irecv(tag uint64) *Request {
+	e := g.eng
+	req := newRequest(e)
+	req.gate = g
+	req.tag = tag
+	if e.stopped.Load() {
+		req.complete(ErrClosed)
+		return req
+	}
+	e.mu.Lock()
+	// A matching message may already have arrived unexpectedly.
+	for i, u := range e.unexpected {
+		if u.gate == g && u.hdr.Tag == tag {
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			e.mu.Unlock()
+			e.deliverLocked(req, u)
+			return req
+		}
+	}
+	e.recvQ = append(e.recvQ, req)
+	e.mu.Unlock()
+	return req
+}
+
+// Recv is the blocking convenience wrapper around Irecv.
+func (g *Gate) Recv(tag uint64) ([]byte, error) {
+	req := g.Irecv(tag)
+	if err := req.Wait(); err != nil {
+		return nil, err
+	}
+	return req.Data, nil
+}
+
+// Unexpected reports whether a message with the given tag has already
+// arrived on this gate without a matching receive — an MPI_Iprobe.
+func (g *Gate) Unexpected(tag uint64) bool {
+	e := g.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, u := range e.unexpected {
+		if u.gate == g && u.hdr.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// deliverLocked routes a matched inbound control frame to its receive
+// request. Called without e.mu held.
+func (e *Engine) deliverLocked(req *Request, u inbound) {
+	switch u.hdr.Kind {
+	case KindEager:
+		e.msgsRecv.Add(1)
+		req.Data = u.payload
+		req.complete(nil)
+	case KindRTS:
+		// Set up reassembly and grant the sender a CTS.
+		req.total = u.hdr.Total
+		req.Data = make([]byte, u.hdr.Total)
+		e.mu.Lock()
+		e.rdvRecv[rdvKey{gate: u.gate, msgID: u.hdr.MsgID}] = req
+		e.mu.Unlock()
+		p := u.gate.packet()
+		p.Hdr = Header{Kind: KindCTS, Tag: u.hdr.Tag, MsgID: u.hdr.MsgID, Total: u.hdr.Total}
+		u.gate.sendPacket(p)
+	default:
+		req.complete(fmt.Errorf("nmad: unexpected frame kind %v matched a receive", u.hdr.Kind))
+	}
+}
+
+// handleFrame dispatches one inbound frame; it runs inside a polling
+// task on whatever core scheduled it.
+func (e *Engine) handleFrame(g *Gate, f Frame) {
+	switch f.Hdr.Kind {
+	case KindEager:
+		e.matchOrStash(inbound{gate: g, hdr: f.Hdr, payload: f.Payload})
+
+	case KindAggr:
+		for _, sub := range unpackAggr(f.Payload) {
+			e.matchOrStash(inbound{gate: g, hdr: sub.Hdr, payload: sub.Payload})
+		}
+
+	case KindRTS:
+		e.matchOrStash(inbound{gate: g, hdr: f.Hdr, payload: nil})
+
+	case KindCTS:
+		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
+		e.mu.Lock()
+		st := e.sendRdv[key]
+		delete(e.sendRdv, key)
+		e.mu.Unlock()
+		if st == nil {
+			return
+		}
+		g.sendRdvData(st, f.Hdr)
+
+	case KindData:
+		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
+		e.mu.Lock()
+		req := e.rdvRecv[key]
+		e.mu.Unlock()
+		if req == nil {
+			return
+		}
+		copy(req.Data[f.Hdr.Offset:], f.Payload)
+		if req.got.Add(uint32(len(f.Payload))) >= req.total {
+			e.mu.Lock()
+			delete(e.rdvRecv, key)
+			e.mu.Unlock()
+			e.msgsRecv.Add(1)
+			req.complete(nil)
+		}
+	}
+}
+
+// matchOrStash matches an inbound frame against posted receives, or
+// stores it in the unexpected queue.
+func (e *Engine) matchOrStash(u inbound) {
+	e.mu.Lock()
+	for i, req := range e.recvQ {
+		if req.gate == u.gate && req.tag == u.hdr.Tag {
+			e.recvQ = append(e.recvQ[:i], e.recvQ[i+1:]...)
+			e.mu.Unlock()
+			e.deliverLocked(req, u)
+			return
+		}
+	}
+	e.unexpected = append(e.unexpected, u)
+	e.mu.Unlock()
+}
+
+// sendRdvData stripes the rendezvous payload across the gate's rails
+// (multirail distribution) and ships each fragment as its own packet
+// task, executed in parallel when idle cores exist.
+func (g *Gate) sendRdvData(st *sendRdvState, cts Header) {
+	rails := len(g.rails)
+	frags := rails
+	if len(st.data) < rails {
+		frags = 1
+	}
+	st.req.remaining.Add(int32(frags)) // plus the initial 1 consumed below
+	chunk := (len(st.data) + frags - 1) / frags
+	for i := 0; i < frags; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(st.data) {
+			hi = len(st.data)
+		}
+		p := g.packet()
+		p.Hdr = Header{
+			Kind: KindData, Tag: cts.Tag, MsgID: cts.MsgID,
+			FragIdx: uint32(i), FragCnt: uint32(frags),
+			Offset: uint32(lo), Total: uint32(len(st.data)),
+		}
+		p.Payload = st.data[lo:hi]
+		p.rail = i % rails
+		p.req = st.req
+		g.eng.rdvData.Add(1)
+		g.sendPacket(p)
+	}
+	// Consume the placeholder count from newRequest.
+	if st.req.decRemaining() {
+		st.req.complete(nil)
+	}
+}
+
+// ---- Aggregation strategy ----
+
+// aggPush queues a small message for aggregation and ensures a flush
+// task is pending.
+func (g *Gate) aggPush(hdr Header, payload []byte, req *Request) {
+	g.aggMu.Lock()
+	g.aggPending = append(g.aggPending, pendingSend{hdr: hdr, payload: payload, req: req})
+	start := !g.aggFlushing
+	if start {
+		g.aggFlushing = true
+	}
+	g.aggMu.Unlock()
+	if start {
+		flush := &core.Task{Fn: func(any) bool {
+			g.aggFlush()
+			return true
+		}}
+		g.eng.tasks.MustSubmit(flush)
+	}
+}
+
+// aggFlush drains the pending queue, packing batches into aggregate
+// frames (or sending singletons plain).
+func (g *Gate) aggFlush() {
+	e := g.eng
+	for {
+		g.aggMu.Lock()
+		if len(g.aggPending) == 0 {
+			g.aggFlushing = false
+			g.aggMu.Unlock()
+			return
+		}
+		// Take a batch bounded by MaxAggr payload bytes.
+		var batch []pendingSend
+		total := 0
+		for len(g.aggPending) > 0 {
+			next := g.aggPending[0]
+			if len(batch) > 0 && total+len(next.payload) > e.cfg.MaxAggr {
+				break
+			}
+			batch = append(batch, next)
+			total += len(next.payload)
+			g.aggPending = g.aggPending[1:]
+		}
+		g.aggMu.Unlock()
+
+		if len(batch) == 1 {
+			m := batch[0]
+			g.railMu[0].Lock()
+			err := g.rails[0].Send(m.hdr, m.payload)
+			g.railMu[0].Unlock()
+			e.framesSent.Add(1)
+			m.req.complete(err)
+			continue
+		}
+		payload := packAggr(batch)
+		hdr := Header{Kind: KindAggr, Total: uint32(len(payload))}
+		g.railMu[0].Lock()
+		err := g.rails[0].Send(hdr, payload)
+		g.railMu[0].Unlock()
+		e.framesSent.Add(1)
+		e.aggrFrames.Add(1)
+		e.aggregated.Add(uint64(len(batch)))
+		for _, m := range batch {
+			m.req.complete(err)
+		}
+	}
+}
+
+// packAggr serializes a batch of eager messages into one frame payload:
+// repeated [tag u64 | msgID u64 | size u32 | bytes].
+func packAggr(batch []pendingSend) []byte {
+	size := 0
+	for _, m := range batch {
+		size += 20 + len(m.payload)
+	}
+	out := make([]byte, 0, size)
+	var scratch [20]byte
+	for _, m := range batch {
+		binary.LittleEndian.PutUint64(scratch[0:], m.hdr.Tag)
+		binary.LittleEndian.PutUint64(scratch[8:], m.hdr.MsgID)
+		binary.LittleEndian.PutUint32(scratch[16:], uint32(len(m.payload)))
+		out = append(out, scratch[:]...)
+		out = append(out, m.payload...)
+	}
+	return out
+}
+
+// unpackAggr splits an aggregate frame back into eager sub-frames.
+func unpackAggr(payload []byte) []Frame {
+	var out []Frame
+	for len(payload) >= 20 {
+		tag := binary.LittleEndian.Uint64(payload[0:])
+		msgID := binary.LittleEndian.Uint64(payload[8:])
+		size := binary.LittleEndian.Uint32(payload[16:])
+		payload = payload[20:]
+		if int(size) > len(payload) {
+			break // truncated frame; drop the rest
+		}
+		out = append(out, Frame{
+			Hdr:     Header{Kind: KindEager, Tag: tag, MsgID: msgID, Total: size},
+			Payload: payload[:size:size],
+		})
+		payload = payload[size:]
+	}
+	return out
+}

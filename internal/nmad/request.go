@@ -1,0 +1,86 @@
+package nmad
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Request is the completion handle for a non-blocking send or receive.
+type Request struct {
+	eng *Engine
+
+	done      chan struct{}
+	completed atomic.Bool
+	err       error
+
+	// Data holds the received payload once a receive completes.
+	Data []byte
+
+	// remaining counts outstanding wire operations (rendezvous fragments
+	// striped over rails); the request completes when it reaches zero.
+	remaining atomic.Int32
+
+	// recv matching state
+	gate  *Gate
+	tag   uint64
+	total uint32
+	got   atomic.Uint32
+}
+
+func newRequest(e *Engine) *Request {
+	r := &Request{eng: e, done: make(chan struct{})}
+	r.remaining.Store(1)
+	return r
+}
+
+// decRemaining reports whether this was the last outstanding operation.
+func (r *Request) decRemaining() bool { return r.remaining.Add(-1) == 0 }
+
+// complete finishes the request exactly once.
+func (r *Request) complete(err error) {
+	if r.completed.CompareAndSwap(false, true) {
+		r.err = err
+		close(r.done)
+	}
+}
+
+// Test reports whether the request has completed, without blocking.
+func (r *Request) Test() bool { return r.completed.Load() }
+
+// Err returns the completion error (nil before completion). The read is
+// synchronized through the done channel.
+func (r *Request) Err() error {
+	select {
+	case <-r.done:
+		return r.err
+	default:
+		return nil
+	}
+}
+
+// Done returns a channel closed at completion, for select-based waiting.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the request completes, actively executing pending
+// PIOMan tasks meanwhile — the paper's task_wait: a thread blocked on
+// communication turns its core into a progression core.
+func (r *Request) Wait() error {
+	for !r.completed.Load() {
+		r.eng.tasks.Schedule(0)
+		// Always yield between passes: polling tasks are repeated, so
+		// Schedule rarely returns zero, and an unyielding spin would
+		// starve the peer's goroutines on oversubscribed hosts.
+		runtime.Gosched()
+	}
+	// The channel close happens after the err write in complete();
+	// receiving from it makes reading err safe.
+	<-r.done
+	return r.err
+}
+
+// WaitBlocking parks the goroutine until completion without helping
+// progression (requires background progression to be running).
+func (r *Request) WaitBlocking() error {
+	<-r.done
+	return r.err
+}

@@ -1,0 +1,82 @@
+package nmad
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/sched"
+	"pioman/internal/topology"
+)
+
+// TestSchedDrivenProgression runs the communication engine with no
+// dedicated progression goroutine: every poll, send and handshake task
+// executes from the thread scheduler's keypoints (idle VPs, context
+// switches, timer ticks) — the full PIOMan/Marcel/NewMadeleine
+// integration of the paper.
+func TestSchedDrivenProgression(t *testing.T) {
+	topo := topology.Borderline()
+	rt := sched.NewRuntime(sched.Config{Topology: topo, TimerInterval: 50 * time.Microsecond})
+	tasks := core.New(core.Config{Topology: topo})
+	sched.Bind(rt, tasks, sched.BindConfig{})
+
+	ea := NewEngine(Config{Tasks: tasks, NoAutoProgress: true})
+	eb := NewEngine(Config{Tasks: tasks, NoAutoProgress: true})
+	defer ea.Close()
+	defer eb.Close()
+	da, db := MemPair()
+	ga, err := ea.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := eb.NewGate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt.Start()
+	defer rt.StopAndWait()
+
+	// Small eager message, completed purely by keypoint-driven tasks.
+	sreq := ga.Isend(1, []byte("keypoints"))
+	rreq := gb.Irecv(1)
+	waitVia := func(req *Request) error {
+		select {
+		case <-req.Done():
+			return req.Err()
+		case <-time.After(10 * time.Second):
+			return errTimeout
+		}
+	}
+	if err := waitVia(sreq); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitVia(rreq); err != nil {
+		t.Fatal(err)
+	}
+	if string(rreq.Data) != "keypoints" {
+		t.Fatalf("Data = %q", rreq.Data)
+	}
+
+	// Large rendezvous message the same way.
+	big := make([]byte, 128<<10)
+	for i := range big {
+		big[i] = byte(i * 5)
+	}
+	rreq2 := gb.Irecv(2)
+	sreq2 := ga.Isend(2, big)
+	if err := waitVia(sreq2); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitVia(rreq2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rreq2.Data, big) {
+		t.Fatal("rendezvous payload corrupted under sched-driven progression")
+	}
+}
+
+// errTimeout is the sentinel for the wait-timeout branch above.
+var errTimeout = errors.New("timed out waiting for keypoint-driven completion")

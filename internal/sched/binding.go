@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"pioman/internal/core"
+	"pioman/internal/cpuset"
+)
+
+// BindConfig tunes how the task engine is driven from scheduler keypoints.
+type BindConfig struct {
+	// IdleSpin bounds how many Schedule passes the idle hook performs
+	// before returning to the VP sleep loop (default 4). Higher values
+	// poll more aggressively — lower communication latency, more CPU
+	// burned while idle.
+	IdleSpin int
+}
+
+// Bind wires a task engine into a runtime, reproducing the PIOMan/Marcel
+// integration (paper §IV-A):
+//
+//   - idle keypoint: the VP is marked idle (so SubmitToIdle can target
+//     it) and the engine schedules tasks from the per-core queue up to
+//     the global queue;
+//   - context-switch keypoint: one task is scheduled;
+//   - timer keypoint: one task is scheduled, guaranteeing progression
+//     even when application threads never yield;
+//   - task submission: VPs allowed to run the new task are woken so an
+//     idle core picks it up immediately.
+//
+// Bind must be called before Runtime.Start.
+func Bind(rt *Runtime, e *core.Engine, cfg BindConfig) {
+	if cfg.IdleSpin <= 0 {
+		cfg.IdleSpin = 4
+	}
+	rt.RegisterHook(KeypointIdle, func(cpu int) {
+		e.SetIdle(cpu, true)
+		defer e.SetIdle(cpu, false)
+		for i := 0; i < cfg.IdleSpin; i++ {
+			if e.Schedule(cpu) == 0 {
+				return
+			}
+		}
+	})
+	rt.RegisterHook(KeypointSwitch, func(cpu int) {
+		e.ScheduleOne(cpu)
+	})
+	rt.RegisterHook(KeypointTimer, func(cpu int) {
+		e.ScheduleOne(cpu)
+	})
+	e.SetNotifier(func(cs cpuset.Set) {
+		if cs.IsEmpty() {
+			for _, v := range rt.vps {
+				v.poke()
+			}
+			return
+		}
+		cs.ForEach(func(cpu int) bool {
+			if cpu < len(rt.vps) {
+				rt.vps[cpu].poke()
+			}
+			return true
+		})
+	})
+	// Preemptive tasks (§VI): an urgent submission acts like an
+	// inter-processor interrupt — the task runs right now on behalf of a
+	// target CPU, even if that VP's thread is deep in computation.
+	e.SetInterrupter(func(cs cpuset.Set) {
+		cpu := cs.First()
+		if cpu < 0 || cpu >= rt.NumVPs() {
+			cpu = 0
+		}
+		e.ScheduleOne(cpu)
+	})
+}

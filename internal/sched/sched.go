@@ -1,0 +1,214 @@
+// Package sched implements a Marcel-like lightweight thread scheduler:
+// virtual processors (VPs) mapped onto the cores of a machine topology,
+// cooperative lightweight threads scheduled on them, and keypoint hooks.
+//
+// The paper's progression mechanism relies on the thread scheduler
+// invoking the task manager at keypoints — when a CPU becomes idle, at
+// context switches, and on timer interrupts — so that communication
+// tasks execute inside scheduling holes. This package reproduces that
+// control flow: each VP is a goroutine that runs its thread queue and
+// fires hooks at exactly those keypoints; a periodic timer goroutine
+// stands in for the timer interrupt, firing even while a thread computes
+// without yielding.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pioman/internal/topology"
+)
+
+// Keypoint identifies a position in the scheduler where hooks fire
+// (paper §III: "hooks are inserted in the thread scheduler").
+type Keypoint int
+
+const (
+	// KeypointIdle fires when a VP has no runnable thread.
+	KeypointIdle Keypoint = iota
+	// KeypointSwitch fires at every context switch (a thread yielded,
+	// blocked, or exited).
+	KeypointSwitch
+	// KeypointTimer fires periodically, independent of thread behaviour —
+	// the timer-interrupt progression guarantee that prevents deadlock
+	// when threads never block.
+	KeypointTimer
+	numKeypoints
+)
+
+// String names the keypoint.
+func (k Keypoint) String() string {
+	switch k {
+	case KeypointIdle:
+		return "idle"
+	case KeypointSwitch:
+		return "switch"
+	case KeypointTimer:
+		return "timer"
+	default:
+		return fmt.Sprintf("Keypoint(%d)", int(k))
+	}
+}
+
+// Hook is a keypoint callback. cpu is the VP the keypoint occurred on.
+type Hook func(cpu int)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Topology defines how many VPs to run (one per core). Defaults to
+	// topology.Host().
+	Topology *topology.Topology
+	// TimerInterval is the simulated timer-interrupt period (default
+	// 100µs).
+	TimerInterval time.Duration
+	// IdlePoll is how long an idle VP sleeps before re-firing the idle
+	// keypoint when nothing wakes it (default 200µs).
+	IdlePoll time.Duration
+}
+
+// Runtime is the lightweight thread scheduler.
+type Runtime struct {
+	cfg   Config
+	topo  *topology.Topology
+	vps   []*vp
+	hooks [numKeypoints][]Hook
+	hmu   sync.RWMutex
+
+	threads sync.WaitGroup // live lightweight threads
+	started atomic.Bool
+	stopped atomic.Bool
+	stopCh  chan struct{}
+	loops   sync.WaitGroup // VP + timer goroutines
+
+	switches atomic.Uint64
+	idles    atomic.Uint64
+	ticks    atomic.Uint64
+}
+
+// NewRuntime builds a stopped runtime; call Start to launch the VPs.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Topology == nil {
+		cfg.Topology = topology.Host()
+	}
+	if cfg.TimerInterval <= 0 {
+		cfg.TimerInterval = 100 * time.Microsecond
+	}
+	if cfg.IdlePoll <= 0 {
+		cfg.IdlePoll = 200 * time.Microsecond
+	}
+	rt := &Runtime{cfg: cfg, topo: cfg.Topology, stopCh: make(chan struct{})}
+	for i := 0; i < cfg.Topology.NCPUs; i++ {
+		rt.vps = append(rt.vps, newVP(rt, i))
+	}
+	return rt
+}
+
+// Topology returns the machine the runtime maps onto.
+func (rt *Runtime) Topology() *topology.Topology { return rt.topo }
+
+// NumVPs returns the number of virtual processors.
+func (rt *Runtime) NumVPs() int { return len(rt.vps) }
+
+// RegisterHook appends a hook at the given keypoint. Hooks run on the VP
+// goroutine (or the timer goroutine for KeypointTimer) and must not
+// block for long.
+func (rt *Runtime) RegisterHook(k Keypoint, h Hook) {
+	rt.hmu.Lock()
+	defer rt.hmu.Unlock()
+	rt.hooks[k] = append(rt.hooks[k], h)
+}
+
+func (rt *Runtime) fire(k Keypoint, cpu int) {
+	switch k {
+	case KeypointSwitch:
+		rt.switches.Add(1)
+	case KeypointIdle:
+		rt.idles.Add(1)
+	case KeypointTimer:
+		rt.ticks.Add(1)
+	}
+	rt.hmu.RLock()
+	hooks := rt.hooks[k]
+	rt.hmu.RUnlock()
+	for _, h := range hooks {
+		h(cpu)
+	}
+}
+
+// Counters returns (context switches, idle entries, timer ticks).
+func (rt *Runtime) Counters() (switches, idles, ticks uint64) {
+	return rt.switches.Load(), rt.idles.Load(), rt.ticks.Load()
+}
+
+// Start launches one goroutine per VP plus the timer goroutine. It may
+// be called once.
+func (rt *Runtime) Start() {
+	if !rt.started.CompareAndSwap(false, true) {
+		panic("sched: Runtime started twice")
+	}
+	for _, v := range rt.vps {
+		rt.loops.Add(1)
+		go v.loop()
+	}
+	rt.loops.Add(1)
+	go rt.timerLoop()
+}
+
+// timerLoop stands in for the timer interrupt: it fires the timer
+// keypoint on every VP each TimerInterval, regardless of what the VP's
+// current thread is doing — mirroring preemptive ticks.
+func (rt *Runtime) timerLoop() {
+	defer rt.loops.Done()
+	ticker := time.NewTicker(rt.cfg.TimerInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-ticker.C:
+			for cpu := range rt.vps {
+				rt.fire(KeypointTimer, cpu)
+			}
+		}
+	}
+}
+
+// Spawn creates a lightweight thread pinned to the given VP and makes it
+// runnable. fn runs cooperatively: it must call Thread methods (Yield,
+// Block) to share the VP. Spawn may be called before Start and from any
+// goroutine, including from inside another thread.
+func (rt *Runtime) Spawn(cpu int, name string, fn func(*Thread)) *Thread {
+	if cpu < 0 || cpu >= len(rt.vps) {
+		panic(fmt.Sprintf("sched: Spawn on VP %d of %d", cpu, len(rt.vps)))
+	}
+	th := newThread(rt.vps[cpu], name)
+	rt.threads.Add(1)
+	go func() {
+		defer rt.threads.Done()
+		<-th.resume // first dispatch
+		fn(th)
+		th.exited.Store(true)
+		close(th.done)
+		th.toSched <- threadExited
+	}()
+	rt.vps[cpu].enqueue(th)
+	return th
+}
+
+// WaitThreads blocks until every spawned thread has exited.
+func (rt *Runtime) WaitThreads() { rt.threads.Wait() }
+
+// StopAndWait waits for all threads to exit, then stops the VP and timer
+// goroutines. The runtime cannot be restarted.
+func (rt *Runtime) StopAndWait() {
+	rt.threads.Wait()
+	if rt.stopped.CompareAndSwap(false, true) {
+		close(rt.stopCh)
+		for _, v := range rt.vps {
+			v.poke()
+		}
+	}
+	rt.loops.Wait()
+}

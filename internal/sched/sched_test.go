@@ -1,0 +1,311 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pioman/internal/core"
+	"pioman/internal/cpuset"
+	"pioman/internal/topology"
+)
+
+func smallRuntime() *Runtime {
+	topo, err := topology.Build(topology.Spec{
+		Name: "test4", NUMANodes: 1, PackagesPerNUMA: 2, CoresPerPackage: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return NewRuntime(Config{Topology: topo, TimerInterval: 50 * time.Microsecond})
+}
+
+func TestSpawnRunsThread(t *testing.T) {
+	rt := smallRuntime()
+	var ran atomic.Bool
+	rt.Spawn(0, "worker", func(th *Thread) { ran.Store(true) })
+	rt.Start()
+	rt.StopAndWait()
+	if !ran.Load() {
+		t.Fatal("spawned thread never ran")
+	}
+}
+
+func TestYieldInterleavesThreads(t *testing.T) {
+	rt := smallRuntime()
+	var order []string
+	add := func(s string) { order = append(order, s) } // VP0-serialized
+	rt.Spawn(0, "a", func(th *Thread) {
+		add("a1")
+		th.Yield()
+		add("a2")
+	})
+	rt.Spawn(0, "b", func(th *Thread) {
+		add("b1")
+		th.Yield()
+		add("b2")
+	})
+	rt.Start()
+	rt.StopAndWait()
+	want := []string{"a1", "b1", "a2", "b2"}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (round-robin yield)", order, want)
+		}
+	}
+}
+
+func TestThreadsOnDifferentVPsRunConcurrently(t *testing.T) {
+	rt := smallRuntime()
+	gate := make(chan struct{})
+	// Two threads that can only finish if both are running: each closes
+	// its side and waits for the other via real channels (the VPs are
+	// separate goroutines, so this must not deadlock).
+	aDone := make(chan struct{})
+	rt.Spawn(0, "a", func(th *Thread) {
+		close(aDone)
+		<-gate
+	})
+	rt.Spawn(1, "b", func(th *Thread) {
+		<-aDone
+		close(gate)
+	})
+	rt.Start()
+	doneCh := make(chan struct{})
+	go func() { rt.StopAndWait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-VP threads deadlocked")
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	rt := smallRuntime()
+	var phase atomic.Int32
+	blocked := rt.Spawn(0, "blocked", func(th *Thread) {
+		phase.Store(1)
+		th.Block()
+		phase.Store(2)
+	})
+	rt.Start()
+	// Wait until the thread parks.
+	deadline := time.Now().Add(2 * time.Second)
+	for phase.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("thread never reached Block")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let it actually park
+	if phase.Load() != 1 {
+		t.Fatal("thread passed Block without Unblock")
+	}
+	blocked.Unblock()
+	blocked.Join()
+	if phase.Load() != 2 {
+		t.Fatal("thread did not resume after Unblock")
+	}
+	rt.StopAndWait()
+}
+
+func TestUnblockBeforeBlockDoesNotLoseWakeup(t *testing.T) {
+	rt := smallRuntime()
+	done := make(chan struct{})
+	th := rt.Spawn(0, "early", func(th *Thread) {
+		// Unblock already happened before we block: the stored permit
+		// must let us through.
+		time.Sleep(10 * time.Millisecond)
+		th.Block()
+		close(done)
+	})
+	th.Unblock() // before the thread even starts blocking
+	rt.Start()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lost wakeup: Unblock before Block was dropped")
+	}
+	rt.StopAndWait()
+}
+
+func TestIdleHookFires(t *testing.T) {
+	rt := smallRuntime()
+	var idleCount atomic.Int64
+	rt.RegisterHook(KeypointIdle, func(cpu int) { idleCount.Add(1) })
+	rt.Start()
+	time.Sleep(20 * time.Millisecond)
+	rt.StopAndWait()
+	if idleCount.Load() == 0 {
+		t.Error("idle hook never fired on an idle machine")
+	}
+}
+
+func TestSwitchHookFiresPerContextSwitch(t *testing.T) {
+	rt := smallRuntime()
+	var switches atomic.Int64
+	rt.RegisterHook(KeypointSwitch, func(cpu int) { switches.Add(1) })
+	rt.Spawn(0, "yielder", func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Yield()
+		}
+	})
+	rt.Start()
+	rt.StopAndWait()
+	// 10 yields + 1 exit = at least 11 context switches on VP 0.
+	if switches.Load() < 11 {
+		t.Errorf("switch hook fired %d times, want >= 11", switches.Load())
+	}
+}
+
+func TestTimerHookFiresWhileComputing(t *testing.T) {
+	// The paper's guarantee: even if a thread computes without ever
+	// yielding, timer interrupts keep the task engine progressing.
+	rt := smallRuntime()
+	var ticks atomic.Int64
+	rt.RegisterHook(KeypointTimer, func(cpu int) {
+		if cpu == 0 {
+			ticks.Add(1)
+		}
+	})
+	stop := make(chan struct{})
+	rt.Spawn(0, "cruncher", func(th *Thread) {
+		<-stop // simulates compute occupying the VP without yielding
+	})
+	rt.Start()
+	time.Sleep(20 * time.Millisecond)
+	if ticks.Load() == 0 {
+		t.Error("timer hook did not fire while VP 0 was occupied")
+	}
+	close(stop)
+	rt.StopAndWait()
+}
+
+func TestCountersAdvance(t *testing.T) {
+	rt := smallRuntime()
+	rt.Spawn(0, "w", func(th *Thread) { th.Yield() })
+	rt.Start()
+	time.Sleep(10 * time.Millisecond)
+	rt.StopAndWait()
+	sw, idles, ticks := rt.Counters()
+	if sw == 0 || idles == 0 || ticks == 0 {
+		t.Errorf("counters = %d/%d/%d, want all nonzero", sw, idles, ticks)
+	}
+}
+
+func TestSpawnOutOfRangePanics(t *testing.T) {
+	rt := smallRuntime()
+	defer func() {
+		if recover() == nil {
+			t.Error("Spawn on invalid VP should panic")
+		}
+	}()
+	rt.Spawn(99, "bad", func(*Thread) {})
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	rt := smallRuntime()
+	rt.Start()
+	defer func() {
+		recover()
+		rt.StopAndWait()
+	}()
+	rt.Start()
+	t.Error("second Start should panic")
+}
+
+// --- Binding tests: the PIOMan/Marcel integration ---
+
+func TestBindRunsTasksOnIdleCores(t *testing.T) {
+	topo := topology.Kwak()
+	rt := NewRuntime(Config{Topology: topo, TimerInterval: 50 * time.Microsecond})
+	e := core.New(core.Config{Topology: topo})
+	Bind(rt, e, BindConfig{})
+	rt.Start()
+	defer rt.StopAndWait()
+
+	task := &core.Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(3)}
+	e.MustSubmit(task)
+	select {
+	case <-task.DoneChan():
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle VP never executed the submitted task")
+	}
+	if task.LastCPU() != 3 {
+		t.Errorf("task ran on CPU %d, want 3", task.LastCPU())
+	}
+}
+
+func TestBindRepeatTaskProgresses(t *testing.T) {
+	topo := topology.Kwak()
+	rt := NewRuntime(Config{Topology: topo, TimerInterval: 50 * time.Microsecond})
+	e := core.New(core.Config{Topology: topo})
+	Bind(rt, e, BindConfig{})
+	rt.Start()
+	defer rt.StopAndWait()
+
+	var polls atomic.Int32
+	task := &core.Task{
+		Fn:      func(any) bool { return polls.Add(1) >= 10 },
+		CPUSet:  cpuset.NewRange(4, 7),
+		Options: core.Repeat,
+	}
+	e.MustSubmit(task)
+	select {
+	case <-task.DoneChan():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("repeat task stalled after %d polls", polls.Load())
+	}
+	if polls.Load() < 10 {
+		t.Errorf("polls = %d, want >= 10", polls.Load())
+	}
+	if cpu := task.LastCPU(); cpu < 4 || cpu > 7 {
+		t.Errorf("poll task ran on CPU %d, outside 4-7", cpu)
+	}
+}
+
+func TestBindSubmitToIdleTargetsIdleVP(t *testing.T) {
+	topo := topology.Kwak()
+	rt := NewRuntime(Config{Topology: topo, TimerInterval: 50 * time.Microsecond})
+	e := core.New(core.Config{Topology: topo})
+	Bind(rt, e, BindConfig{})
+	rt.Start()
+	defer rt.StopAndWait()
+
+	// All VPs idle; submission from core 0 should pin near it and run.
+	time.Sleep(5 * time.Millisecond) // let VPs reach their idle loops
+	task := &core.Task{Fn: func(any) bool { return true }}
+	if err := e.SubmitToIdle(task, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-task.DoneChan():
+	case <-time.After(5 * time.Second):
+		t.Fatal("offloaded task never ran")
+	}
+}
+
+func TestBindProgressWhileThreadComputes(t *testing.T) {
+	// A thread occupies VP 0 without yielding; a task pinned to CPU 0
+	// must still run via the timer keypoint.
+	topo := topology.Kwak()
+	rt := NewRuntime(Config{Topology: topo, TimerInterval: 50 * time.Microsecond})
+	e := core.New(core.Config{Topology: topo})
+	Bind(rt, e, BindConfig{})
+	stop := make(chan struct{})
+	rt.Spawn(0, "cruncher", func(th *Thread) { <-stop })
+	rt.Start()
+	defer rt.StopAndWait()
+	defer close(stop)
+
+	task := &core.Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)}
+	e.MustSubmit(task)
+	select {
+	case <-task.DoneChan():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer keypoint did not progress the task while VP 0 computed")
+	}
+}

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// threadEvent is what a running thread reports back to its VP when it
+// relinquishes the processor.
+type threadEvent int
+
+const (
+	threadYielded threadEvent = iota
+	threadBlocked
+	threadExited
+)
+
+// Thread is a cooperative lightweight thread pinned to one VP — the
+// equivalent of a Marcel thread. Its body shares the VP by calling Yield
+// or Block; Unblock (from any goroutine) makes a blocked thread runnable
+// again.
+type Thread struct {
+	name string
+	vp   *vp
+
+	// resume: scheduler -> thread handoff; toSched: thread -> scheduler.
+	resume  chan struct{}
+	toSched chan threadEvent
+
+	// permit absorbs an Unblock that arrives before the matching Block
+	// (the classic lost-wakeup race).
+	permit atomic.Bool
+	parked atomic.Bool
+	exited atomic.Bool
+	done   chan struct{}
+}
+
+func newThread(v *vp, name string) *Thread {
+	return &Thread{
+		name:    name,
+		vp:      v,
+		resume:  make(chan struct{}),
+		toSched: make(chan threadEvent),
+		done:    make(chan struct{}),
+	}
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// CPU returns the VP the thread is pinned to.
+func (t *Thread) CPU() int { return t.vp.id }
+
+// Yield hands the VP back to the scheduler, keeping the thread runnable.
+// A context-switch keypoint fires before the next thread is dispatched.
+func (t *Thread) Yield() {
+	t.toSched <- threadYielded
+	<-t.resume
+}
+
+// Block parks the thread until Unblock is called. If an Unblock already
+// happened (permit available), Block consumes it and returns immediately.
+// Must be called from the thread's own body.
+func (t *Thread) Block() {
+	if t.permit.CompareAndSwap(true, false) {
+		return
+	}
+	t.parked.Store(true)
+	// Re-check: an Unblock may have landed between the permit check and
+	// parking; it would have seen parked=false and stored a permit.
+	if t.permit.CompareAndSwap(true, false) {
+		t.parked.Store(false)
+		return
+	}
+	t.toSched <- threadBlocked
+	<-t.resume
+}
+
+// Unblock makes a blocked thread runnable. If the thread is not parked
+// yet, a permit is stored so the next Block returns immediately. Safe to
+// call from any goroutine.
+func (t *Thread) Unblock() {
+	if t.parked.CompareAndSwap(true, false) {
+		t.vp.enqueue(t)
+		return
+	}
+	t.permit.Store(true)
+}
+
+// Done returns a channel closed when the thread's body has returned.
+func (t *Thread) Done() <-chan struct{} { return t.done }
+
+// Join blocks the calling goroutine until the thread exits. It must not
+// be called from another lightweight thread (it would stall that VP);
+// threads waiting on each other should use Block/Unblock or poll with
+// Yield.
+func (t *Thread) Join() { <-t.done }
+
+// vp is a virtual processor: one goroutine executing lightweight threads
+// from its private run queue, firing keypoint hooks at idle times and
+// context switches.
+type vp struct {
+	id int
+	rt *Runtime
+
+	mu   sync.Mutex
+	runq []*Thread
+
+	// wake is poked when a thread becomes runnable or the runtime stops.
+	wake chan struct{}
+}
+
+func newVP(rt *Runtime, id int) *vp {
+	return &vp{id: id, rt: rt, wake: make(chan struct{}, 1)}
+}
+
+func (v *vp) enqueue(t *Thread) {
+	v.mu.Lock()
+	v.runq = append(v.runq, t)
+	v.mu.Unlock()
+	v.poke()
+}
+
+func (v *vp) poke() {
+	select {
+	case v.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (v *vp) next() *Thread {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.runq) == 0 {
+		return nil
+	}
+	t := v.runq[0]
+	copy(v.runq, v.runq[1:])
+	v.runq = v.runq[:len(v.runq)-1]
+	return t
+}
+
+// loop is the VP scheduling loop. Keypoints fire exactly where the paper
+// places them: the idle hook when the run queue is empty, the switch
+// hook after every thread dispatch returns.
+func (v *vp) loop() {
+	defer v.rt.loops.Done()
+	for {
+		th := v.next()
+		if th == nil {
+			select {
+			case <-v.rt.stopCh:
+				return
+			default:
+			}
+			v.rt.fire(KeypointIdle, v.id)
+			// Sleep until new work arrives or the idle-poll period
+			// elapses; either way the idle hook fires again, which is how
+			// repeated polling tasks progress on an idle core.
+			idleTimer := acquireTimer(v.rt.cfg.IdlePoll)
+			select {
+			case <-v.wake:
+			case <-idleTimer.C:
+			case <-v.rt.stopCh:
+				releaseTimer(idleTimer)
+				return
+			}
+			releaseTimer(idleTimer)
+			continue
+		}
+		th.resume <- struct{}{}
+		ev := <-th.toSched
+		if ev == threadYielded {
+			v.mu.Lock()
+			v.runq = append(v.runq, th)
+			v.mu.Unlock()
+		}
+		// threadBlocked: Unblock will re-enqueue. threadExited: gone.
+		v.rt.fire(KeypointSwitch, v.id)
+	}
+}

@@ -1,0 +1,30 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// timerPool recycles time.Timers for the VP idle loop, which otherwise
+// allocates one per idle period.
+var timerPool = sync.Pool{}
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Drain a fired-but-unread timer so the next Reset is clean.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}

@@ -1,0 +1,37 @@
+package simmachine
+
+import (
+	"fmt"
+	"testing"
+
+	"pioman/internal/topology"
+)
+
+// TestPrintCalibration prints the simulated Table I/II cells so the
+// latency constants can be compared against the paper during
+// development. Run with -v to see the values.
+func TestPrintCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration dump")
+	}
+	for _, name := range []string{"borderline", "kwak"} {
+		topo, _ := topology.ByName(name)
+		par, _ := ParamsFor(name)
+		m := NewMachine(topo, par)
+		fmt.Printf("== %s ==\n", name)
+		row := "per-core: "
+		for cpu := 0; cpu < topo.NCPUs; cpu++ {
+			r := m.PerCoreBench(cpu, 300)
+			row += fmt.Sprintf("%.0f ", r.MeanNS)
+		}
+		fmt.Println(row)
+		row = "per-chip: "
+		for chip := 0; chip < 4; chip++ {
+			r := m.PerChipBench(chip, 300)
+			row += fmt.Sprintf("%.0f ", r.MeanNS)
+		}
+		fmt.Println(row)
+		g := m.GlobalBench(300)
+		fmt.Printf("global: %.0f  distribution=%v\n", g.MeanNS, g.ExecPerCore)
+	}
+}

@@ -1,0 +1,252 @@
+package simmachine
+
+import (
+	"testing"
+
+	"pioman/internal/cpuset"
+	"pioman/internal/topology"
+)
+
+func kwakMachine() *Machine {
+	topo := topology.Kwak()
+	return NewMachine(topo, KwakParams())
+}
+
+func borderlineMachine() *Machine {
+	topo := topology.Borderline()
+	return NewMachine(topo, BorderlineParams())
+}
+
+const benchIters = 200
+
+func TestParamsFor(t *testing.T) {
+	for _, name := range []string{"kwak", "borderline"} {
+		if _, err := ParamsFor(name); err != nil {
+			t.Errorf("ParamsFor(%q): %v", name, err)
+		}
+	}
+	if _, err := ParamsFor("unknown"); err == nil {
+		t.Error("ParamsFor(unknown) should fail")
+	}
+}
+
+func TestLocalPerCoreNearReference(t *testing.T) {
+	// The paper's reference: submitting and scheduling locally on core #0
+	// costs ≈700 ns on both machines.
+	for _, m := range []*Machine{kwakMachine(), borderlineMachine()} {
+		r := m.PerCoreBench(0, benchIters)
+		if r.MeanNS < 600 || r.MeanNS > 900 {
+			t.Errorf("%s: local per-core = %.0f ns, want ≈700 (600-900)", m.Topo.Name, r.MeanNS)
+		}
+		if r.ExecPerCore[0] != benchIters {
+			t.Errorf("%s: local tasks executed by %v, want all on core 0", m.Topo.Name, r.ExecPerCore)
+		}
+	}
+}
+
+func TestSiblingPerCoreNegligibleOverhead(t *testing.T) {
+	// Paper: per-core queue latency is "roughly constant" across cores,
+	// with siblings of core 0 close to the local cost.
+	m := kwakMachine()
+	local := m.PerCoreBench(0, benchIters).MeanNS
+	for _, cpu := range []int{1, 2, 3} {
+		r := m.PerCoreBench(cpu, benchIters)
+		if r.MeanNS > local*1.25 {
+			t.Errorf("kwak sibling core %d = %.0f ns vs local %.0f: overhead should be small", cpu, r.MeanNS, local)
+		}
+		if r.ExecPerCore[cpu] != benchIters {
+			t.Errorf("kwak: tasks for core %d ran elsewhere: %v", cpu, r.ExecPerCore)
+		}
+	}
+}
+
+func TestRemotePerCoreNUMAOverhead(t *testing.T) {
+	// Paper Table II: remote per-core queues on kwak cost ≈1 µs more than
+	// local (one NUMA round trip each way); on borderline ≈100 ns more.
+	kw := kwakMachine()
+	local := kw.PerCoreBench(0, benchIters).MeanNS
+	remote := kw.PerCoreBench(8, benchIters).MeanNS
+	overhead := remote - local
+	if overhead < 600 || overhead > 1500 {
+		t.Errorf("kwak remote overhead = %.0f ns, want ≈1µs (600-1500)", overhead)
+	}
+
+	bl := borderlineMachine()
+	blLocal := bl.PerCoreBench(0, benchIters).MeanNS
+	blRemote := bl.PerCoreBench(4, benchIters).MeanNS
+	blOverhead := blRemote - blLocal
+	if blOverhead < -120 || blOverhead > 300 {
+		t.Errorf("borderline remote overhead = %.0f ns, want ≈100 ns (<300)", blOverhead)
+	}
+	// Cross-machine shape: kwak's NUMA hops are far more expensive.
+	if overhead < 2*blOverhead {
+		t.Errorf("kwak remote overhead (%.0f) should dwarf borderline's (%.0f)", overhead, blOverhead)
+	}
+}
+
+func TestPerCoreRoughlyConstantAcrossRemoteCores(t *testing.T) {
+	m := kwakMachine()
+	var lo, hi float64
+	for cpu := 4; cpu < 16; cpu++ {
+		v := m.PerCoreBench(cpu, 100).MeanNS
+		if lo == 0 || v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > lo*1.2 {
+		t.Errorf("remote per-core spread too wide: %.0f..%.0f", lo, hi)
+	}
+}
+
+func TestPerChipSlowerThanPerCore(t *testing.T) {
+	// Contention on a shared per-chip queue must cost more than a
+	// single-consumer per-core queue in the same place.
+	kw := kwakMachine()
+	perCoreRemote := kw.PerCoreBench(4, benchIters).MeanNS
+	perChipRemote := kw.PerChipBench(1, benchIters).MeanNS
+	if perChipRemote <= perCoreRemote {
+		t.Errorf("kwak: per-chip (%.0f) should exceed per-core (%.0f) on the same node",
+			perChipRemote, perCoreRemote)
+	}
+
+	bl := borderlineMachine()
+	blPerCore := bl.PerCoreBench(2, benchIters).MeanNS
+	blPerChip := bl.PerChipBench(1, benchIters).MeanNS
+	if blPerChip <= blPerCore {
+		t.Errorf("borderline: per-chip (%.0f) should exceed per-core (%.0f)", blPerChip, blPerCore)
+	}
+}
+
+func TestPerChipDistributionBalanced(t *testing.T) {
+	// Paper: "tasks are equally processed by each core within a NUMA
+	// node" — roughly 25 % each on kwak's remote chips.
+	m := kwakMachine()
+	r := m.PerChipBench(1, 400)
+	total := 0
+	for cpu := 4; cpu < 8; cpu++ {
+		total += r.ExecPerCore[cpu]
+	}
+	if total != 400 {
+		t.Fatalf("chip 1 executed %d of 400 tasks", total)
+	}
+	for cpu := 4; cpu < 8; cpu++ {
+		share := float64(r.ExecPerCore[cpu]) / 400
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("core %d share = %.0f%%, want roughly balanced (10-45%%)", cpu, share*100)
+		}
+	}
+}
+
+func TestGlobalQueueBlowsUp(t *testing.T) {
+	// Paper: ≈4.7 µs on 8 cores, ≈13.5 µs on 16; far above per-chip.
+	kw := kwakMachine()
+	kwGlobal := kw.GlobalBench(benchIters).MeanNS
+	if kwGlobal < 8000 || kwGlobal > 22000 {
+		t.Errorf("kwak global = %.0f ns, want ≈13.5µs (8-22µs)", kwGlobal)
+	}
+	kwChip := kw.PerChipBench(1, benchIters).MeanNS
+	if kwGlobal < 2.5*kwChip {
+		t.Errorf("kwak global (%.0f) should dominate per-chip (%.0f)", kwGlobal, kwChip)
+	}
+
+	bl := borderlineMachine()
+	blGlobal := bl.GlobalBench(benchIters).MeanNS
+	if blGlobal < 2500 || blGlobal > 8000 {
+		t.Errorf("borderline global = %.0f ns, want ≈4.7µs (2.5-8µs)", blGlobal)
+	}
+	// Growth with core count: 16 cores must be markedly worse than 8.
+	if kwGlobal < 1.8*blGlobal {
+		t.Errorf("global cost should grow quickly with cores: 16-core %.0f vs 8-core %.0f",
+			kwGlobal, blGlobal)
+	}
+}
+
+func TestGlobalDistributionUnbalanced(t *testing.T) {
+	// Paper: "the distribution of tasks execution across the cores shows
+	// it is unbalanced: most of the tasks are executed by cores located
+	// on [one] NUMA node" — the spinlock is re-acquired fastest by cores
+	// of the NUMA node that last held it.
+	m := kwakMachine()
+	r := m.GlobalBench(400)
+	perNode := make([]int, 4)
+	for cpu, n := range r.ExecPerCore {
+		perNode[m.Topo.NUMAOf[cpu]] += n
+	}
+	maxNode, maxVal := 0, 0
+	total := 0
+	for node, v := range perNode {
+		total += v
+		if v > maxVal {
+			maxNode, maxVal = node, v
+		}
+	}
+	if total != 400 {
+		t.Fatalf("executed %d of 400 tasks (%v)", total, perNode)
+	}
+	if share := float64(maxVal) / float64(total); share < 0.5 {
+		t.Errorf("global distribution not unbalanced: node %d has %.0f%% (%v)", maxNode, share*100, perNode)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := kwakMachine().GlobalBench(100)
+	b := kwakMachine().GlobalBench(100)
+	if a.MeanNS != b.MeanNS {
+		t.Errorf("simulation not deterministic: %.2f vs %.2f", a.MeanNS, b.MeanNS)
+	}
+	for i := range a.ExecPerCore {
+		if a.ExecPerCore[i] != b.ExecPerCore[i] {
+			t.Errorf("distributions diverge at core %d", i)
+			break
+		}
+	}
+}
+
+func TestEveryTaskExecutedExactlyOnce(t *testing.T) {
+	m := kwakMachine()
+	for _, r := range []BenchResult{
+		m.PerCoreBench(5, 123),
+		m.PerChipBench(2, 123),
+		m.GlobalBench(123),
+	} {
+		total := 0
+		for _, n := range r.ExecPerCore {
+			total += n
+		}
+		if total != 123 {
+			t.Errorf("executed %d tasks, want 123", total)
+		}
+	}
+}
+
+func TestTasksRunOnlyInDomain(t *testing.T) {
+	m := kwakMachine()
+	domain := cpuset.NewRange(8, 11)
+	r := m.TaskSchedBench(domain, 100)
+	for cpu, n := range r.ExecPerCore {
+		if n > 0 && !domain.IsSet(cpu) {
+			t.Errorf("core %d outside domain executed %d tasks", cpu, n)
+		}
+	}
+}
+
+func TestJitterDeterministicSequence(t *testing.T) {
+	m1 := kwakMachine()
+	m2 := kwakMachine()
+	for i := 0; i < 100; i++ {
+		if m1.jitter() != m2.jitter() {
+			t.Fatal("jitter sequences diverge between identical machines")
+		}
+	}
+}
+
+func TestZeroItersClamped(t *testing.T) {
+	m := borderlineMachine()
+	r := m.TaskSchedBench(cpuset.New(0), 0)
+	if r.MeanNS <= 0 {
+		t.Error("zero iters should clamp to one task")
+	}
+}

@@ -1,0 +1,215 @@
+package simmachine
+
+import (
+	"fmt"
+
+	"pioman/internal/cpuset"
+	"pioman/internal/simtime"
+)
+
+// BenchResult reports one simulated task-scheduling micro-benchmark run
+// (one cell of Table I / Table II).
+type BenchResult struct {
+	// MeanNS is the mean virtual time from task creation on core #0 to
+	// completion notice, in nanoseconds.
+	MeanNS float64
+	// ExecPerCore counts how many of the tasks each core executed —
+	// the distribution the paper analyses for per-chip (≈25 % each) and
+	// global (NUMA-unbalanced) queues.
+	ExecPerCore []int
+	// Iters is the number of tasks scheduled.
+	Iters int
+}
+
+// sharedState is the contended state of one benchmark run. The queue's
+// spinlock, list head and element count live in one structure — hence
+// one cache line (lqLine), exactly like PIOMan's piom_ltask_queue. The
+// completion flag lives in the task structure — a second line (doneLine).
+type sharedState struct {
+	m *Machine
+
+	lockHeld   bool
+	queueCount int
+	lqLine     cacheLine
+
+	doneFlag bool
+	doneLine cacheLine
+
+	stop bool
+
+	execPerCore []int
+}
+
+// acquire implements a test-and-test-and-set acquisition for core c.
+// Returns false if the benchmark stopped while spinning.
+func (st *sharedState) acquire(p *simtime.Proc, c int) bool {
+	m := st.m
+	for {
+		if st.stop {
+			return false
+		}
+		// Test: spin on a shared copy until the lock looks free.
+		p.Sleep(m.readCost(&st.lqLine, c, p.Now()))
+		if st.lockHeld {
+			p.Sleep(m.Params.SpinDelay + m.jitter())
+			continue
+		}
+		// Test-and-set: read-for-ownership plus the CAS itself. Ownership
+		// moves to c even if the CAS loses the race.
+		p.Sleep(m.writeCost(&st.lqLine, c, p.Now()) + m.Params.OpCost)
+		if st.lockHeld {
+			continue // lost the race; the line bounced for nothing
+		}
+		st.lockHeld = true
+		return true
+	}
+}
+
+// release frees the lock (write on the queue line).
+func (st *sharedState) release(p *simtime.Proc, c int) {
+	p.Sleep(st.m.writeCost(&st.lqLine, c, p.Now()) + st.m.Params.OpCost)
+	st.lockHeld = false
+}
+
+// pollOnce runs one polling iteration of core c: the unlocked emptiness
+// check of Algorithm 2 and, when work is visible, lock + re-check +
+// dequeue + run + completion write. Returns whether a task was executed.
+func (st *sharedState) pollOnce(p *simtime.Proc, c int) bool {
+	m := st.m
+	// Unlocked notempty() — the double-checked fast path.
+	p.Sleep(m.readCost(&st.lqLine, c, p.Now()))
+	if st.queueCount == 0 {
+		return false
+	}
+	if !st.acquire(p, c) {
+		return false
+	}
+	// Locked re-check and dequeue (the lock CAS already owns the line).
+	p.Sleep(m.Params.OpCost)
+	got := false
+	if st.queueCount > 0 {
+		st.queueCount--
+		got = true
+		p.Sleep(m.writeCost(&st.lqLine, c, p.Now()))
+	}
+	st.release(p, c)
+	if got {
+		// Empty task body (zero work), then completion notification on
+		// the task's own line.
+		st.execPerCore[c]++
+		p.Sleep(m.writeCost(&st.doneLine, c, p.Now()) + m.Params.OpCost)
+		st.doneFlag = true
+	}
+	return got
+}
+
+// TaskSchedBench reproduces the paper's §V-A micro-benchmark: iters empty
+// tasks are created by core #0 and placed on the queue whose scheduling
+// domain is `domain`; every core of the domain polls; core #0 waits for
+// each completion before submitting the next task. When core #0 itself
+// belongs to the domain it waits actively — running task_schedule scans
+// of its own queue path between completion checks, like PIOMan's
+// task_wait — otherwise it spins on the completion flag.
+func (m *Machine) TaskSchedBench(domain cpuset.Set, iters int) BenchResult {
+	if iters <= 0 {
+		iters = 1
+	}
+	sim := simtime.New()
+	defer sim.Close()
+
+	st := &sharedState{m: m, execPerCore: make([]int, m.Topo.NCPUs)}
+	// Lines start owned by core 0 (it initialized the structures).
+	st.lqLine.owner = 0
+	st.doneLine.owner = 0
+
+	submitterInDomain := domain.IsSet(0)
+
+	// Pollers: every domain core except the submitter runs the idle-core
+	// polling loop.
+	domain.ForEach(func(c int) bool {
+		if c == 0 {
+			return true
+		}
+		sim.Spawn(fmt.Sprintf("poller-%d", c), func(p *simtime.Proc) {
+			for !st.stop {
+				if !st.pollOnce(p, c) {
+					p.Sleep(m.Params.SpinDelay + m.jitter())
+				}
+			}
+		})
+		return true
+	})
+
+	var total simtime.Duration
+	sim.Spawn("submitter", func(p *simtime.Proc) {
+		for i := 0; i < iters; i++ {
+			start := p.Now()
+			// Create and initialize the task (no allocation, fixed cost).
+			p.Sleep(m.Params.SubmitFixed)
+			// Enqueue under the queue lock.
+			if !st.acquire(p, 0) {
+				break
+			}
+			st.queueCount++
+			p.Sleep(m.Params.OpCost) // list insert; line already owned
+			st.release(p, 0)
+			// Wait for completion.
+			for !st.doneFlag {
+				if submitterInDomain {
+					// Active wait: a full task_schedule pass over the
+					// local queue path plus a scheduler yield, then one
+					// poll of the shared queue.
+					p.Sleep(m.Params.WaitWork + m.jitter())
+					if !st.doneFlag {
+						st.pollOnce(p, 0)
+					}
+				} else {
+					p.Sleep(m.readCost(&st.doneLine, 0, p.Now()))
+					if !st.doneFlag {
+						p.Sleep(m.Params.SpinDelay + m.jitter())
+					}
+				}
+			}
+			// Consume the completion and account for it.
+			p.Sleep(m.Params.CompleteFixed)
+			st.doneFlag = false
+			total += p.Now() - start
+		}
+		st.stop = true
+	})
+
+	sim.Run()
+
+	executed := 0
+	for _, n := range st.execPerCore {
+		executed += n
+	}
+	return BenchResult{
+		MeanNS:      float64(total) / float64(iters),
+		ExecPerCore: st.execPerCore,
+		Iters:       executed,
+	}
+}
+
+// PerCoreBench runs the micro-benchmark against the per-core queue of
+// the given CPU.
+func (m *Machine) PerCoreBench(cpu, iters int) BenchResult {
+	return m.TaskSchedBench(cpuset.New(cpu), iters)
+}
+
+// PerChipBench runs the micro-benchmark against the queue of the chip
+// (NUMA node) with the given index.
+func (m *Machine) PerChipBench(chip, iters int) BenchResult {
+	var domain cpuset.Set
+	for cpu := 0; cpu < m.Topo.NCPUs; cpu++ {
+		if m.Topo.NUMAOf[cpu] == chip {
+			domain.Set(cpu)
+		}
+	}
+	return m.TaskSchedBench(domain, iters)
+}
+
+// GlobalBench runs the micro-benchmark against the global queue.
+func (m *Machine) GlobalBench(iters int) BenchResult {
+	return m.TaskSchedBench(cpuset.NewRange(0, m.Topo.NCPUs-1), iters)
+}

@@ -1,0 +1,200 @@
+package simmpi
+
+import (
+	"pioman/internal/simnet"
+	"pioman/internal/simtime"
+)
+
+// ctrlBytes is the wire size of a control message (RTS/FIN header).
+const ctrlBytes = 64
+
+// taskDelay returns the PIOMan per-event task-management cost (creating,
+// scheduling and completing a task), zero for the polling engines.
+func (e *Engine) taskDelay() simtime.Duration {
+	if e.cfg.Kind == PIOManLike {
+		return e.cfg.TaskOverhead
+	}
+	return 0
+}
+
+// Isend starts a non-blocking send of size bytes to dst with the given
+// tag. It must be called from a simulation process; the posting costs
+// are charged to that process.
+func (e *Engine) Isend(p *simtime.Proc, dst, tag, size int) *Request {
+	req := &Request{eng: e, isSend: true, peer: dst, tag: tag, size: size, sig: e.sim.NewSignal()}
+	e.active++
+	e.kick()
+	p.Sleep(e.net().SendOverhead + e.cfg.ExtraCallOverhead + e.taskDelay())
+	if size <= e.cfg.EagerThreshold {
+		// Eager: payload leaves immediately and the send buffer is
+		// considered reusable once posted (buffered semantics).
+		e.node.NIC(0).PostSend(dst, size+ctrlBytes, ctrl{kind: ctrlEager, tag: tag, size: size})
+		req.complete()
+		return req
+	}
+	// Rendezvous: announce with an RTS; the receiver pulls via RDMA Read
+	// and confirms with a FIN.
+	e.node.NIC(0).PostSend(dst, ctrlBytes, ctrl{kind: ctrlRTS, tag: tag, size: size, sreq: req})
+	return req
+}
+
+// Irecv posts a non-blocking receive matching the given tag from src
+// (src < 0 matches any source).
+func (e *Engine) Irecv(p *simtime.Proc, src, tag, size int) *Request {
+	req := &Request{eng: e, peer: src, tag: tag, size: size, sig: e.sim.NewSignal()}
+	e.active++
+	e.kick()
+	p.Sleep(e.net().RecvOverhead/2 + e.cfg.ExtraCallOverhead)
+	e.recvQ = append(e.recvQ, req)
+	// An RTS or eager payload may already have arrived unexpectedly.
+	e.matchUnexpected(p)
+	return req
+}
+
+// matchUnexpected re-scans the unexpected-message queue against posted
+// receives.
+func (e *Engine) matchUnexpected(p *simtime.Proc) {
+	for i := 0; i < len(e.unexpected); i++ {
+		m := e.unexpected[i]
+		if req := e.findRecv(m.c.tag, m.from); req != nil {
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			i--
+			e.deliver(p, m.from, m.c, req)
+		}
+	}
+}
+
+// findRecv returns the oldest posted, unmatched receive for (tag, src).
+func (e *Engine) findRecv(tag, src int) *Request {
+	for _, r := range e.recvQ {
+		if !r.matched && !r.done && r.tag == tag && (r.peer < 0 || r.peer == src) {
+			return r
+		}
+	}
+	return nil
+}
+
+// removeRecv drops a completed receive from the posted queue.
+func (e *Engine) removeRecv(req *Request) {
+	for i, r := range e.recvQ {
+		if r == req {
+			e.recvQ = append(e.recvQ[:i], e.recvQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// deliver processes a matched control message against a posted receive.
+func (e *Engine) deliver(p *simtime.Proc, from int, c ctrl, req *Request) {
+	switch c.kind {
+	case ctrlEager:
+		p.Sleep(e.net().RecvOverhead + e.taskDelay())
+		e.removeRecv(req)
+		req.complete()
+	case ctrlRTS:
+		// Pull the payload from the sender's memory; the sender's host is
+		// not involved (RDMA Read), so the transfer proceeds even while
+		// the sender computes.
+		req.matched = true
+		p.Sleep(e.taskDelay())
+		e.node.NIC(0).PostRDMARead(from, c.size, rdmaMeta{req: req, sreq: c.sreq, from: from})
+	}
+}
+
+// rdmaMeta links an RDMA completion back to both requests.
+type rdmaMeta struct {
+	req  *Request // local receive
+	sreq *Request // sender-side request, echoed in the FIN
+	from int
+}
+
+// progressOnce polls the NIC once and handles at most one completion.
+// Returns whether anything was processed. CQ poll cost is charged to p;
+// pacing between polls is the caller's business.
+func (e *Engine) progressOnce(p *simtime.Proc) bool {
+	p.Sleep(e.net().PollCost)
+	comp, ok := e.node.NIC(0).Poll()
+	if !ok {
+		return false
+	}
+	e.handle(p, comp)
+	return true
+}
+
+// handle dispatches one completion.
+func (e *Engine) handle(p *simtime.Proc, comp simnet.Completion) {
+	switch comp.Kind {
+	case simnet.CompRecv:
+		c, ok := comp.Meta.(ctrl)
+		if !ok {
+			return
+		}
+		switch c.kind {
+		case ctrlEager, ctrlRTS:
+			if req := e.findRecv(c.tag, comp.From); req != nil {
+				e.deliver(p, comp.From, c, req)
+			} else {
+				e.unexpected = append(e.unexpected, pendingMsg{from: comp.From, c: c})
+			}
+		case ctrlFIN:
+			// Sender side: the receiver finished pulling our payload.
+			p.Sleep(e.taskDelay())
+			if c.sreq != nil {
+				c.sreq.complete()
+			}
+		}
+	case simnet.CompRDMADone:
+		m, ok := comp.Meta.(rdmaMeta)
+		if !ok {
+			return
+		}
+		p.Sleep(e.net().RecvOverhead + e.taskDelay())
+		// Confirm to the sender and complete the local receive.
+		e.node.NIC(0).PostSend(m.from, ctrlBytes, ctrl{kind: ctrlFIN, tag: m.req.tag, sreq: m.sreq})
+		e.removeRecv(m.req)
+		m.req.complete()
+	case simnet.CompSendDone:
+		// Buffered-send semantics: nothing to do.
+	}
+}
+
+// Wait blocks the calling process until the request completes, using the
+// engine's progression policy:
+//
+//   - polling engines: spin on the completion queue under the global
+//     library lock, paying scheduling pressure when more threads poll
+//     than there are cores (the Figure 4 mechanism);
+//   - PIOMan: sleep on a blocking condition; the background progression
+//     context completes the request and wakes the thread.
+func (e *Engine) Wait(p *simtime.Proc, req *Request) {
+	if e.cfg.Kind == PIOManLike {
+		if !req.done {
+			req.sig.Wait(p)
+			p.Sleep(e.cfg.WakeLatency)
+		}
+		return
+	}
+	e.pollers++
+	for !req.done {
+		// OS scheduling pressure: with more polling threads than cores,
+		// each iteration waits for a time slice.
+		if excess := e.pollers - e.cfg.Cores; excess > 0 {
+			p.Sleep(e.cfg.ScheduleQuantum * simtime.Duration(excess) / simtime.Duration(e.cfg.Cores))
+		}
+		e.lock.Lock(p)
+		p.Sleep(e.cfg.LockHold)
+		e.progressOnce(p)
+		e.lock.Unlock()
+		if !req.done {
+			p.Sleep(e.cfg.PollYield)
+		}
+	}
+	e.pollers--
+}
+
+// WaitAll waits for every request in order.
+func (e *Engine) WaitAll(p *simtime.Proc, reqs ...*Request) {
+	for _, r := range reqs {
+		e.Wait(p, r)
+	}
+}

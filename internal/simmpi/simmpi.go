@@ -1,0 +1,233 @@
+// Package simmpi models three MPI-like communication engines in virtual
+// time, differing only in their progression policy — the axis the paper's
+// evaluation isolates (Figures 4-7):
+//
+//   - MVAPICHLike / OpenMPILike: progression happens only inside MPI
+//     calls. Blocked threads poll the NIC under the library's global
+//     lock; computing threads make no progress. The rendezvous uses
+//     RDMA Read, so sender-side overlap works without sender polling,
+//     but receiver-side overlap does not.
+//   - PIOManLike: the progression policy of PIOMan + NewMadeleine.
+//     A background progression context (idle cores and timer hooks
+//     executing polling tasks) advances the protocol while application
+//     threads compute; blocked threads sleep on a condition instead of
+//     polling, so latency stays flat as thread counts grow.
+//
+// The protocol structure (eager for small messages, RTS / RDMA-Read /
+// FIN rendezvous for large ones) is shared; only who makes it progress
+// differs. Engines run on internal/simnet fabrics under internal/simtime.
+package simmpi
+
+import (
+	"fmt"
+
+	"pioman/internal/simnet"
+	"pioman/internal/simtime"
+)
+
+// EngineKind selects a progression policy.
+type EngineKind int
+
+const (
+	// MVAPICHLike models MVAPICH2 1.2: polling-only progression under a
+	// global lock, RDMA-Read rendezvous.
+	MVAPICHLike EngineKind = iota
+	// OpenMPILike models OpenMPI 1.3: the same structure with slightly
+	// higher per-call overheads.
+	OpenMPILike
+	// PIOManLike models MadMPI: NewMadeleine over the PIOMan task engine,
+	// with background progression and blocking waits.
+	PIOManLike
+)
+
+// String names the engine kind as it appears in the paper's plots.
+func (k EngineKind) String() string {
+	switch k {
+	case MVAPICHLike:
+		return "MVAPICH"
+	case OpenMPILike:
+		return "OpenMPI"
+	case PIOManLike:
+		return "PIOMan"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes an engine.
+type Config struct {
+	Kind EngineKind
+	// EagerThreshold is the largest payload sent eagerly (default 16 KiB).
+	EagerThreshold int
+	// Cores is the number of cores of the node (defaults to 8, the
+	// BORDERLINE machines).
+	Cores int
+	// PollYield is the pause between two polling iterations of a blocked
+	// thread (polling engines) — a sched_yield, roughly.
+	PollYield simtime.Duration
+	// LockHold is the extra time the library lock is held per poll
+	// iteration beyond the raw CQ poll (request bookkeeping).
+	LockHold simtime.Duration
+	// ScheduleQuantum models OS time-slicing pressure: each poll
+	// iteration is delayed by Quantum * max(0, pollers-cores)/cores.
+	ScheduleQuantum simtime.Duration
+	// ProgressInterval is the background progression period of the
+	// PIOMan engine (idle-core polling tasks re-executed from the
+	// per-core queues; timer hooks bound the worst case).
+	ProgressInterval simtime.Duration
+	// TaskOverhead is the PIOMan per-event task cost (create/schedule/
+	// complete a task — ≈0.7 µs per Table I plus wrapper bookkeeping).
+	TaskOverhead simtime.Duration
+	// WakeLatency is the cost of waking a thread blocked on a condition
+	// (PIOMan) — a context switch.
+	WakeLatency simtime.Duration
+	// ExtraCallOverhead is added to every MPI call (differentiates
+	// OpenMPI's heavier call path).
+	ExtraCallOverhead simtime.Duration
+}
+
+// DefaultConfig returns calibrated constants for the given engine kind.
+func DefaultConfig(kind EngineKind) Config {
+	cfg := Config{
+		Kind:             kind,
+		EagerThreshold:   16 << 10,
+		Cores:            8,
+		PollYield:        400,
+		LockHold:         900,
+		ScheduleQuantum:  3500,
+		ProgressInterval: 600,
+		TaskOverhead:     2200,
+		WakeLatency:      2000,
+	}
+	if kind == OpenMPILike {
+		cfg.ExtraCallOverhead = 400
+	}
+	return cfg
+}
+
+// ctrlKind discriminates protocol messages.
+type ctrlKind int
+
+const (
+	ctrlEager ctrlKind = iota
+	ctrlRTS
+	ctrlFIN
+)
+
+// ctrl is the wire-protocol metadata attached to simnet messages.
+type ctrl struct {
+	kind ctrlKind
+	tag  int
+	size int
+	sreq *Request // sender's request, echoed back in the FIN
+}
+
+// Request is a non-blocking operation handle.
+type Request struct {
+	eng    *Engine
+	isSend bool
+	peer   int
+	tag    int
+	size   int
+	done   bool
+	sig    *simtime.Signal
+
+	// matched marks a posted receive whose RTS has been seen (pull in
+	// flight).
+	matched bool
+}
+
+// Done reports completion.
+func (r *Request) Done() bool { return r.done }
+
+func (r *Request) complete() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.eng.active--
+	r.sig.Fire()
+}
+
+// Engine is one MPI process on a fabric node.
+type Engine struct {
+	cfg  Config
+	sim  *simtime.Sim
+	node *simnet.Node
+
+	lock *simtime.Mutex // polling engines' global library lock
+
+	recvQ      []*Request
+	unexpected []pendingMsg
+
+	pollers int // threads currently inside a polling Wait
+
+	// active counts incomplete requests; the background progression task
+	// parks when it reaches zero (a completed polling task is not
+	// re-submitted until there is work again).
+	active   int
+	idleWait *simtime.Signal
+
+	started bool
+}
+
+// pendingMsg is an arrived control message with no matching receive yet.
+type pendingMsg struct {
+	from int
+	c    ctrl
+}
+
+// NewEngine creates an engine bound to a fabric node.
+func NewEngine(sim *simtime.Sim, node *simnet.Node, cfg Config) *Engine {
+	if cfg.EagerThreshold <= 0 {
+		cfg.EagerThreshold = 16 << 10
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 8
+	}
+	e := &Engine{cfg: cfg, sim: sim, node: node, lock: sim.NewMutex()}
+	return e
+}
+
+// Kind returns the engine's progression policy.
+func (e *Engine) Kind() EngineKind { return e.cfg.Kind }
+
+// Start launches background progression for the PIOMan engine: the
+// equivalent of a repeated polling task executed from per-core queues by
+// idle cores, with timer hooks bounding the polling period. Must be
+// called once before communicating; it is a no-op for polling engines.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	if e.cfg.Kind != PIOManLike {
+		return
+	}
+	e.sim.Spawn(fmt.Sprintf("pioman-progress-%d", e.node.ID()), func(p *simtime.Proc) {
+		for {
+			// Park while there is nothing to progress: PIOMan's polling
+			// tasks complete when their request does and are only
+			// re-submitted with new communication.
+			for e.active == 0 && e.node.NIC(0).Pending() == 0 {
+				e.idleWait = e.sim.NewSignal()
+				e.idleWait.Wait(p)
+			}
+			// The polling task is repeated: it re-enqueues itself until
+			// the poll succeeds, and idle cores / timer hooks bound the
+			// period between executions.
+			if !e.progressOnce(p) {
+				p.Sleep(e.cfg.ProgressInterval)
+			}
+		}
+	})
+}
+
+// kick wakes a parked background progression task (new work arrived).
+func (e *Engine) kick() {
+	if e.idleWait != nil {
+		e.idleWait.Fire()
+	}
+}
+
+func (e *Engine) net() simnet.Params { return e.node.Params() }

@@ -1,0 +1,299 @@
+package simmpi
+
+import (
+	"testing"
+
+	"pioman/internal/simnet"
+	"pioman/internal/simtime"
+)
+
+// pair builds a two-node fabric with one engine of the given kind on
+// each node.
+func pair(kind EngineKind) (*simtime.Sim, *Engine, *Engine) {
+	sim := simtime.New()
+	f := simnet.NewFabric(sim, simnet.IBParams())
+	a := f.AddNode(1)
+	b := f.AddNode(1)
+	ea := NewEngine(sim, a, DefaultConfig(kind))
+	eb := NewEngine(sim, b, DefaultConfig(kind))
+	ea.Start()
+	eb.Start()
+	return sim, ea, eb
+}
+
+func TestEagerPingPongAllEngines(t *testing.T) {
+	for _, kind := range []EngineKind{MVAPICHLike, OpenMPILike, PIOManLike} {
+		t.Run(kind.String(), func(t *testing.T) {
+			sim, ea, eb := pair(kind)
+			defer sim.Close()
+			var rtt simtime.Duration
+			sim.Spawn("sender", func(p *simtime.Proc) {
+				start := p.Now()
+				sreq := ea.Isend(p, 1, 7, 4)
+				ea.Wait(p, sreq)
+				rreq := ea.Irecv(p, 1, 8, 4)
+				ea.Wait(p, rreq)
+				rtt = p.Now() - start
+			})
+			sim.Spawn("receiver", func(p *simtime.Proc) {
+				rreq := eb.Irecv(p, 0, 7, 4)
+				eb.Wait(p, rreq)
+				sreq := eb.Isend(p, 0, 8, 4)
+				eb.Wait(p, sreq)
+			})
+			sim.Run()
+			if rtt <= 0 {
+				t.Fatal("ping-pong did not complete")
+			}
+			oneWay := float64(rtt) / 2000.0 // µs
+			if oneWay < 1 || oneWay > 30 {
+				t.Errorf("%v one-way latency = %.1f µs, want single-digit-ish", kind, oneWay)
+			}
+		})
+	}
+}
+
+func TestRendezvousTransfersLargeMessage(t *testing.T) {
+	for _, kind := range []EngineKind{MVAPICHLike, PIOManLike} {
+		t.Run(kind.String(), func(t *testing.T) {
+			sim, ea, eb := pair(kind)
+			defer sim.Close()
+			const size = 1 << 20
+			var sendDone, recvDone simtime.Time
+			sim.Spawn("sender", func(p *simtime.Proc) {
+				req := ea.Isend(p, 1, 1, size)
+				ea.Wait(p, req)
+				sendDone = p.Now()
+			})
+			sim.Spawn("receiver", func(p *simtime.Proc) {
+				req := eb.Irecv(p, 0, 1, size)
+				eb.Wait(p, req)
+				recvDone = p.Now()
+			})
+			sim.Run()
+			if sendDone == 0 || recvDone == 0 {
+				t.Fatal("rendezvous did not complete")
+			}
+			// 1 MB at 0.65 ns/B ≈ 680 µs of wire time; both sides must
+			// take at least that and not absurdly more.
+			min := simtime.Time(600 * 1000)
+			max := simtime.Time(2000 * 1000)
+			if recvDone < min || recvDone > max {
+				t.Errorf("recv completed at %v, want within [0.6ms, 2ms]", recvDone)
+			}
+			// FIN arrives after the pull: sender completes after receiver
+			// started pulling, within a latency of the receive completion.
+			if sendDone < recvDone-simtime.Time(50_000) {
+				t.Errorf("sender completed at %v, long before receiver %v", sendDone, recvDone)
+			}
+		})
+	}
+}
+
+func TestUnexpectedMessageBeforeIrecv(t *testing.T) {
+	sim, ea, eb := pair(PIOManLike)
+	defer sim.Close()
+	var completed bool
+	sim.Spawn("sender", func(p *simtime.Proc) {
+		req := ea.Isend(p, 1, 3, 8)
+		ea.Wait(p, req)
+	})
+	sim.Spawn("receiver", func(p *simtime.Proc) {
+		p.Sleep(50 * simtime.Microsecond) // eager data arrives first
+		req := eb.Irecv(p, 0, 3, 8)
+		eb.Wait(p, req)
+		completed = true
+	})
+	sim.Run()
+	if !completed {
+		t.Fatal("late Irecv never matched the unexpected eager message")
+	}
+}
+
+func TestTagMatchingSeparatesFlows(t *testing.T) {
+	sim, ea, eb := pair(PIOManLike)
+	defer sim.Close()
+	var got []int
+	sim.Spawn("sender", func(p *simtime.Proc) {
+		r1 := ea.Isend(p, 1, 10, 4)
+		r2 := ea.Isend(p, 1, 20, 4)
+		ea.WaitAll(p, r1, r2)
+	})
+	sim.Spawn("receiver", func(p *simtime.Proc) {
+		// Post in reverse tag order; matching must pair by tag.
+		r20 := eb.Irecv(p, 0, 20, 4)
+		r10 := eb.Irecv(p, 0, 10, 4)
+		eb.Wait(p, r10)
+		got = append(got, 10)
+		eb.Wait(p, r20)
+		got = append(got, 20)
+	})
+	sim.Run()
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReceiverSideOverlapOnlyPIOMan(t *testing.T) {
+	// The core Figure 6 mechanism: receiver computes between Irecv and
+	// Wait. Polling engines make no progress during the computation, so
+	// total time ≈ compute + transfer. PIOMan's background progression
+	// pulls the data during the computation, so total ≈ max(compute,
+	// transfer).
+	const size = 1 << 20                       // 1 MB
+	const compute = 1500 * simtime.Microsecond // > transfer time ≈ 700µs
+
+	total := func(kind EngineKind) simtime.Duration {
+		sim, ea, eb := pair(kind)
+		defer sim.Close()
+		var t0, t1 simtime.Time
+		sim.Spawn("sender", func(p *simtime.Proc) {
+			req := ea.Isend(p, 1, 1, size)
+			ea.Wait(p, req)
+		})
+		sim.Spawn("receiver", func(p *simtime.Proc) {
+			t0 = p.Now()
+			req := eb.Irecv(p, 0, 1, size)
+			p.Sleep(compute)
+			eb.Wait(p, req)
+			t1 = p.Now()
+		})
+		sim.Run()
+		return t1 - t0
+	}
+
+	tPioman := total(PIOManLike)
+	tMvapich := total(MVAPICHLike)
+	// PIOMan: ≈ compute (transfer hidden). MVAPICH: ≈ compute + transfer.
+	if tPioman > compute+compute/4 {
+		t.Errorf("PIOMan receiver-side total = %v, want ≈%v (overlapped)", tPioman, compute)
+	}
+	if tMvapich < compute+400*simtime.Microsecond {
+		t.Errorf("MVAPICH receiver-side total = %v, want > compute+transfer (no overlap)", tMvapich)
+	}
+}
+
+func TestSenderSideOverlapAllEngines(t *testing.T) {
+	// Figure 5 mechanism: RDMA-Read lets the receiver pull data without
+	// the sender's host, so even polling engines overlap on the sender
+	// side.
+	const size = 1 << 20
+	const compute = 1500 * simtime.Microsecond
+
+	total := func(kind EngineKind) simtime.Duration {
+		sim, ea, eb := pair(kind)
+		defer sim.Close()
+		var t0, t1 simtime.Time
+		sim.Spawn("sender", func(p *simtime.Proc) {
+			t0 = p.Now()
+			req := ea.Isend(p, 1, 1, size)
+			p.Sleep(compute)
+			ea.Wait(p, req)
+			t1 = p.Now()
+		})
+		sim.Spawn("receiver", func(p *simtime.Proc) {
+			req := eb.Irecv(p, 0, 1, size)
+			eb.Wait(p, req)
+		})
+		sim.Run()
+		return t1 - t0
+	}
+
+	for _, kind := range []EngineKind{MVAPICHLike, OpenMPILike, PIOManLike} {
+		tot := total(kind)
+		if tot > compute+compute/4 {
+			t.Errorf("%v sender-side total = %v, want ≈%v (overlapped)", kind, tot, compute)
+		}
+	}
+}
+
+func TestPIOManLatencyFlatWithThreads(t *testing.T) {
+	// Figure 4 mechanism, miniature: receiver threads blocked on a
+	// condition do not contend, so latency stays flat; polling threads
+	// contend on the library lock, so latency grows.
+	latency := func(kind EngineKind, threads int) float64 {
+		sim, ea, eb := pair(kind)
+		defer sim.Close()
+		const rounds = 20
+		var sum simtime.Duration
+		for th := 0; th < threads; th++ {
+			tag := th
+			sim.Spawn("rthread", func(p *simtime.Proc) {
+				for r := 0; r < rounds; r++ {
+					req := eb.Irecv(p, 0, tag, 4)
+					eb.Wait(p, req)
+					rep := eb.Isend(p, 0, 1000+tag, 4)
+					eb.Wait(p, rep)
+				}
+			})
+		}
+		sim.Spawn("sender", func(p *simtime.Proc) {
+			for r := 0; r < rounds; r++ {
+				for th := 0; th < threads; th++ {
+					start := p.Now()
+					ea.Wait(p, ea.Isend(p, 1, th, 4))
+					rep := ea.Irecv(p, 1, 1000+th, 4)
+					ea.Wait(p, rep)
+					sum += p.Now() - start
+				}
+			}
+		})
+		sim.Run()
+		return float64(sum) / float64(rounds*threads) / 2000.0 // one-way µs
+	}
+
+	pioman1 := latency(PIOManLike, 1)
+	pioman32 := latency(PIOManLike, 32)
+	mvapich1 := latency(MVAPICHLike, 1)
+	mvapich32 := latency(MVAPICHLike, 32)
+
+	if pioman32 > pioman1*2 {
+		t.Errorf("PIOMan latency grew with threads: %.1f µs @1 -> %.1f µs @32", pioman1, pioman32)
+	}
+	if mvapich32 < mvapich1*3 {
+		t.Errorf("MVAPICH latency should grow with threads: %.1f µs @1 -> %.1f µs @32", mvapich1, mvapich32)
+	}
+	if mvapich1 > pioman1 {
+		t.Errorf("single-thread base latency: MVAPICH (%.1f) should undercut PIOMan (%.1f)", mvapich1, pioman1)
+	}
+}
+
+func TestOpenMPISlowerThanMVAPICH(t *testing.T) {
+	lat := func(kind EngineKind) simtime.Duration {
+		sim, ea, eb := pair(kind)
+		defer sim.Close()
+		var rtt simtime.Duration
+		sim.Spawn("r", func(p *simtime.Proc) {
+			eb.Wait(p, eb.Irecv(p, 0, 1, 4))
+			eb.Wait(p, eb.Isend(p, 0, 2, 4))
+		})
+		sim.Spawn("s", func(p *simtime.Proc) {
+			start := p.Now()
+			ea.Wait(p, ea.Isend(p, 1, 1, 4))
+			ea.Wait(p, ea.Irecv(p, 1, 2, 4))
+			rtt = p.Now() - start
+		})
+		sim.Run()
+		return rtt
+	}
+	if lat(OpenMPILike) <= lat(MVAPICHLike) {
+		t.Error("OpenMPI-like call path should be slightly slower than MVAPICH-like")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() simtime.Time {
+		sim, ea, eb := pair(PIOManLike)
+		defer sim.Close()
+		sim.Spawn("s", func(p *simtime.Proc) {
+			ea.Wait(p, ea.Isend(p, 1, 1, 1<<20))
+		})
+		sim.Spawn("r", func(p *simtime.Proc) {
+			eb.Wait(p, eb.Irecv(p, 0, 1, 1<<20))
+		})
+		return sim.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}

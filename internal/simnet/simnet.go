@@ -1,0 +1,217 @@
+// Package simnet models a high-performance cluster interconnect in
+// virtual time: nodes with one or more NICs, point-to-point messages with
+// configurable wire latency and bandwidth, RDMA-Read transfers that
+// complete without remote host involvement, and polled completion queues.
+//
+// It substitutes for the Myri-10G and ConnectX InfiniBand hardware of the
+// paper's BORDERLINE cluster. The experiments of Figures 4-7 depend on
+// protocol structure — who progresses the rendezvous handshake, whether
+// data can be pulled by the NIC — rather than on silicon, so a timing
+// model with calibrated constants preserves the comparisons.
+package simnet
+
+import (
+	"fmt"
+
+	"pioman/internal/simtime"
+)
+
+// Params are the interconnect timing constants (virtual nanoseconds,
+// except NsPerByte).
+type Params struct {
+	// Latency is the one-way wire latency for any message.
+	Latency simtime.Duration
+	// NsPerByte is the inverse bandwidth of the wire.
+	NsPerByte float64
+	// SendOverhead is host CPU time to post a send descriptor.
+	SendOverhead simtime.Duration
+	// RecvOverhead is host CPU time to consume a completion.
+	RecvOverhead simtime.Duration
+	// PollCost is host CPU time for one completion-queue poll, hit or
+	// miss.
+	PollCost simtime.Duration
+	// RDMASetup is the target-side NIC cost to start an RDMA Read.
+	RDMASetup simtime.Duration
+}
+
+// IBParams returns constants approximating the ConnectX InfiniBand DDR
+// fabric of the BORDERLINE cluster: ≈1.3 µs one-way latency, ≈1.5 GB/s
+// effective bandwidth.
+func IBParams() Params {
+	return Params{
+		Latency:      1300,
+		NsPerByte:    0.65,
+		SendOverhead: 300,
+		RecvOverhead: 200,
+		PollCost:     150,
+		RDMASetup:    600,
+	}
+}
+
+// CompletionKind discriminates completion-queue entries.
+type CompletionKind int
+
+const (
+	// CompRecv signals an inbound message (control or eager data).
+	CompRecv CompletionKind = iota
+	// CompSendDone signals a locally posted send has left the NIC.
+	CompSendDone
+	// CompRDMADone signals a locally posted RDMA Read has delivered all
+	// remote data into local memory.
+	CompRDMADone
+)
+
+// String names the completion kind.
+func (k CompletionKind) String() string {
+	switch k {
+	case CompRecv:
+		return "recv"
+	case CompSendDone:
+		return "send-done"
+	case CompRDMADone:
+		return "rdma-done"
+	default:
+		return fmt.Sprintf("CompletionKind(%d)", int(k))
+	}
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	Kind CompletionKind
+	// From is the source node id (CompRecv only).
+	From int
+	// Size is the payload size in bytes.
+	Size int
+	// Meta carries protocol state (e.g. the request the entry belongs
+	// to); opaque to the fabric.
+	Meta any
+}
+
+// Fabric is a full-mesh interconnect between nodes sharing one
+// simulation clock.
+type Fabric struct {
+	sim    *simtime.Sim
+	params Params
+	nodes  []*Node
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric(sim *simtime.Sim, params Params) *Fabric {
+	return &Fabric{sim: sim, params: params}
+}
+
+// Sim returns the fabric's simulation clock.
+func (f *Fabric) Sim() *simtime.Sim { return f.sim }
+
+// Params returns the fabric timing constants.
+func (f *Fabric) Params() Params { return f.params }
+
+// AddNode creates a node with the given number of NICs (rails).
+func (f *Fabric) AddNode(nics int) *Node {
+	if nics < 1 {
+		nics = 1
+	}
+	n := &Node{fabric: f, id: len(f.nodes)}
+	for i := 0; i < nics; i++ {
+		n.nics = append(n.nics, &NIC{node: n, rail: i})
+	}
+	f.nodes = append(f.nodes, n)
+	return n
+}
+
+// Node returns the node with the given id.
+func (f *Fabric) Node(id int) *Node { return f.nodes[id] }
+
+// Node is one cluster machine attached to the fabric.
+type Node struct {
+	fabric *Fabric
+	id     int
+	nics   []*NIC
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Params returns the fabric timing constants.
+func (n *Node) Params() Params { return n.fabric.params }
+
+// NIC returns rail i of the node.
+func (n *Node) NIC(i int) *NIC { return n.nics[i] }
+
+// NumNICs returns the number of rails.
+func (n *Node) NumNICs() int { return len(n.nics) }
+
+// NIC is one network interface with a polled completion queue. All
+// methods must be called from simulation context (events or procs); the
+// CPU-side costs (SendOverhead etc.) are charged explicitly via the
+// *Cost accessors so that callers account them to the right virtual CPU.
+type NIC struct {
+	node *Node
+	rail int
+	cq   []Completion
+
+	sent     int
+	received int
+	rdmas    int
+	polls    int
+}
+
+// Rail returns the NIC's rail index.
+func (n *NIC) Rail() int { return n.rail }
+
+// transferTime returns wire time for size bytes.
+func (n *NIC) transferTime(size int) simtime.Duration {
+	p := n.node.fabric.params
+	return p.Latency + simtime.Duration(float64(size)*p.NsPerByte)
+}
+
+// PostSend transmits size bytes to the same rail of the destination node.
+// The message lands in the destination NIC's completion queue after the
+// wire time; a CompSendDone lands in the local queue once the payload has
+// left the NIC. The caller is responsible for charging SendOverhead to
+// the posting CPU.
+func (n *NIC) PostSend(dst int, size int, meta any) {
+	f := n.node.fabric
+	peer := f.nodes[dst].nics[n.rail]
+	n.sent++
+	wire := n.transferTime(size)
+	f.sim.After(wire, func() {
+		peer.received++
+		peer.cq = append(peer.cq, Completion{Kind: CompRecv, From: n.node.id, Size: size, Meta: meta})
+	})
+	f.sim.After(simtime.Duration(float64(size)*f.params.NsPerByte), func() {
+		n.cq = append(n.cq, Completion{Kind: CompSendDone, Size: size, Meta: meta})
+	})
+}
+
+// PostRDMARead pulls size bytes from peer's memory into local memory
+// without involving the peer's host CPU: completion arrives locally after
+// a request flight, the data flight, and the NIC setup cost.
+func (n *NIC) PostRDMARead(peer int, size int, meta any) {
+	f := n.node.fabric
+	n.rdmas++
+	total := f.params.RDMASetup + f.params.Latency + n.transferTime(size)
+	f.sim.After(total, func() {
+		n.cq = append(n.cq, Completion{Kind: CompRDMADone, Size: size, Meta: meta})
+	})
+}
+
+// Poll pops the oldest completion, reporting false when the queue is
+// empty. The caller charges PollCost to the polling CPU.
+func (n *NIC) Poll() (Completion, bool) {
+	n.polls++
+	if len(n.cq) == 0 {
+		return Completion{}, false
+	}
+	c := n.cq[0]
+	n.cq = n.cq[1:]
+	return c, true
+}
+
+// Pending returns the number of unconsumed completions.
+func (n *NIC) Pending() int { return len(n.cq) }
+
+// Stats returns (messages sent, messages received, RDMA reads, polls).
+func (n *NIC) Stats() (sent, received, rdmas, polls int) {
+	return n.sent, n.received, n.rdmas, n.polls
+}

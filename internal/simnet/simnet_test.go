@@ -1,0 +1,214 @@
+package simnet
+
+import (
+	"testing"
+
+	"pioman/internal/simtime"
+)
+
+func testFabric(nics int) (*simtime.Sim, *Fabric, *Node, *Node) {
+	sim := simtime.New()
+	f := NewFabric(sim, Params{
+		Latency:      1000,
+		NsPerByte:    1.0,
+		SendOverhead: 100,
+		RecvOverhead: 100,
+		PollCost:     50,
+		RDMASetup:    500,
+	})
+	a := f.AddNode(nics)
+	b := f.AddNode(nics)
+	return sim, f, a, b
+}
+
+func TestMessageArrivesAfterWireTime(t *testing.T) {
+	sim, _, a, b := testFabric(1)
+	a.NIC(0).PostSend(b.ID(), 100, "hello")
+	var arrival simtime.Time = -1
+	var got Completion
+
+	// Poll until the message shows up.
+	sim.Spawn("receiver", func(p *simtime.Proc) {
+		for {
+			c, ok := b.NIC(0).Poll()
+			if ok && c.Kind == CompRecv {
+				arrival, got = p.Now(), c
+				return
+			}
+			p.Sleep(10)
+		}
+	})
+	sim.Run()
+	defer sim.Close()
+
+	want := simtime.Time(1000 + 100) // latency + size*1ns/B
+	if arrival < want || arrival > want+20 {
+		t.Errorf("arrival at %v, want ≈%v", arrival, want)
+	}
+	if got.From != a.ID() || got.Size != 100 || got.Meta != "hello" {
+		t.Errorf("completion = %+v", got)
+	}
+}
+
+func TestSendDoneCompletion(t *testing.T) {
+	sim, _, a, b := testFabric(1)
+	a.NIC(0).PostSend(b.ID(), 1000, nil)
+	var doneAt simtime.Time = -1
+	sim.Spawn("sender", func(p *simtime.Proc) {
+		for {
+			if c, ok := a.NIC(0).Poll(); ok && c.Kind == CompSendDone {
+				doneAt = p.Now()
+				return
+			}
+			p.Sleep(10)
+		}
+	})
+	sim.Run()
+	defer sim.Close()
+	// Local send-done after size/bandwidth only (no wire latency).
+	if doneAt < 1000 || doneAt > 1030 {
+		t.Errorf("send-done at %v, want ≈1000", doneAt)
+	}
+}
+
+func TestRDMAReadTiming(t *testing.T) {
+	sim, _, a, b := testFabric(1)
+	// b pulls 10000 bytes from a: setup 500 + request flight 1000 +
+	// latency 1000 + 10000 B * 1 ns/B = 12500.
+	b.NIC(0).PostRDMARead(a.ID(), 10000, "xfer")
+	var doneAt simtime.Time = -1
+	sim.Spawn("puller", func(p *simtime.Proc) {
+		for {
+			if c, ok := b.NIC(0).Poll(); ok && c.Kind == CompRDMADone {
+				if c.Size != 10000 || c.Meta != "xfer" {
+					t.Errorf("completion = %+v", c)
+				}
+				doneAt = p.Now()
+				return
+			}
+			p.Sleep(10)
+		}
+	})
+	sim.Run()
+	defer sim.Close()
+	if doneAt < 12500 || doneAt > 12530 {
+		t.Errorf("RDMA done at %v, want ≈12500", doneAt)
+	}
+}
+
+func TestRDMADoesNotInvolveRemoteHost(t *testing.T) {
+	sim, _, a, b := testFabric(1)
+	b.NIC(0).PostRDMARead(a.ID(), 5000, nil)
+	sim.Run()
+	defer sim.Close()
+	// Nothing must appear in a's completion queue: the pull is invisible
+	// to the remote host.
+	if a.NIC(0).Pending() != 0 {
+		t.Errorf("remote host saw %d completions, want 0", a.NIC(0).Pending())
+	}
+	if b.NIC(0).Pending() != 1 {
+		t.Errorf("local host has %d completions, want 1", b.NIC(0).Pending())
+	}
+}
+
+func TestMultirailIsolation(t *testing.T) {
+	sim, _, a, b := testFabric(2)
+	a.NIC(0).PostSend(b.ID(), 10, "rail0")
+	a.NIC(1).PostSend(b.ID(), 10, "rail1")
+	sim.Run()
+	defer sim.Close()
+	c0, ok0 := b.NIC(0).Poll()
+	c1, ok1 := b.NIC(1).Poll()
+	if !ok0 || c0.Meta != "rail0" {
+		t.Errorf("rail 0 completion = %+v ok=%v", c0, ok0)
+	}
+	if !ok1 || c1.Meta != "rail1" {
+		t.Errorf("rail 1 completion = %+v ok=%v", c1, ok1)
+	}
+}
+
+func TestBandwidthScalesWithSize(t *testing.T) {
+	sim, _, a, b := testFabric(1)
+	a.NIC(0).PostSend(b.ID(), 1_000_000, nil)
+	end := sim.Run()
+	defer sim.Close()
+	// 1 MB at 1 ns/B + 1 µs latency ≈ 1.001 ms.
+	if end < 1_000_000 || end > 1_002_000 {
+		t.Errorf("1MB delivery at %v, want ≈1.001ms", end)
+	}
+}
+
+func TestPollOrderFIFO(t *testing.T) {
+	sim, _, a, b := testFabric(1)
+	a.NIC(0).PostSend(b.ID(), 10, 1)
+	a.NIC(0).PostSend(b.ID(), 10, 2)
+	a.NIC(0).PostSend(b.ID(), 10, 3)
+	sim.Run()
+	defer sim.Close()
+	for want := 1; want <= 3; want++ {
+		c, ok := b.NIC(0).Poll()
+		if !ok || c.Meta != want {
+			t.Fatalf("poll %d = %+v ok=%v", want, c, ok)
+		}
+	}
+	if _, ok := b.NIC(0).Poll(); ok {
+		t.Error("queue should be drained")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sim, _, a, b := testFabric(1)
+	a.NIC(0).PostSend(b.ID(), 10, nil)
+	b.NIC(0).PostRDMARead(a.ID(), 10, nil)
+	sim.Run()
+	defer sim.Close()
+	b.NIC(0).Poll()
+	sent, _, _, _ := a.NIC(0).Stats()
+	_, recvd, rdmas, polls := b.NIC(0).Stats()
+	if sent != 1 || recvd != 1 || rdmas != 1 || polls != 1 {
+		t.Errorf("stats = %d/%d/%d/%d, want 1/1/1/1", sent, recvd, rdmas, polls)
+	}
+}
+
+func TestAddNodeClampsNICs(t *testing.T) {
+	sim := simtime.New()
+	f := NewFabric(sim, IBParams())
+	n := f.AddNode(0)
+	if n.NumNICs() != 1 {
+		t.Errorf("NumNICs = %d, want 1", n.NumNICs())
+	}
+}
+
+func TestMutexFIFO(t *testing.T) {
+	sim := simtime.New()
+	defer sim.Close()
+	mu := sim.NewMutex()
+	var order []string
+	hold := func(name string, start, dur simtime.Duration) {
+		sim.Spawn(name, func(p *simtime.Proc) {
+			p.Sleep(start)
+			mu.Lock(p)
+			order = append(order, name)
+			p.Sleep(dur)
+			mu.Unlock()
+		})
+	}
+	hold("a", 0, 100)
+	hold("b", 10, 100) // queued while a holds
+	hold("c", 20, 100) // queued behind b
+	sim.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestMutexUnlockedPanics(t *testing.T) {
+	sim := simtime.New()
+	mu := sim.NewMutex()
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unlocked mutex should panic")
+		}
+	}()
+	mu.Unlock()
+}

@@ -1,0 +1,44 @@
+package simtime
+
+// Mutex is a FIFO mutual-exclusion lock for simulation processes. It
+// models a contended big lock (e.g. an MPI library's global lock): a
+// process acquiring a held lock parks until every earlier waiter has
+// held and released it. Hold durations are whatever virtual time the
+// holder spends between Lock and Unlock.
+type Mutex struct {
+	sim     *Sim
+	held    bool
+	waiters []*Proc
+}
+
+// NewMutex returns an unlocked mutex.
+func (s *Sim) NewMutex() *Mutex { return &Mutex{sim: s} }
+
+// Lock acquires the mutex for p, parking it in FIFO order if held.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.park()
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter (which is
+// scheduled to resume at the current virtual time).
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("simtime: Unlock of unlocked Mutex")
+	}
+	if len(m.waiters) == 0 {
+		m.held = false
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	// Lock stays held; ownership passes directly to the next waiter.
+	m.sim.At(m.sim.now, func() { next.dispatch() })
+}
+
+// QueueLen returns the number of parked waiters.
+func (m *Mutex) QueueLen() int { return len(m.waiters) }

@@ -1,0 +1,88 @@
+package spinlock
+
+import "sync/atomic"
+
+// MSQueue is a lock-free multi-producer multi-consumer FIFO queue
+// (Michael & Scott, PODC'96). Unlike MPSC it supports concurrent
+// consumers, which the task engine needs because any core below a
+// topology node may drain that node's queue.
+//
+// Nodes are heap-allocated per enqueue, so this variant trades the
+// paper's zero-allocation discipline for lock freedom — exactly the
+// trade-off the ablation benchmarks quantify. ABA problems cannot occur
+// because nodes are garbage-collected, never recycled.
+//
+// The zero value is not usable; construct with NewMSQueue.
+type MSQueue[T any] struct {
+	head atomic.Pointer[msNode[T]]
+	tail atomic.Pointer[msNode[T]]
+	size atomic.Int64
+}
+
+type msNode[T any] struct {
+	next  atomic.Pointer[msNode[T]]
+	value T
+}
+
+// NewMSQueue returns an empty queue.
+func NewMSQueue[T any]() *MSQueue[T] {
+	q := &MSQueue[T]{}
+	sentinel := &msNode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v. Safe for any number of concurrent producers.
+func (q *MSQueue[T]) Enqueue(v T) {
+	n := &msNode[T]{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail is lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.size.Add(1)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element, reporting false when
+// the queue is empty. Safe for any number of concurrent consumers.
+func (q *MSQueue[T]) Dequeue() (T, bool) {
+	var zero T
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return zero, false
+			}
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v := next.value
+		if q.head.CompareAndSwap(head, next) {
+			q.size.Add(-1)
+			return v, true
+		}
+	}
+}
+
+// Len returns the approximate number of queued elements.
+func (q *MSQueue[T]) Len() int { return int(q.size.Load()) }
+
+// Empty reports whether the queue appears empty (may be stale).
+func (q *MSQueue[T]) Empty() bool { return q.size.Load() <= 0 }
