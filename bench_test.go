@@ -10,6 +10,7 @@ package pioman_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"pioman/internal/core"
@@ -19,6 +20,7 @@ import (
 	"pioman/internal/nmad"
 	"pioman/internal/simmachine"
 	"pioman/internal/simmpi"
+	"pioman/internal/stats"
 	"pioman/internal/topology"
 )
 
@@ -119,6 +121,140 @@ func BenchmarkEmptyHierarchyScan(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitPinned isolates the placement cost of Submit for the
+// common case — a task pinned to a single CPU, as SubmitToIdle always
+// produces. Tasks are pre-allocated and drained outside the timer, so
+// the measured loop is purely Submit: state CAS, queue placement, and
+// enqueue. The cached per-CPU placement table makes this path zero
+// tree-walks and zero map lookups.
+func BenchmarkSubmitPinned(b *testing.B) {
+	topo := topology.Kwak()
+	e := core.New(core.Config{Topology: topo})
+	const batch = 4096
+	tasks := make([]core.Task, batch)
+	for i := range tasks {
+		tasks[i].Fn = func(any) bool { return true }
+		tasks[i].CPUSet = cpuset.New(i % topo.NCPUs)
+	}
+	drain := func() {
+		for cpu := 0; cpu < topo.NCPUs; cpu++ {
+			for e.Schedule(cpu) > 0 {
+			}
+		}
+		for i := range tasks {
+			tasks[i].Reset()
+			tasks[i].CPUSet = cpuset.New(i % topo.NCPUs)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			e.MustSubmit(&tasks[j])
+		}
+		b.StopTimer()
+		drain()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkDrainBatch measures the consumer side of batched dequeue:
+// draining a backlog of pinned tasks through Schedule. The reported
+// tasks/lock-acquire metric is the average drain batch size — the factor
+// by which one lock acquisition is amortized (the seed's lock-per-task
+// loop pins it at 1.0).
+func BenchmarkDrainBatch(b *testing.B) {
+	e := core.New(core.Config{Topology: topology.Kwak()})
+	const backlog = 256
+	tasks := make([]core.Task, backlog)
+	for i := range tasks {
+		tasks[i].Fn = func(any) bool { return true }
+		tasks[i].CPUSet = cpuset.New(0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range tasks {
+			tasks[j].Reset()
+			e.MustSubmit(&tasks[j])
+		}
+		b.StartTimer()
+		for drained := 0; drained < backlog; {
+			drained += e.Schedule(0)
+		}
+	}
+	b.StopTimer()
+	q := e.QueueFor(cpuset.New(0))
+	if drains, drained := q.DrainStats(); drains > 0 {
+		b.ReportMetric(float64(drained)/float64(drains), "tasks/lock-acquire")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/backlog, "ns/task")
+}
+
+// BenchmarkMPMCContended is the contended multi-producer/multi-consumer
+// stress: every worker bursts tasks into the global queue (the maximal
+// contention point) and then schedules until its burst completes. The
+// lock-acquires/task metric counts total spinlock acquisitions on the
+// global queue per executed task (the seed pays ~2: one enqueue + one
+// per-task dequeue); drain-locks/task counts only the consumer side,
+// which batching divides by the average batch size.
+func BenchmarkMPMCContended(b *testing.B) {
+	e := core.New(core.Config{Topology: topology.Host()})
+	ncpu := e.Topology().NCPUs
+	var workerID atomic.Int64
+	const burst = 16
+	b.ReportAllocs()
+	// Keep the queue genuinely multi-producer/multi-consumer even on a
+	// single-core host.
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cpu := int(workerID.Add(1)-1) % ncpu
+		tasks := make([]core.Task, burst)
+		for i := range tasks {
+			tasks[i].Fn = func(any) bool { return true }
+		}
+		for pb.Next() {
+			for i := range tasks {
+				tasks[i].Reset()
+				e.MustSubmit(&tasks[i])
+			}
+			for {
+				e.Schedule(cpu)
+				done := true
+				for i := range tasks {
+					if !tasks[i].Done() {
+						done = false
+						break
+					}
+				}
+				if done {
+					break
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	st := e.Stats()
+	q := e.QueueFor(cpuset.Set{})
+	acq, _ := q.LockStats()
+	drains, _ := q.DrainStats()
+	if st.Executions > 0 {
+		b.ReportMetric(float64(acq)/float64(st.Executions), "lock-acquires/task")
+		b.ReportMetric(float64(drains)/float64(st.Executions), "drain-locks/task")
+	}
+	perCPU := make([]float64, len(st.ExecPerCPU))
+	for i, n := range st.ExecPerCPU {
+		perCPU[i] = float64(n)
+	}
+	b.ReportMetric(stats.Imbalance(perCPU), "exec-imbalance")
+}
+
 // ---- Ablation: Algorithm 2's double-checked dequeue ----
 
 func BenchmarkGetTask(b *testing.B) {
@@ -163,6 +299,10 @@ func BenchmarkQueueKind(b *testing.B) {
 
 // ---- Ablation: hierarchical queues vs. a single global list ----
 
+// Each worker keeps a burst of pinned tasks in flight: with the
+// hierarchy they sit on that core's own queue; with the single global
+// list every other core's scan has to drain, skip and put back the
+// whole backlog — the §III churn the hierarchy exists to avoid.
 func BenchmarkHierarchyVsBigLock(b *testing.B) {
 	for _, single := range []bool{false, true} {
 		name := "hierarchy"
@@ -170,19 +310,31 @@ func BenchmarkHierarchyVsBigLock(b *testing.B) {
 			name = "big-lock"
 		}
 		b.Run(name, func(b *testing.B) {
-			e := core.New(core.Config{Topology: topology.Host(), SingleGlobalQueue: single})
+			e := core.New(core.Config{Topology: topology.Kwak(), SingleGlobalQueue: single})
 			ncpu := e.Topology().NCPUs
+			var workerID atomic.Int64
+			const burst = 8
+			// Force several workers even on a single-core host, so the
+			// big-lock variant always sees foreign pinned tasks on its
+			// one global list.
+			b.SetParallelism(4)
 			b.RunParallel(func(pb *testing.PB) {
-				cpu := 0
-				task := core.Task{Fn: func(any) bool { return true }}
+				cpu := int(workerID.Add(1)-1) % ncpu
+				tasks := make([]core.Task, burst)
+				for i := range tasks {
+					tasks[i].Fn = func(any) bool { return true }
+				}
 				for pb.Next() {
-					task.Reset()
-					task.CPUSet = cpuset.New(cpu % ncpu)
-					e.MustSubmit(&task)
-					for !task.Done() {
-						e.Schedule(cpu % ncpu)
+					for i := range tasks {
+						tasks[i].Reset()
+						tasks[i].CPUSet = cpuset.New(cpu)
+						e.MustSubmit(&tasks[i])
 					}
-					cpu++
+					for i := range tasks {
+						for !tasks[i].Done() {
+							e.Schedule(cpu)
+						}
+					}
 				}
 			})
 		})

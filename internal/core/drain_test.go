@@ -1,0 +1,391 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pioman/internal/cpuset"
+	"pioman/internal/topology"
+)
+
+// Tests for the batched-dequeue fast path: drain, enqueueChain, the
+// cached placement tables, the sharded/derived statistics, and
+// ResetStats across every queue protection variant. Run with -race.
+
+// TestConcurrentBurstyAllKinds hammers the batched drain path: producers
+// submit bursts (so drains detach real batches, not single tasks) of
+// pinned, chip-wide and global tasks while one scheduler goroutine per
+// CPU drains. Every task must execute exactly once, on an allowed CPU.
+func TestConcurrentBurstyAllKinds(t *testing.T) {
+	for _, kind := range []QueueKind{QueueSpinlock, QueueMutex, QueueLockFree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			topo := topology.Kwak()
+			e := New(Config{Topology: topo, QueueKind: kind})
+			const producers = 4
+			const bursts = 30
+			const burstLen = 16
+			total := producers * bursts * burstLen
+
+			var executed atomic.Int64
+			var badCPU atomic.Int64
+			stop := make(chan struct{})
+			var swg sync.WaitGroup
+			for cpu := 0; cpu < topo.NCPUs; cpu++ {
+				swg.Add(1)
+				go func(cpu int) {
+					defer swg.Done()
+					for {
+						e.Schedule(cpu)
+						select {
+						case <-stop:
+							for e.Schedule(cpu) > 0 {
+							}
+							return
+						default:
+						}
+					}
+				}(cpu)
+			}
+
+			var pwg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				pwg.Add(1)
+				go func(p int) {
+					defer pwg.Done()
+					for bu := 0; bu < bursts; bu++ {
+						tasks := make([]Task, burstLen)
+						for i := range tasks {
+							switch i % 3 {
+							case 0:
+								tasks[i].CPUSet = cpuset.New((p*burstLen + i) % topo.NCPUs)
+							case 1:
+								chip := (p + i) % 4
+								tasks[i].CPUSet = cpuset.NewRange(chip*4, chip*4+3)
+							case 2:
+								// empty: global queue, any CPU
+							}
+							tasks[i].Fn = func(arg any) bool {
+								task := arg.(*Task)
+								cpu := int(task.lastCPU.Load())
+								if !task.CPUSet.IsEmpty() && !task.CPUSet.IsSet(cpu) {
+									badCPU.Add(1)
+								}
+								executed.Add(1)
+								return true
+							}
+							tasks[i].Arg = &tasks[i]
+							e.MustSubmit(&tasks[i])
+						}
+						for i := range tasks {
+							e.WaitActive(&tasks[i], p%topo.NCPUs)
+						}
+					}
+				}(p)
+			}
+			pwg.Wait()
+			close(stop)
+			swg.Wait()
+
+			if got := executed.Load(); got != int64(total) {
+				t.Errorf("executed %d tasks, want %d", got, total)
+			}
+			if n := badCPU.Load(); n != 0 {
+				t.Errorf("%d executions on disallowed CPUs", n)
+			}
+			if e.Pending() != 0 {
+				t.Errorf("Pending = %d after completion", e.Pending())
+			}
+		})
+	}
+}
+
+// TestStatsMatchQueueCounters is the accounting regression test for the
+// sharded/derived counters: at quiescence the per-queue enqueue/dequeue
+// totals must tie out exactly against the engine-level stats —
+//
+//	Σ Enqueues == Submitted + Requeues + Skips
+//	Σ Dequeues == Executions + Skips
+//
+// with Submitted equal to the number of Submit calls actually made.
+func TestStatsMatchQueueCounters(t *testing.T) {
+	for _, kind := range []QueueKind{QueueSpinlock, QueueMutex, QueueLockFree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := New(Config{Topology: topology.Kwak(), QueueKind: kind})
+			submits := 0
+
+			// Plain pinned tasks.
+			for i := 0; i < 10; i++ {
+				e.MustSubmit(&Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(i % 16)})
+				submits++
+			}
+			// A repeat task that takes 4 runs.
+			countdown := 4
+			e.MustSubmit(&Task{
+				Fn:      func(any) bool { countdown--; return countdown == 0 },
+				CPUSet:  cpuset.New(2),
+				Options: Repeat,
+			})
+			submits++
+			// A task CPU 0 must skip (global queue, restricted set).
+			skippy := &Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(3, 4)}
+			e.MustSubmit(skippy)
+			submits++
+			// An urgent task, so the urgent queue participates in totals.
+			if err := e.SubmitUrgent(&Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)}); err != nil {
+				t.Fatal(err)
+			}
+			submits++
+
+			e.Schedule(0) // skips skippy at the global queue
+			for cpu := 0; cpu < 16; cpu++ {
+				for e.Schedule(cpu) > 0 {
+				}
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("Pending = %d, want 0", e.Pending())
+			}
+
+			s := e.Stats()
+			if s.Submitted != uint64(submits) {
+				t.Errorf("Submitted = %d, want %d", s.Submitted, submits)
+			}
+			if s.Skips == 0 {
+				t.Error("expected at least one skip")
+			}
+			if s.Requeues != 3 {
+				t.Errorf("Requeues = %d, want 3", s.Requeues)
+			}
+			var enq, deq uint64
+			for _, q := range e.Queues() {
+				enq += q.Enqueues()
+				deq += q.Dequeues()
+			}
+			if uq := e.urgentQ.Load(); uq != nil {
+				enq += uq.Enqueues()
+				deq += uq.Dequeues()
+			}
+			if enq != s.Submitted+s.Requeues+s.Skips {
+				t.Errorf("Σenqueues = %d, want Submitted+Requeues+Skips = %d",
+					enq, s.Submitted+s.Requeues+s.Skips)
+			}
+			if deq != s.Executions+s.Skips {
+				t.Errorf("Σdequeues = %d, want Executions+Skips = %d",
+					deq, s.Executions+s.Skips)
+			}
+			var exec uint64
+			for _, n := range s.ExecPerCPU {
+				exec += n
+			}
+			if exec != s.Executions {
+				t.Errorf("ΣExecPerCPU = %d, want Executions = %d", exec, s.Executions)
+			}
+		})
+	}
+}
+
+// TestDrainBatchesUnderOneLock verifies the core claim of batched
+// dequeue: scheduling N pending tasks takes ~N/batch consumer-side lock
+// acquisitions, not N.
+func TestDrainBatchesUnderOneLock(t *testing.T) {
+	e := New(Config{Topology: topology.Kwak()})
+	const n = 64 // two default batches
+	for i := 0; i < n; i++ {
+		e.MustSubmit(&Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)})
+	}
+	if got := e.Schedule(0); got != n {
+		t.Fatalf("Schedule ran %d, want %d", got, n)
+	}
+	q := e.QueueFor(cpuset.New(0))
+	drains, drained := q.DrainStats()
+	if drained != n {
+		t.Errorf("drained = %d, want %d", drained, n)
+	}
+	if drains != 2 {
+		t.Errorf("drains = %d, want 2 (batch size 32)", drains)
+	}
+	acq, _ := q.LockStats()
+	// n single enqueues + 2 drains; far below the seed's n+n.
+	if want := uint64(n + 2); acq != want {
+		t.Errorf("lock acquisitions = %d, want %d", acq, want)
+	}
+}
+
+// TestDrainBatchOne degenerates the batch size to 1 and checks it
+// reproduces the seed's lock-per-task behaviour, keeping the ablation
+// comparable.
+func TestDrainBatchOne(t *testing.T) {
+	e := New(Config{Topology: topology.Kwak(), DrainBatch: 1})
+	const n = 8
+	for i := 0; i < n; i++ {
+		e.MustSubmit(&Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)})
+	}
+	if got := e.Schedule(0); got != n {
+		t.Fatalf("Schedule ran %d, want %d", got, n)
+	}
+	q := e.QueueFor(cpuset.New(0))
+	drains, drained := q.DrainStats()
+	if drained != n || drains != n {
+		t.Errorf("drains/drained = %d/%d, want %d/%d", drains, drained, n, n)
+	}
+}
+
+// TestPutBacksUseOneChainEnqueue checks that CPU-set mismatches found in
+// one drained batch are re-enqueued with a single chain append, and that
+// the put-back preserves the tasks for an allowed CPU.
+func TestPutBacksUseOneChainEnqueue(t *testing.T) {
+	e := New(Config{Topology: topology.Kwak()})
+	const n = 6
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i].Fn = func(any) bool { return true }
+		tasks[i].CPUSet = cpuset.New(3, 4) // global queue, CPUs 3-4 only
+		e.MustSubmit(&tasks[i])
+	}
+	if got := e.Schedule(0); got != 0 {
+		t.Fatalf("CPU 0 executed %d tasks, want 0", got)
+	}
+	if got := e.Stats().Skips; got != n {
+		t.Errorf("Skips = %d, want %d", got, n)
+	}
+	q := e.QueueFor(cpuset.New(3, 4))
+	// n individual submit enqueues + 1 put-back chain + 1 drain.
+	acq, _ := q.LockStats()
+	if want := uint64(n + 2); acq != want {
+		t.Errorf("lock acquisitions = %d, want %d (one chained put-back)", acq, want)
+	}
+	for cpu := 3; cpu <= 4; cpu++ {
+		for e.Schedule(cpu) > 0 {
+		}
+	}
+	for i := range tasks {
+		if !tasks[i].Done() {
+			t.Fatalf("task %d lost in put-back", i)
+		}
+	}
+}
+
+// TestCachedPlacementMatchesFindCovering guards the leaf/byID tables:
+// placement through the fast path must agree with the topology walk for
+// every single-CPU set, and QueueFor must agree with FindCovering for
+// arbitrary sets.
+func TestCachedPlacementMatchesFindCovering(t *testing.T) {
+	topo := topology.Kwak()
+	e := New(Config{Topology: topo})
+	for cpu := 0; cpu < topo.NCPUs; cpu++ {
+		got := e.QueueFor(cpuset.New(cpu)).Node()
+		want := topo.FindCovering(cpuset.New(cpu))
+		if got != want {
+			t.Errorf("QueueFor({%d}) = %v, want %v", cpu, got, want)
+		}
+		if got.Kind != topology.Core || got.Index != cpu {
+			t.Errorf("QueueFor({%d}) not the per-core leaf: %v", cpu, got)
+		}
+	}
+	for mask := 0; mask < 1<<16; mask += 37 {
+		cs := setFromMask(uint16(mask))
+		if got, want := e.QueueFor(cs).Node(), topo.FindCovering(cs); got != want {
+			t.Errorf("QueueFor(%s) = %v, want %v", cs, got, want)
+		}
+	}
+	// Out-of-range single CPU falls back to the tree walk (global queue).
+	if got := e.QueueFor(cpuset.New(99)).Node(); got != topo.Root {
+		t.Errorf("QueueFor({99}) = %v, want root", got)
+	}
+}
+
+// TestResetStatsClearsAllInstrumentation is the regression test for the
+// ResetStats fix: after a workload on each queue kind — urgent queue
+// included — every counter the engine reports must read zero.
+func TestResetStatsClearsAllInstrumentation(t *testing.T) {
+	for _, kind := range []QueueKind{QueueSpinlock, QueueMutex, QueueLockFree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := New(Config{Topology: topology.Kwak(), QueueKind: kind})
+			for i := 0; i < 8; i++ {
+				e.MustSubmit(&Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(i % 16)})
+			}
+			if err := e.SubmitUrgent(&Task{Fn: func(any) bool { return true }}); err != nil {
+				t.Fatal(err)
+			}
+			for cpu := 0; cpu < 16; cpu++ {
+				for e.Schedule(cpu) > 0 {
+				}
+			}
+			e.ResetStats()
+			s := e.Stats()
+			if s.Submitted != 0 || s.Executions != 0 || s.Requeues != 0 || s.Skips != 0 {
+				t.Errorf("Stats after reset = %+v, want all zero", s)
+			}
+			for _, q := range e.Queues() {
+				if q.Enqueues() != 0 || q.Dequeues() != 0 {
+					t.Errorf("queue %v counters %d/%d after reset", q.Node(), q.Enqueues(), q.Dequeues())
+				}
+				if acq, cont := q.LockStats(); acq != 0 || cont != 0 {
+					t.Errorf("queue %v LockStats %d/%d after reset", q.Node(), acq, cont)
+				}
+				if drains, drained := q.DrainStats(); drains != 0 || drained != 0 {
+					t.Errorf("queue %v DrainStats %d/%d after reset", q.Node(), drains, drained)
+				}
+				if q.Retries() != 0 {
+					t.Errorf("queue %v Retries %d after reset", q.Node(), q.Retries())
+				}
+			}
+		})
+	}
+}
+
+// TestResetStatsKeepsQueuedTasksSchedulable: resetting stats while
+// tasks are in flight must not strand them — the derived queue length
+// survives the counter reset (regression test: warmup, ResetStats,
+// measure, with a Repeat polling task alive across the reset).
+func TestResetStatsKeepsQueuedTasksSchedulable(t *testing.T) {
+	for _, kind := range []QueueKind{QueueSpinlock, QueueMutex, QueueLockFree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := New(Config{Topology: topology.Kwak(), QueueKind: kind})
+			task := &Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)}
+			polls := 0
+			poller := &Task{
+				Fn:      func(any) bool { polls++; return polls >= 3 },
+				CPUSet:  cpuset.New(1),
+				Options: Repeat,
+			}
+			e.MustSubmit(task)
+			e.MustSubmit(poller)
+			e.Schedule(1) // one poll; poller re-enqueued across the reset
+			e.ResetStats()
+			if n := e.Schedule(0); n != 1 {
+				t.Fatalf("Schedule(0) after reset ran %d, want 1", n)
+			}
+			for i := 0; i < 5 && !poller.Done(); i++ {
+				e.Schedule(1)
+			}
+			if !task.Done() || !poller.Done() {
+				t.Fatalf("tasks stranded by ResetStats: done=%v/%v", task.Done(), poller.Done())
+			}
+			s := e.Stats()
+			if s.Submitted != 2 {
+				t.Errorf("Submitted = %d, want 2 (both tasks re-enter accounting at reset)", s.Submitted)
+			}
+		})
+	}
+}
+
+// TestScheduleOneWithDeepBacklog: ScheduleOne must execute exactly one
+// task even when far more are queued (the drain must not detach a full
+// batch it cannot execute).
+func TestScheduleOneWithDeepBacklog(t *testing.T) {
+	e := New(Config{Topology: topology.Kwak()})
+	const n = 100
+	for i := 0; i < n; i++ {
+		e.MustSubmit(&Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)})
+	}
+	if !e.ScheduleOne(0) {
+		t.Fatal("ScheduleOne found nothing")
+	}
+	if got := e.Pending(); got != n-1 {
+		t.Errorf("Pending = %d, want %d", got, n-1)
+	}
+	if got := e.Stats().Executions; got != 1 {
+		t.Errorf("Executions = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"pioman/internal/cpuset"
+	"pioman/internal/spinlock"
 	"pioman/internal/topology"
 )
 
@@ -22,6 +23,37 @@ type Config struct {
 	// AlwaysLock disables Algorithm 2's unlocked emptiness pre-check, for
 	// the double-checked-locking ablation.
 	AlwaysLock bool
+	// DrainBatch bounds how many tasks one queue-lock acquisition may
+	// detach during Schedule. 0 means the default (32); 1 degenerates to
+	// the seed's lock-per-task behaviour, kept reachable for comparison.
+	DrainBatch int
+}
+
+// defaultDrainBatch is the Schedule batch size when Config.DrainBatch is
+// unset: large enough to amortize a lock round-trip over many tasks under
+// load, small enough not to starve sibling cores of a busy queue.
+const defaultDrainBatch = 32
+
+// counterShard is one CPU's slice of the engine-wide execution-side
+// counters, padded to a cache line so cores bumping their own shard
+// never false-share. Executions are always counted on the shard of the
+// executing CPU, which makes the per-shard execution count double as
+// the ExecPerCPU stat. The submit-side counter has no shard at all:
+// Stats derives it from the per-queue enqueue counters (see Stats), so
+// Submit pays zero dedicated counter updates.
+type counterShard struct {
+	executions atomic.Uint64
+	requeues   atomic.Uint64
+	skips      atomic.Uint64
+	_          [spinlock.CacheLineSize - 24]byte
+}
+
+// paddedBool is an atomic.Bool on its own cache line; the per-CPU idle
+// flags are written from every idle-hook transition, so neighbouring
+// CPUs must not share a line.
+type paddedBool struct {
+	v atomic.Bool
+	_ [spinlock.CacheLineSize - 1]byte
 }
 
 // Engine is the task manager. It owns one queue per topology node and
@@ -30,17 +62,29 @@ type Config struct {
 //
 // All methods are safe for concurrent use.
 type Engine struct {
-	cfg  Config
-	topo *topology.Topology
+	cfg   Config
+	topo  *topology.Topology
+	batch int
 
-	// queues[i] corresponds to topo.Nodes()[i].
+	// queues[i] corresponds to topo.Nodes()[i] (minus skipped nodes in
+	// single-global-queue mode).
 	queues []*Queue
-	byNode map[*topology.Node]*Queue
+	// byID[n.ID] is the queue of topology node n — a dense array indexed
+	// by Node.ID, replacing map hashing on the submit path.
+	byID []*Queue
+	// leaf[cpu] is the queue a task pinned to exactly {cpu} lands on: the
+	// per-core leaf queue (the global queue in single-global-queue mode).
+	// Together with byID this makes placement of the common case — a
+	// single-CPU set, as SubmitToIdle always produces — zero tree walks
+	// and zero map lookups.
+	leaf []*Queue
+	// rootQ is the global queue (empty CPU sets, uncoverable sets).
+	rootQ *Queue
 	// paths[cpu] is the queue scan order for that CPU: per-core first,
 	// global last.
 	paths [][]*Queue
 
-	idle   []atomic.Bool
+	idle   []paddedBool
 	notify atomic.Pointer[func(cpuset.Set)]
 
 	// Urgent (preemptive) task support — see urgent.go.
@@ -48,11 +92,9 @@ type Engine struct {
 	interrupt   atomic.Pointer[func(cs cpuset.Set)]
 	urgentCount atomic.Uint64
 
-	submitted  atomic.Uint64
-	executions atomic.Uint64
-	requeues   atomic.Uint64
-	skips      atomic.Uint64
-	execPerCPU []atomic.Uint64
+	// shards holds the engine-wide execution-side counters sharded per
+	// CPU; each scheduling core only ever touches its own cache line.
+	shards []counterShard
 }
 
 // New builds an engine for the configured topology.
@@ -60,12 +102,17 @@ func New(cfg Config) *Engine {
 	if cfg.Topology == nil {
 		cfg.Topology = topology.Host()
 	}
+	batch := cfg.DrainBatch
+	if batch <= 0 {
+		batch = defaultDrainBatch
+	}
 	e := &Engine{
-		cfg:        cfg,
-		topo:       cfg.Topology,
-		byNode:     make(map[*topology.Node]*Queue),
-		idle:       make([]atomic.Bool, cfg.Topology.NCPUs),
-		execPerCPU: make([]atomic.Uint64, cfg.Topology.NCPUs),
+		cfg:    cfg,
+		topo:   cfg.Topology,
+		batch:  batch,
+		byID:   make([]*Queue, len(cfg.Topology.Nodes())),
+		idle:   make([]paddedBool, cfg.Topology.NCPUs),
+		shards: make([]counterShard, cfg.Topology.NCPUs),
 	}
 	for _, n := range e.topo.Nodes() {
 		if cfg.SingleGlobalQueue && n != e.topo.Root {
@@ -73,16 +120,20 @@ func New(cfg Config) *Engine {
 		}
 		q := newQueue(n, cfg.QueueKind)
 		e.queues = append(e.queues, q)
-		e.byNode[n] = q
+		e.byID[n.ID] = q
 	}
+	e.rootQ = e.byID[e.topo.Root.ID]
+	e.leaf = make([]*Queue, e.topo.NCPUs)
 	e.paths = make([][]*Queue, e.topo.NCPUs)
 	for cpu := 0; cpu < e.topo.NCPUs; cpu++ {
 		if cfg.SingleGlobalQueue {
-			e.paths[cpu] = []*Queue{e.byNode[e.topo.Root]}
+			e.leaf[cpu] = e.rootQ
+			e.paths[cpu] = []*Queue{e.rootQ}
 			continue
 		}
+		e.leaf[cpu] = e.byID[e.topo.CoreNode(cpu).ID]
 		for _, n := range e.topo.PathToRoot(cpu) {
-			e.paths[cpu] = append(e.paths[cpu], e.byNode[n])
+			e.paths[cpu] = append(e.paths[cpu], e.byID[n.ID])
 		}
 	}
 	return e
@@ -96,12 +147,22 @@ func (e *Engine) Topology() *topology.Topology { return e.topo }
 func (e *Engine) Queues() []*Queue { return e.queues }
 
 // QueueFor returns the queue a task with the given CPU set would be
-// placed on.
+// placed on. Single-CPU sets and the empty set — the two cases every
+// SubmitToIdle produces — resolve through precomputed tables;
+// FindCovering's tree walk is reserved for genuine multi-CPU sets.
 func (e *Engine) QueueFor(cs cpuset.Set) *Queue {
-	if e.cfg.SingleGlobalQueue {
-		return e.byNode[e.topo.Root]
+	if cpu, ok := cs.Single(); ok && cpu < len(e.leaf) {
+		return e.leaf[cpu]
 	}
-	return e.byNode[e.topo.FindCovering(cs)]
+	return e.queueForSlow(cs)
+}
+
+// queueForSlow resolves placement for the empty set and multi-CPU sets.
+func (e *Engine) queueForSlow(cs cpuset.Set) *Queue {
+	if e.cfg.SingleGlobalQueue || cs.IsEmpty() {
+		return e.rootQ
+	}
+	return e.byID[e.topo.FindCovering(cs).ID]
 }
 
 // Submit places the task on the queue of the deepest topology node
@@ -114,10 +175,16 @@ func (e *Engine) Submit(t *Task) error {
 	if !t.state.CompareAndSwap(uint32(StateFree), uint32(StateSubmitted)) {
 		return fmt.Errorf("core: Submit of task in state %v", t.State())
 	}
-	t.lastCPU.Store(-1)
-	q := e.QueueFor(t.CPUSet)
+	// Placement, flattened from QueueFor so the pinned fast path — the
+	// common case — costs one popcount check and one table load inside
+	// this frame.
+	var q *Queue
+	if cpu, ok := t.CPUSet.Single(); ok && cpu < len(e.leaf) {
+		q = e.leaf[cpu]
+	} else {
+		q = e.queueForSlow(t.CPUSet)
+	}
 	t.home = q
-	e.submitted.Add(1)
 	q.enqueue(t)
 	if fn := e.notify.Load(); fn != nil {
 		(*fn)(t.CPUSet)
@@ -161,13 +228,13 @@ func (e *Engine) SubmitToIdle(t *Task, home int) error {
 // calls this from its idle hook.
 func (e *Engine) SetIdle(cpu int, idle bool) {
 	if cpu >= 0 && cpu < len(e.idle) {
-		e.idle[cpu].Store(idle)
+		e.idle[cpu].v.Store(idle)
 	}
 }
 
 // IsIdle reports whether a CPU was last marked idle.
 func (e *Engine) IsIdle(cpu int) bool {
-	return cpu >= 0 && cpu < len(e.idle) && e.idle[cpu].Load()
+	return cpu >= 0 && cpu < len(e.idle) && e.idle[cpu].v.Load()
 }
 
 // FindIdleNear returns the idle CPU topologically nearest to home
@@ -182,7 +249,7 @@ func (e *Engine) FindIdleNear(home int) int {
 	for _, node := range e.topo.PathToRoot(home) {
 		found := -1
 		node.CPUSet.ForEach(func(cpu int) bool {
-			if !seen.IsSet(cpu) && e.idle[cpu].Load() {
+			if !seen.IsSet(cpu) && e.idle[cpu].v.Load() {
 				found = cpu
 				return false
 			}
@@ -226,48 +293,107 @@ func (e *Engine) schedule(cpu int, max int) int {
 		return ran
 	}
 	for _, q := range e.paths[cpu] {
-		// Bound the pass: tasks re-enqueued during this scan (repeats or
-		// CPU-set mismatches) are not reconsidered until the next call.
-		bound := q.Len()
-		for i := 0; i < bound; i++ {
-			var t *Task
-			if e.cfg.AlwaysLock {
-				t = q.dequeueAlwaysLock()
-			} else {
-				t = q.dequeue()
-			}
-			if t == nil {
-				break
-			}
+		// Fast skip of empty queues keeps Algorithm 1's common case — a
+		// scan over an idle hierarchy — free of calls and locks: one
+		// atomic head load per queue. This skip IS Algorithm 2's
+		// unlocked notempty() check, so the AlwaysLock ablation disables
+		// it and pays a lock acquisition per queue to discover
+		// emptiness, exactly the naive Get_Task the paper argues
+		// against.
+		if q.Empty() && !e.cfg.AlwaysLock {
+			continue
+		}
+		budget := -1
+		if max > 0 {
+			budget = max - ran
+		}
+		ran += e.drainQueue(q, cpu, budget)
+		if max > 0 && ran >= max {
+			return ran
+		}
+	}
+	return ran
+}
+
+// drainQueue is the per-queue portion of Algorithm 1 with batched
+// dequeue: tasks are detached drainBatch at a time under one lock
+// acquisition, executed locally, and CPU-set mismatches are collected
+// and put back with one locked append per call instead of one lock
+// round-trip per task. budget < 0 means unbounded; otherwise at most
+// budget tasks are executed (skips do not consume budget).
+//
+// The pass is bounded by the queue's length at entry: tasks re-enqueued
+// during the scan (repeats, put-backs) are not reconsidered until the
+// next call, so a persistent Repeat task cannot livelock the caller.
+func (e *Engine) drainQueue(q *Queue, cpu int, budget int) int {
+	bound := q.Len()
+	if bound == 0 {
+		if !e.cfg.AlwaysLock {
+			return 0
+		}
+		// Naive Get_Task: take the lock even to discover emptiness.
+		bound = 1
+	}
+	ran, processed := 0, 0
+	var pbHead, pbTail *Task // put-back chain for CPU-set mismatches
+	pbN := 0
+	for processed < bound {
+		n := bound - processed
+		if n > e.batch {
+			n = e.batch
+		}
+		if budget >= 0 && n > budget-ran {
+			// Never detach more runnable tasks than we may execute;
+			// skipped tasks do not count, so the loop re-drains if the
+			// whole batch turned out to be put-backs.
+			n = budget - ran
+		}
+		head, got := q.drain(n, e.cfg.AlwaysLock)
+		if got == 0 {
+			break
+		}
+		processed += got
+		for t := head; t != nil; {
+			next := t.next
+			t.next = nil
 			if !t.CPUSet.IsEmpty() && !t.CPUSet.IsSet(cpu) {
 				// Not allowed here (possible for ancestor queues holding
 				// tasks whose CPU set is a strict subset): put it back.
-				e.skips.Add(1)
-				q.enqueue(t)
-				continue
+				if pbTail == nil {
+					pbHead = t
+				} else {
+					pbTail.next = t
+				}
+				pbTail = t
+				pbN++
+			} else {
+				e.run(t, cpu)
+				ran++
 			}
-			e.run(t, cpu, q)
-			ran++
-			if max > 0 && ran >= max {
-				return ran
-			}
+			t = next
 		}
+		if budget >= 0 && ran >= budget {
+			break
+		}
+	}
+	if pbN > 0 {
+		e.shards[cpu].skips.Add(uint64(pbN))
+		q.enqueueChain(pbHead, pbTail, pbN)
 	}
 	return ran
 }
 
 // run executes one dequeued task on cpu and routes it to completion or
 // re-enqueue.
-func (e *Engine) run(t *Task, cpu int, q *Queue) {
+func (e *Engine) run(t *Task, cpu int) {
 	t.state.Store(uint32(StateRunning))
 	t.lastCPU.Store(int64(cpu))
 	t.runs.Add(1)
-	e.executions.Add(1)
-	e.execPerCPU[cpu].Add(1)
+	e.shards[cpu].executions.Add(1)
 	done := t.Fn(t.Arg)
 	if t.Options&Repeat != 0 && !done {
 		t.state.Store(uint32(StateSubmitted))
-		e.requeues.Add(1)
+		e.shards[cpu].requeues.Add(1)
 		t.home.enqueue(t)
 		return
 	}
@@ -308,33 +434,58 @@ type Stats struct {
 	ExecPerCPU []uint64 // executions indexed by CPU
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, aggregated across the
+// per-CPU shards and per-queue counters.
+//
+// Submitted is derived rather than counted: every accepted Submit
+// enqueues exactly once, and the only other enqueue sources are Repeat
+// re-enqueues and CPU-set put-backs, so
+//
+//	Submitted = Σ Queue.Enqueues − Requeues − Skips.
+//
+// This keeps the submit hot path free of any dedicated counter update.
+// Under concurrency the snapshot is approximate (counters are read
+// independently), exactly like the seed's global counters were.
 func (e *Engine) Stats() Stats {
-	s := Stats{
-		Submitted:  e.submitted.Load(),
-		Executions: e.executions.Load(),
-		Requeues:   e.requeues.Load(),
-		Skips:      e.skips.Load(),
-		ExecPerCPU: make([]uint64, len(e.execPerCPU)),
+	s := Stats{ExecPerCPU: make([]uint64, len(e.shards))}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		ex := sh.executions.Load()
+		s.Executions += ex
+		s.ExecPerCPU[i] = ex
+		s.Requeues += sh.requeues.Load()
+		s.Skips += sh.skips.Load()
 	}
-	for i := range e.execPerCPU {
-		s.ExecPerCPU[i] = e.execPerCPU[i].Load()
+	enq := uint64(0)
+	for _, q := range e.queues {
+		enq += q.Enqueues()
+	}
+	if uq := e.urgentQ.Load(); uq != nil {
+		enq += uq.Enqueues()
+	}
+	if total := s.Requeues + s.Skips; enq >= total {
+		s.Submitted = enq - total
 	}
 	return s
 }
 
-// ResetStats zeroes the engine counters (queue counters included).
+// ResetStats zeroes the engine counters and every queue's
+// instrumentation — spinlock, mutex and lock-free alike, the urgent
+// queue included — so ablation runs start from clean counters. Tasks
+// still queued at reset time stay schedulable and are accounted as if
+// submitted after the reset (warmup-then-reset with a Repeat poll task
+// in flight is the expected usage).
 func (e *Engine) ResetStats() {
-	e.submitted.Store(0)
-	e.executions.Store(0)
-	e.requeues.Store(0)
-	e.skips.Store(0)
-	for i := range e.execPerCPU {
-		e.execPerCPU[i].Store(0)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.executions.Store(0)
+		sh.requeues.Store(0)
+		sh.skips.Store(0)
 	}
 	for _, q := range e.queues {
-		q.enqueues.Store(0)
-		q.dequeues.Store(0)
-		q.spin.Reset()
+		q.resetStats()
+	}
+	if uq := e.urgentQ.Load(); uq != nil {
+		uq.resetStats()
 	}
 }

@@ -15,14 +15,14 @@ import (
 type QueueKind int
 
 const (
-	// QueueSpinlock protects the intrusive task list with an instrumented
+	// QueueSpinlock protects the intrusive task list with a
 	// test-and-test-and-set spinlock. This is the paper's implementation.
 	QueueSpinlock QueueKind = iota
 	// QueueMutex uses sync.Mutex — the "classical mutex" the paper warns
 	// risks costly context switches.
 	QueueMutex
-	// QueueLockFree uses a Michael-Scott lock-free queue — the paper's
-	// future-work direction; it allocates one node per enqueue.
+	// QueueLockFree uses a Michael-Scott lock-free queue backed by a slab
+	// node allocator — the paper's future-work direction.
 	QueueLockFree
 )
 
@@ -43,22 +43,49 @@ func (k QueueKind) String() string {
 // Queue is one task list bound to a topology node. It is multi-producer,
 // multi-consumer: any core may submit, any core whose CPU lies below the
 // node may drain it.
+//
+// The layout and the accounting are both contention-aware:
+//
+//   - The lock word and list tail (producer side), the head pointer
+//     (read unlocked by every Algorithm 2 emptiness precheck), the
+//     producer counter and the consumer counters each sit on their own
+//     cache line, so cores in different roles never false-share.
+//   - The hot paths carry no dedicated instrumentation updates: length
+//     is derived as enqueues−dequeues, and lock acquisitions are derived
+//     in LockStats from the operation counters (every locked operation
+//     acquires exactly once), so enqueue pays a single counter add and
+//     drain amortizes its adds over the whole batch.
 type Queue struct {
 	node *topology.Node
 	kind QueueKind
 
-	// Locked variants: intrusive doubly-checked list (Algorithm 2).
-	spin  spinlock.Instrumented
-	mutex sync.Mutex
-	head  *Task
-	tail  *Task
-	size  atomic.Int64
-
-	// Lock-free variant.
+	// Lock-free variant (nil otherwise).
 	lf *spinlock.MSQueue[*Task]
 
-	enqueues atomic.Uint64
-	dequeues atomic.Uint64
+	_ spinlock.CacheLinePad
+	// Producer line: the lock, the list tail and the enqueue counter are
+	// all written while enqueueing, so they share one cache line —
+	// a submitting core touches exactly this line plus the task.
+	// (Algorithm 2's critical section is guarded by spin or mutex.)
+	spin     spinlock.SpinLock
+	tail     *Task
+	enqueues atomic.Uint64 // tasks enqueued (all paths)
+	mutex    sync.Mutex
+
+	_ spinlock.CacheLinePad
+	// head is written only while holding the lock but read without it by
+	// Empty — the first, unlocked check of Algorithm 2 — so empty-queue
+	// scans touch one immutable-for-them cache line and no lock.
+	head atomic.Pointer[Task]
+
+	_           spinlock.CacheLinePad
+	dequeues    atomic.Uint64 // tasks detached by drains
+	drains      atomic.Uint64 // drain ops that detached ≥ 1 task
+	emptyDrains atomic.Uint64 // locked drain ops that found nothing
+	chainOps    atomic.Uint64 // enqueueChain ops (one lock each)
+	chainTasks  atomic.Uint64 // tasks appended by enqueueChain
+	contended   atomic.Uint64 // lock acquisitions that had to wait
+	_           spinlock.CacheLinePad
 }
 
 func newQueue(node *topology.Node, kind QueueKind) *Queue {
@@ -72,53 +99,160 @@ func newQueue(node *topology.Node, kind QueueKind) *Queue {
 // Node returns the topology node this queue is attached to.
 func (q *Queue) Node() *topology.Node { return q.node }
 
-// Len returns the approximate queue length.
+// Len returns the approximate queue length, derived from the enqueue and
+// dequeue totals. Exact when the queue is quiescent; transiently off by
+// the number of in-flight operations under concurrency (as the seed's
+// dedicated size counter also was).
 func (q *Queue) Len() int {
 	if q.kind == QueueLockFree {
 		return q.lf.Len()
 	}
-	return int(q.size.Load())
+	n := int64(q.enqueues.Load()) - int64(q.dequeues.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }
 
 // Empty reports whether the queue appears empty without taking the lock —
-// the first, unlocked check of Algorithm 2.
-func (q *Queue) Empty() bool { return q.Len() <= 0 }
+// the first, unlocked check of Algorithm 2. For the locked variants this
+// is a single atomic pointer load.
+func (q *Queue) Empty() bool {
+	if q.kind == QueueLockFree {
+		return q.lf.Empty()
+	}
+	return q.head.Load() == nil
+}
 
 // Enqueues returns the total number of tasks enqueued (including Repeat
-// re-enqueues).
+// re-enqueues and CPU-set put-backs).
 func (q *Queue) Enqueues() uint64 { return q.enqueues.Load() }
 
-// Dequeues returns the total number of successful dequeues.
+// Dequeues returns the total number of tasks detached by drains.
 func (q *Queue) Dequeues() uint64 { return q.dequeues.Load() }
 
 // LockStats returns (acquisitions, contended acquisitions) for the
-// spinlock variant; zeros otherwise.
+// spinlock and mutex variants; zeros for the lock-free variant (see
+// Retries for its contention analogue).
+//
+// Acquisitions are derived from the operation counters rather than
+// counted on the hot path: every single enqueue, every chain append and
+// every locked drain acquires the lock exactly once, so
+//
+//	acquires = (enqueues − chainTasks) + chainOps + drains + emptyDrains.
+//
+// The figure is exact at quiescence and approximate mid-operation.
 func (q *Queue) LockStats() (acquires, contended uint64) {
-	if q.kind == QueueSpinlock {
-		return q.spin.Acquires(), q.spin.Contended()
+	if q.kind == QueueLockFree {
+		return 0, 0
 	}
-	return 0, 0
+	acquires = q.enqueues.Load() - q.chainTasks.Load() +
+		q.chainOps.Load() + q.drains.Load() + q.emptyDrains.Load()
+	return acquires, q.contended.Load()
 }
 
+// DrainStats returns the number of batched detach operations and the
+// total number of tasks they removed. drained/drains is the average
+// batch size — the factor by which batching divides per-task lock
+// acquisitions on the consumer side.
+func (q *Queue) DrainStats() (drains, drained uint64) {
+	return q.drains.Load(), q.dequeues.Load()
+}
+
+// Retries returns the CAS retry count of the lock-free variant (its
+// contention analogue); zero for the locked variants.
+func (q *Queue) Retries() uint64 {
+	if q.kind == QueueLockFree {
+		return q.lf.Retries()
+	}
+	return 0
+}
+
+// resetStats zeroes every per-queue instrumentation counter, whatever
+// the protection variant. Because Len is derived as enqueues−dequeues,
+// the difference is preserved across the reset: tasks still queued when
+// stats are reset remain schedulable (they re-enter the accounting as
+// if freshly submitted). At quiescence both counters simply become 0.
+// Counters read concurrently with a reset are approximate, as with the
+// seed's global counters.
+func (q *Queue) resetStats() {
+	pending := int64(q.enqueues.Load()) - int64(q.dequeues.Load())
+	if pending < 0 {
+		pending = 0
+	}
+	q.enqueues.Store(uint64(pending))
+	q.dequeues.Store(0)
+	q.drains.Store(0)
+	q.emptyDrains.Store(0)
+	q.chainOps.Store(0)
+	q.chainTasks.Store(0)
+	q.contended.Store(0)
+	if q.lf != nil {
+		q.lf.ResetStats()
+	}
+}
+
+// lock acquires the queue's lock, counting contended acquisitions.
+// Total acquisitions are derived in LockStats, so the uncontended path
+// is one TryLock and nothing else; the contended paths are outlined to
+// keep lock inlinable into the enqueue/drain hot paths.
 func (q *Queue) lock() {
 	if q.kind == QueueMutex {
+		q.lockMutex()
+		return
+	}
+	if !q.spin.TryLock() {
+		q.lockSpinSlow()
+	}
+}
+
+func (q *Queue) lockSpinSlow() {
+	q.contended.Add(1)
+	q.spin.Lock()
+}
+
+func (q *Queue) lockMutex() {
+	if !q.mutex.TryLock() {
+		q.contended.Add(1)
 		q.mutex.Lock()
-	} else {
-		q.spin.Lock()
 	}
 }
 
 func (q *Queue) unlock() {
 	if q.kind == QueueMutex {
 		q.mutex.Unlock()
-	} else {
-		q.spin.Unlock()
+		return
 	}
+	// Lock/unlock pairing is structural in this file; skip Unlock's
+	// double-unlock CAS guard.
+	q.spin.ReleaseUnchecked()
 }
 
-// enqueue appends t to the queue.
+// enqueue appends t to the queue. The spinlock variant — the paper's
+// configuration and the submit hot path — is laid out flat here so the
+// whole operation is one call frame: counter add, try-lock, three plain
+// stores, release store. The ablation variants are outlined.
 func (q *Queue) enqueue(t *Task) {
 	q.enqueues.Add(1)
+	if q.kind != QueueSpinlock {
+		q.enqueueSlow(t)
+		return
+	}
+	if !q.spin.TryLock() {
+		q.lockSpinSlow()
+	}
+	t.next = nil
+	if q.tail == nil {
+		q.head.Store(t)
+	} else {
+		q.tail.next = t
+	}
+	q.tail = t
+	q.spin.ReleaseUnchecked()
+}
+
+// enqueueSlow appends t for the mutex and lock-free variants.
+func (q *Queue) enqueueSlow(t *Task) {
 	if q.kind == QueueLockFree {
 		q.lf.Enqueue(t)
 		return
@@ -126,73 +260,103 @@ func (q *Queue) enqueue(t *Task) {
 	q.lock()
 	t.next = nil
 	if q.tail == nil {
-		q.head = t
-		q.tail = t
+		q.head.Store(t)
 	} else {
 		q.tail.next = t
-		q.tail = t
 	}
-	q.size.Add(1)
+	q.tail = t
 	q.unlock()
 }
 
-// dequeue implements the paper's Algorithm 2 (Get_Task): evaluate the
-// queue without holding the lock to avoid needless contention; only when
-// it appears non-empty, acquire the lock, re-check, and dequeue. Returns
-// nil when the queue is (or appears) empty.
-func (q *Queue) dequeue() *Task {
+// enqueueChain appends a chain of n tasks (linked through Task.next,
+// nil-terminated at tail) under a single lock acquisition. The engine
+// uses it to put back a batch of CPU-set-mismatched tasks without
+// paying one lock round-trip per task.
+func (q *Queue) enqueueChain(head, tail *Task, n int) {
+	if n <= 0 {
+		return
+	}
+	q.enqueues.Add(uint64(n))
 	if q.kind == QueueLockFree {
-		if t, ok := q.lf.Dequeue(); ok {
-			q.dequeues.Add(1)
-			return t
+		for t := head; t != nil; {
+			next := t.next
+			t.next = nil
+			q.lf.Enqueue(t)
+			t = next
 		}
-		return nil
+		return
 	}
-	if q.size.Load() <= 0 { // unlocked notempty() check
-		return nil
-	}
+	q.chainOps.Add(1)
+	q.chainTasks.Add(uint64(n))
 	q.lock()
-	var t *Task
-	if q.head != nil { // locked re-check
-		t = q.head
-		q.head = t.next
-		if q.head == nil {
-			q.tail = nil
-		}
-		t.next = nil
-		q.size.Add(-1)
+	tail.next = nil
+	if q.tail == nil {
+		q.head.Store(head)
+	} else {
+		q.tail.next = head
 	}
+	q.tail = tail
 	q.unlock()
-	if t != nil {
-		q.dequeues.Add(1)
-	}
-	return t
 }
 
-// dequeueAlwaysLock is the naive Get_Task without the unlocked emptiness
-// pre-check, kept for the Algorithm 2 ablation benchmark.
-func (q *Queue) dequeueAlwaysLock() *Task {
+// drain implements the batched generalisation of the paper's Algorithm 2
+// (Get_Task): evaluate the queue without holding the lock to avoid
+// needless contention; only when it appears non-empty, acquire the lock,
+// re-check, and detach up to max tasks in that single critical section.
+// It returns the head of the detached chain (linked through Task.next)
+// and its length; (nil, 0) when the queue is (or appears) empty.
+//
+// alwaysLock skips the unlocked emptiness precheck, for the Algorithm 2
+// ablation.
+func (q *Queue) drain(max int, alwaysLock bool) (*Task, int) {
+	if max <= 0 {
+		return nil, 0
+	}
 	if q.kind == QueueLockFree {
-		if t, ok := q.lf.Dequeue(); ok {
-			q.dequeues.Add(1)
-			return t
+		var head, tail *Task
+		n := 0
+		for n < max {
+			t, ok := q.lf.Dequeue()
+			if !ok {
+				break
+			}
+			t.next = nil
+			if tail == nil {
+				head = t
+			} else {
+				tail.next = t
+			}
+			tail = t
+			n++
 		}
-		return nil
+		if n > 0 {
+			q.dequeues.Add(uint64(n))
+			q.drains.Add(1)
+		}
+		return head, n
+	}
+	if !alwaysLock && q.head.Load() == nil { // unlocked notempty() check
+		return nil, 0
 	}
 	q.lock()
-	var t *Task
-	if q.head != nil {
-		t = q.head
-		q.head = t.next
-		if q.head == nil {
+	head := q.head.Load() // locked re-check: nil when a racing drain won
+	n := 0
+	var last *Task
+	for t := head; t != nil && n < max; t = t.next {
+		last = t
+		n++
+	}
+	if n > 0 {
+		q.head.Store(last.next)
+		if last.next == nil {
 			q.tail = nil
 		}
-		t.next = nil
-		q.size.Add(-1)
+		last.next = nil
+		q.dequeues.Add(uint64(n))
+		q.drains.Add(1)
+	} else {
+		q.emptyDrains.Add(1)
 	}
 	q.unlock()
-	if t != nil {
-		q.dequeues.Add(1)
-	}
-	return t
+	return head, n
 }

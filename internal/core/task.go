@@ -14,8 +14,18 @@
 // The thread scheduler invokes Engine.Schedule at keypoints (idle cores,
 // context switches, timer ticks); Schedule implements the paper's
 // Algorithm 1 (scan queues from the local per-core queue up to the global
-// queue) and each queue's dequeue implements Algorithm 2 (double-checked
-// locking so empty queues are scanned without acquiring their lock).
+// queue) and each queue's drain implements a batched generalisation of
+// Algorithm 2 (double-checked locking so empty queues are scanned
+// without acquiring their lock, and up to Config.DrainBatch tasks are
+// detached per acquisition).
+//
+// The hot paths are engineered to stay well under a context-switch
+// budget: Submit of a pinned task resolves its queue through a
+// precomputed per-CPU table (no tree walk, no map hash, no allocation),
+// statistics are sharded per CPU or derived from per-queue counters,
+// and queue fields are laid out to eliminate false sharing between
+// producer and consumer cores. DESIGN.md documents the architecture and
+// the measured numbers.
 package core
 
 import (
@@ -119,8 +129,15 @@ func (t *Task) Done() bool { return t.State() == StateDone }
 func (t *Task) Runs() uint64 { return t.runs.Load() }
 
 // LastCPU returns the CPU that most recently executed the task, or -1 if
-// it has never run.
-func (t *Task) LastCPU() int { return int(t.lastCPU.Load()) }
+// it has never run. The never-ran case is derived from the run counter
+// so Submit does not have to re-initialize the CPU slot on every
+// submission.
+func (t *Task) LastCPU() int {
+	if t.runs.Load() == 0 {
+		return -1
+	}
+	return int(t.lastCPU.Load())
+}
 
 // DoneChan returns a channel closed when the task completes. The channel
 // is allocated lazily so tasks that are only polled stay allocation-free.

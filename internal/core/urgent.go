@@ -40,10 +40,8 @@ func (e *Engine) SubmitUrgent(t *Task) error {
 	if !t.state.CompareAndSwap(uint32(StateFree), uint32(StateSubmitted)) {
 		return fmt.Errorf("core: SubmitUrgent of task in state %v", t.State())
 	}
-	t.lastCPU.Store(-1)
 	q := e.initUrgent()
 	t.home = q
-	e.submitted.Add(1)
 	e.urgentCount.Add(1)
 	q.enqueue(t)
 	if fn := e.interrupt.Load(); fn != nil {
@@ -72,28 +70,16 @@ func (e *Engine) UrgentSubmitted() uint64 { return e.urgentCount.Load() }
 
 // scheduleUrgent drains the urgent queue (bounded by its length at
 // entry) on behalf of cpu, before any hierarchical queue is looked at.
+// It shares the engine's batched drain path, so even the preemptive
+// queue pays one lock acquisition per batch, not per task.
 func (e *Engine) scheduleUrgent(cpu int, max int) int {
 	q := e.urgentQ.Load()
 	if q == nil {
 		return 0
 	}
-	ran := 0
-	bound := q.Len()
-	for i := 0; i < bound; i++ {
-		t := q.dequeue()
-		if t == nil {
-			break
-		}
-		if !t.CPUSet.IsEmpty() && !t.CPUSet.IsSet(cpu) {
-			e.skips.Add(1)
-			q.enqueue(t)
-			continue
-		}
-		e.run(t, cpu, q)
-		ran++
-		if max > 0 && ran >= max {
-			break
-		}
+	budget := -1
+	if max > 0 {
+		budget = max
 	}
-	return ran
+	return e.drainQueue(q, cpu, budget)
 }

@@ -103,6 +103,24 @@ func (s Set) IsEmpty() bool {
 	return true
 }
 
+// Single returns the set's only CPU when the set contains exactly one,
+// reporting (-1, false) otherwise. It is a constant-time popcount check,
+// used by the task engine's submit fast path to recognise pinned tasks
+// without walking the topology tree.
+func (s Set) Single() (int, bool) {
+	cpu := -1
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if cpu >= 0 || w&(w-1) != 0 {
+			return -1, false
+		}
+		cpu = i*wordBits + bits.TrailingZeros64(w)
+	}
+	return cpu, cpu >= 0
+}
+
 // First returns the smallest CPU in the set, or -1 if the set is empty.
 func (s Set) First() int {
 	for i, w := range s.words {

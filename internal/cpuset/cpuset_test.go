@@ -408,3 +408,33 @@ func BenchmarkAnd(b *testing.B) {
 		_ = And(x, y)
 	}
 }
+
+func TestSingle(t *testing.T) {
+	cases := []struct {
+		s   Set
+		cpu int
+		ok  bool
+	}{
+		{Set{}, -1, false},
+		{New(0), 0, true},
+		{New(7), 7, true},
+		{New(63), 63, true},
+		{New(64), 64, true},
+		{New(100), 100, true},
+		{New(0, 1), -1, false},
+		{New(3, 200), -1, false},
+		{NewRange(0, 15), -1, false},
+	}
+	for _, c := range cases {
+		cpu, ok := c.s.Single()
+		if cpu != c.cpu || ok != c.ok {
+			t.Errorf("Single(%s) = (%d, %v), want (%d, %v)", c.s, cpu, ok, c.cpu, c.ok)
+		}
+	}
+	// A set that had a second CPU cleared is single again.
+	s := New(4, 9)
+	s.Clear(9)
+	if cpu, ok := s.Single(); cpu != 4 || !ok {
+		t.Errorf("Single after Clear = (%d, %v), want (4, true)", cpu, ok)
+	}
+}

@@ -1,0 +1,118 @@
+package spinlock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMSQueueFIFO(t *testing.T) {
+	q := NewMSQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue reported a value")
+	}
+	for i := 0; i < 200; i++ {
+		q.Enqueue(i)
+	}
+	if got := q.Len(); got != 200 {
+		t.Errorf("Len = %d, want 200", got)
+	}
+	for i := 0; i < 200; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue #%d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if !q.Empty() {
+		t.Error("queue not empty after draining")
+	}
+}
+
+// TestMSQueueSlabAmortizesAllocation is the regression test for the slab
+// node pool: enqueueing must cost far less than one heap allocation per
+// operation (one slab of msSlabSize nodes at a time).
+func TestMSQueueSlabAmortizesAllocation(t *testing.T) {
+	q := NewMSQueue[int]()
+	const rounds = 10 * msSlabSize
+	allocs := testing.AllocsPerRun(rounds, func() {
+		q.Enqueue(1)
+		q.Dequeue()
+	})
+	if allocs > 2.0/msSlabSize+0.01 {
+		t.Errorf("allocs per enqueue = %.3f, want ~1/%d", allocs, msSlabSize)
+	}
+	if q.SlabAllocs() == 0 {
+		t.Error("SlabAllocs = 0, expected slab allocations to be counted")
+	}
+}
+
+func TestMSQueueConcurrentMPMC(t *testing.T) {
+	q := NewMSQueue[int]()
+	const producers, consumers, perProducer = 4, 4, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(p*perProducer + i)
+			}
+		}(p)
+	}
+	total := producers * perProducer
+	seen := make([]bool, total)
+	var mu sync.Mutex
+	var consumed int
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					mu.Lock()
+					done := consumed >= total
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("value %d dequeued twice", v)
+				}
+				seen[v] = true
+				consumed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost", v)
+		}
+	}
+	if !q.Empty() {
+		t.Errorf("Len = %d after full drain", q.Len())
+	}
+}
+
+func TestMSQueueResetStats(t *testing.T) {
+	q := NewMSQueue[int]()
+	for i := 0; i < 3*msSlabSize; i++ {
+		q.Enqueue(i)
+	}
+	if q.SlabAllocs() == 0 {
+		t.Fatal("expected slab allocations")
+	}
+	q.ResetStats()
+	if q.SlabAllocs() != 0 || q.Retries() != 0 {
+		t.Error("ResetStats did not zero instrumentation")
+	}
+	if got := q.Len(); got != 3*msSlabSize {
+		t.Errorf("ResetStats disturbed queue contents: Len = %d", got)
+	}
+}

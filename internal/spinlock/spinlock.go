@@ -1,7 +1,7 @@
 // Package spinlock provides the low-level synchronization primitives used
 // by the task engine: a test-and-test-and-set spinlock with exponential
-// backoff, an instrumented variant that records contention, a sync.Mutex
-// adapter, and a lock-free multi-producer queue.
+// backoff (plus an unguarded release for structurally paired hot paths),
+// cache-line padding helpers, and lock-free multi-producer queues.
 //
 // The paper protects task queues with spinlocks because the critical
 // sections are shorter than a context switch (§IV-A); it lists lock-free
@@ -16,7 +16,7 @@ import (
 )
 
 // Locker is the queue-protection contract: anything with Lock/Unlock.
-// *SpinLock, *Instrumented and *sync.Mutex all satisfy it.
+// *SpinLock and *sync.Mutex both satisfy it.
 type Locker interface {
 	Lock()
 	Unlock()
@@ -25,7 +25,6 @@ type Locker interface {
 // Compile-time interface checks.
 var (
 	_ Locker = (*SpinLock)(nil)
-	_ Locker = (*Instrumented)(nil)
 	_ Locker = (*sync.Mutex)(nil)
 )
 
@@ -72,36 +71,20 @@ func (l *SpinLock) Unlock() {
 	}
 }
 
-// Instrumented wraps a SpinLock and counts acquisitions and contended
-// acquisitions (those that did not succeed on the first attempt). Counters
-// may be read concurrently.
-type Instrumented struct {
-	lock      SpinLock
-	acquires  atomic.Uint64
-	contended atomic.Uint64
-}
+// ReleaseUnchecked releases the lock with a single atomic store, without
+// Unlock's double-unlock guard (a compare-and-swap). Hot paths whose
+// Lock/Unlock pairing is structurally guaranteed — the task queue's
+// enqueue and drain critical sections — use it to save one locked RMW
+// per critical section.
+func (l *SpinLock) ReleaseUnchecked() { l.state.Store(0) }
 
-// Lock acquires the lock, recording whether contention was observed.
-func (l *Instrumented) Lock() {
-	l.acquires.Add(1)
-	if l.lock.TryLock() {
-		return
-	}
-	l.contended.Add(1)
-	l.lock.Lock()
-}
+// CacheLineSize is the assumed size of one CPU cache line. 64 bytes is
+// correct for every x86-64 and most arm64 parts; over-padding on the few
+// 128-byte-line machines costs memory, never correctness.
+const CacheLineSize = 64
 
-// Unlock releases the lock.
-func (l *Instrumented) Unlock() { l.lock.Unlock() }
-
-// Acquires returns the total number of Lock calls.
-func (l *Instrumented) Acquires() uint64 { return l.acquires.Load() }
-
-// Contended returns the number of Lock calls that had to wait.
-func (l *Instrumented) Contended() uint64 { return l.contended.Load() }
-
-// Reset zeroes the counters.
-func (l *Instrumented) Reset() {
-	l.acquires.Store(0)
-	l.contended.Store(0)
-}
+// CacheLinePad is embedded between hot fields of a struct to keep them
+// on distinct cache lines, eliminating false sharing between cores that
+// write neighbouring fields (producer vs. consumer counters, per-CPU
+// slots of a shared slice).
+type CacheLinePad [CacheLineSize]byte

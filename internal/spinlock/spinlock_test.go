@@ -52,26 +52,11 @@ func TestSpinLockUnlockOfUnlockedPanics(t *testing.T) {
 	l.Unlock()
 }
 
-func TestInstrumentedCounts(t *testing.T) {
-	var l Instrumented
-	l.Lock()
-	l.Unlock()
-	l.Lock()
-	l.Unlock()
-	if got := l.Acquires(); got != 2 {
-		t.Errorf("Acquires = %d, want 2", got)
-	}
-	if got := l.Contended(); got != 0 {
-		t.Errorf("Contended = %d, want 0 for uncontended use", got)
-	}
-	l.Reset()
-	if l.Acquires() != 0 || l.Contended() != 0 {
-		t.Error("Reset did not zero counters")
-	}
-}
-
-func TestInstrumentedDetectsContention(t *testing.T) {
-	var l Instrumented
+// TestReleaseUncheckedReleases exercises the hot-path release used by
+// the task queues: mutual exclusion must hold across Lock/TryLock with
+// ReleaseUnchecked as the unlock.
+func TestReleaseUncheckedReleases(t *testing.T) {
+	var l SpinLock
 	var wg sync.WaitGroup
 	const workers, iters = 4, 500
 	shared := 0
@@ -80,9 +65,11 @@ func TestInstrumentedDetectsContention(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
-				l.Lock()
+				if !l.TryLock() {
+					l.Lock()
+				}
 				shared++
-				l.Unlock()
+				l.ReleaseUnchecked()
 			}
 		}()
 	}
@@ -90,17 +77,10 @@ func TestInstrumentedDetectsContention(t *testing.T) {
 	if shared != workers*iters {
 		t.Errorf("shared = %d, want %d", shared, workers*iters)
 	}
-	if got := l.Acquires(); got != workers*iters {
-		t.Errorf("Acquires = %d, want %d", got, workers*iters)
+	if !l.TryLock() {
+		t.Error("lock left held after ReleaseUnchecked")
 	}
-	// Contention is probabilistic but with 4 goroutines hammering the lock
-	// at least some contended acquisitions are effectively certain.
-	if l.Contended() == 0 {
-		t.Log("warning: no contention observed (single-core scheduling?)")
-	}
-	if l.Contended() > l.Acquires() {
-		t.Errorf("Contended (%d) > Acquires (%d)", l.Contended(), l.Acquires())
-	}
+	l.Unlock()
 }
 
 func TestMPSCFIFOSingleProducer(t *testing.T) {

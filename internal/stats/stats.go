@@ -55,6 +55,28 @@ func Summarize(samples []float64) Summary {
 	return s
 }
 
+// Imbalance returns max/mean over the samples — 1.0 for perfectly even
+// load, climbing as load concentrates. The scheduling benchmarks use it
+// to report how evenly executions spread across CPUs (per-CPU sharded
+// counters make the per-CPU series cheap to collect). Empty or all-zero
+// input yields 0.
+func Imbalance(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	max, sum := 0.0, 0.0
+	for _, v := range samples {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(samples)))
+}
+
 // Percentile returns the p-th percentile (0-100) using nearest-rank.
 func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {

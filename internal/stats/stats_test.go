@@ -128,3 +128,21 @@ func TestFigureUnionOfXValues(t *testing.T) {
 		t.Errorf("figure should include union of x values:\n%s", out)
 	}
 }
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{5, 5, 5, 5}, 1},
+		{[]float64{4, 0, 0, 0}, 4},
+		{[]float64{3, 1}, 1.5},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -53,6 +53,7 @@ func (k Kind) String() string {
 type Node struct {
 	Kind     Kind
 	Index    int // index among nodes of the same kind, machine-wide
+	ID       int // dense index into Topology.Nodes(); Nodes()[n.ID] == n
 	Depth    int // 0 at the root
 	CPUSet   cpuset.Set
 	Parent   *Node
@@ -258,12 +259,16 @@ func Build(spec Spec) (*Topology, error) {
 	return t, nil
 }
 
-// index populates the flat node and core tables from the tree.
+// index populates the flat node and core tables from the tree and
+// assigns each node its dense ID (pre-order position), which consumers
+// such as the task engine use for O(1) node → queue lookups in place of
+// map hashing.
 func (t *Topology) index() {
 	t.nodes = t.nodes[:0]
 	t.cores = make([]*Node, t.NCPUs)
 	var walk func(n *Node)
 	walk = func(n *Node) {
+		n.ID = len(t.nodes)
 		t.nodes = append(t.nodes, n)
 		if n.Kind == Core {
 			t.cores[n.Index] = n

@@ -283,3 +283,17 @@ func TestNumLevels(t *testing.T) {
 		t.Errorf("borderline levels = %d, want 3", got)
 	}
 }
+
+func TestNodeIDsAreDense(t *testing.T) {
+	for _, name := range []string{"borderline", "kwak", "host"} {
+		topo, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range topo.Nodes() {
+			if n.ID != i {
+				t.Errorf("%s: Nodes()[%d].ID = %d, want %d", name, i, n.ID, i)
+			}
+		}
+	}
+}
