@@ -1,0 +1,148 @@
+// Command doccheck enforces the repository's godoc policy: every
+// exported identifier in the packages passed as arguments must carry a
+// doc comment. It is the CI stand-in for revive's `exported` rule,
+// implemented on go/ast so the check needs nothing beyond the standard
+// library.
+//
+// Checked declarations, mirroring revive's scope:
+//
+//   - package-level functions and methods (methods only when their
+//     receiver type is itself exported — methods on unexported types are
+//     unreachable from outside the package);
+//   - package-level types;
+//   - package-level consts and vars, where a doc comment on the
+//     enclosing declaration group covers every spec inside it (the
+//     conventional style for enum-like const blocks).
+//
+// Usage:
+//
+//	go run ./cmd/doccheck ./internal/core ./internal/stats ...
+//
+// Each violation is printed as file:line: identifier; the exit status
+// is 1 when any package has one. Test files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test .go file in dir and reports exported
+// identifiers lacking doc comments, returning how many it found.
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s %s has no doc comment\n", filepath.ToSlash(p.Filename), p.Line, what, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if d.Recv != nil && !receiverExported(d.Recv) {
+						continue
+					}
+					report(d.Pos(), kindOf(d), d.Name.Name)
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// kindOf names a FuncDecl for diagnostics: "function" or "method".
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// receiverExported reports whether a method's receiver names an
+// exported type (after peeling pointers and type parameters).
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true // unrecognized shape: err toward checking
+		}
+	}
+}
+
+// checkGenDecl reports undocumented exported names in a type, const or
+// var declaration. A doc comment on the declaration group covers all
+// its specs; otherwise each spec needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}

@@ -13,7 +13,10 @@
 //     of up to 32 tasks), per-CPU sharded statistics and cache-line
 //     padded queues (~2× faster pinned submit, 16-32× fewer
 //     consumer-side lock acquisitions than lock-per-task; see
-//     DESIGN.md);
+//     DESIGN.md), and topology-aware work stealing across sibling leaf
+//     queues (Config.Steal + SubmitLocal: out-of-work CPUs migrate
+//     locality-placed backlogs, re-homing pinned tasks rather than
+//     running them off their CPU set);
 //   - internal/cpuset, internal/topology — CPU sets and machine trees;
 //   - internal/sched — lightweight threads with idle / context-switch /
 //     timer keypoint hooks driving the task engine;
@@ -24,6 +27,7 @@
 //     substrates and harnesses that regenerate every table and figure
 //     of the paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for reproduced-versus-published results.
+// See docs/ARCHITECTURE.md for the package map and dependency diagram,
+// DESIGN.md for the engine's hot-path and work-stealing design with
+// measured numbers, and examples/README.md for six guided programs.
 package pioman

@@ -184,6 +184,109 @@ func TestStatsMatchQueueCounters(t *testing.T) {
 	}
 }
 
+// TestStatsTieOutWithStealing extends the accounting invariants to work
+// stealing: with thieves migrating and re-homing tasks, the per-queue
+// totals must still satisfy
+//
+//	Σ Enqueues == Submitted + Requeues + Skips
+//	Σ Dequeues == Executions + Skips
+//
+// and the steal counters must tie out among themselves:
+//
+//	Σ StealPerCPU == StealTasks ≤ Executions,  StealHits ≤ StealAttempts.
+func TestStatsTieOutWithStealing(t *testing.T) {
+	for _, kind := range []QueueKind{QueueSpinlock, QueueMutex, QueueLockFree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := New(Config{
+				Topology:  topology.Borderline(),
+				QueueKind: kind,
+				Steal:     StealConfig{Policy: StealFullTree},
+			})
+			submits := 0
+			// Unconstrained tasks parked on CPU 0's leaf: steal fodder.
+			for i := 0; i < 20; i++ {
+				if err := e.SubmitLocal(&Task{Fn: func(any) bool { return true }}, 0); err != nil {
+					t.Fatal(err)
+				}
+				submits++
+			}
+			// A pinned task misplaced on CPU 0's leaf: must be re-homed by
+			// a thief (a skip), then executed by its own CPU.
+			pinned := &Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(5)}
+			if err := e.SubmitLocal(pinned, 0); err != nil {
+				t.Fatal(err)
+			}
+			submits++
+			// A repeat task, so requeues participate in the totals.
+			countdown := 3
+			e.MustSubmit(&Task{
+				Fn:      func(any) bool { countdown--; return countdown == 0 },
+				CPUSet:  cpuset.New(1),
+				Options: Repeat,
+			})
+			submits++
+
+			// Thieves drain everything; CPU 5 picks up the re-homed task.
+			for cpu := 0; cpu < 8; cpu++ {
+				thief := (cpu + 1) % 8
+				for e.Schedule(thief) > 0 {
+				}
+			}
+			for e.Schedule(5) > 0 {
+			}
+			for e.Schedule(1) > 0 {
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("Pending = %d, want 0", e.Pending())
+			}
+			if !pinned.Done() {
+				t.Fatal("re-homed pinned task never executed")
+			}
+
+			s := e.Stats()
+			if s.Submitted != uint64(submits) {
+				t.Errorf("Submitted = %d, want %d", s.Submitted, submits)
+			}
+			if s.StealTasks == 0 || s.StealHits == 0 {
+				t.Errorf("expected steals, got %+v", s)
+			}
+			var enq, deq uint64
+			for _, q := range e.Queues() {
+				enq += q.Enqueues()
+				deq += q.Dequeues()
+			}
+			if enq != s.Submitted+s.Requeues+s.Skips {
+				t.Errorf("Σenqueues = %d, want Submitted+Requeues+Skips = %d",
+					enq, s.Submitted+s.Requeues+s.Skips)
+			}
+			if deq != s.Executions+s.Skips {
+				t.Errorf("Σdequeues = %d, want Executions+Skips = %d",
+					deq, s.Executions+s.Skips)
+			}
+			var perCPU uint64
+			for _, n := range s.StealPerCPU {
+				perCPU += n
+			}
+			if perCPU != s.StealTasks {
+				t.Errorf("ΣStealPerCPU = %d, want StealTasks = %d", perCPU, s.StealTasks)
+			}
+			if s.StealTasks > s.Executions {
+				t.Errorf("StealTasks = %d exceeds Executions = %d", s.StealTasks, s.Executions)
+			}
+			if s.StealHits > s.StealAttempts {
+				t.Errorf("StealHits = %d exceeds StealAttempts = %d", s.StealHits, s.StealAttempts)
+			}
+
+			// ResetStats must clear the steal counters with everything else.
+			e.ResetStats()
+			s = e.Stats()
+			if s.StealAttempts != 0 || s.StealHits != 0 || s.StealTasks != 0 {
+				t.Errorf("steal stats after reset = %+v, want all zero", s)
+			}
+		})
+	}
+}
+
 // TestDrainBatchesUnderOneLock verifies the core claim of batched
 // dequeue: scheduling N pending tasks takes ~N/batch consumer-side lock
 // acquisitions, not N.

@@ -27,6 +27,53 @@ type Config struct {
 	// detach during Schedule. 0 means the default (32); 1 degenerates to
 	// the seed's lock-per-task behaviour, kept reachable for comparison.
 	DrainBatch int
+	// Steal configures work stealing across sibling leaf queues (see
+	// steal.go). The zero value disables stealing.
+	Steal StealConfig
+}
+
+// StealPolicy selects how far an out-of-work CPU may reach when it
+// steals tasks from other cores' leaf queues.
+type StealPolicy int
+
+const (
+	// StealOff disables work stealing (the default): a CPU only ever
+	// drains the queues on its own path to the root.
+	StealOff StealPolicy = iota
+	// StealSiblings lets a CPU steal only from leaf queues sharing its
+	// immediate topology parent — the cores it shares a cache or chip
+	// with, where migration costs one intra-domain cache transfer.
+	StealSiblings
+	// StealFullTree lets a CPU walk outward through every topology
+	// level, stealing from the nearest backlogged leaf first and
+	// crossing chip and NUMA boundaries only as a last resort.
+	StealFullTree
+)
+
+// String returns the policy name.
+func (p StealPolicy) String() string {
+	switch p {
+	case StealOff:
+		return "off"
+	case StealSiblings:
+		return "siblings"
+	case StealFullTree:
+		return "full-tree"
+	default:
+		return "unknown"
+	}
+}
+
+// StealConfig parameterizes work stealing.
+type StealConfig struct {
+	// Policy selects the steal reach (default StealOff).
+	Policy StealPolicy
+	// BatchFraction is the fraction of the engine's drain batch one
+	// successful steal may detach from a victim, in (0, 1]. 0 means the
+	// default 0.5 — a half-batch, so a thief relieves a backlogged
+	// victim without emptying it and destroying the victim's own
+	// locality. The result is clamped to at least one task.
+	BatchFraction float64
 }
 
 // defaultDrainBatch is the Schedule batch size when Config.DrainBatch is
@@ -45,7 +92,13 @@ type counterShard struct {
 	executions atomic.Uint64
 	requeues   atomic.Uint64
 	skips      atomic.Uint64
-	_          [spinlock.CacheLineSize - 24]byte
+	// Steal instrumentation, counted on the thief's shard: drains
+	// attempted on victim queues, attempts that migrated at least one
+	// task, and stolen tasks executed here.
+	stealAttempts atomic.Uint64
+	stealHits     atomic.Uint64
+	stealTasks    atomic.Uint64
+	_             [spinlock.CacheLineSize - 48]byte
 }
 
 // paddedBool is an atomic.Bool on its own cache line; the per-CPU idle
@@ -83,6 +136,14 @@ type Engine struct {
 	// paths[cpu] is the queue scan order for that CPU: per-core first,
 	// global last.
 	paths [][]*Queue
+	// stealGroups[cpu] holds the candidate victim leaf queues for that
+	// CPU, grouped by topological distance (topology.StealOrder):
+	// sibling cores first, then cousins, NUMA-remote cores last. The
+	// StealSiblings policy restricts the walk to the first group.
+	stealGroups [][][]*Queue
+	// stealBatch is how many tasks one steal may detach from a victim
+	// (Config.Steal.BatchFraction of the drain batch, default half).
+	stealBatch int
 
 	idle   []paddedBool
 	notify atomic.Pointer[func(cpuset.Set)]
@@ -136,6 +197,7 @@ func New(cfg Config) *Engine {
 			e.paths[cpu] = append(e.paths[cpu], e.byID[n.ID])
 		}
 	}
+	e.initSteal()
 	return e
 }
 
@@ -165,15 +227,25 @@ func (e *Engine) queueForSlow(cs cpuset.Set) *Queue {
 	return e.byID[e.topo.FindCovering(cs).ID]
 }
 
+// submitPrep is the shared validation prologue of every submission
+// entry point: reject nil bodies and transition StateFree →
+// StateSubmitted, naming the calling operation in any error.
+func submitPrep(t *Task, op string) error {
+	if t.Fn == nil {
+		return fmt.Errorf("core: %s of task with nil Fn", op)
+	}
+	if !t.state.CompareAndSwap(uint32(StateFree), uint32(StateSubmitted)) {
+		return fmt.Errorf("core: %s of task in state %v", op, t.State())
+	}
+	return nil
+}
+
 // Submit places the task on the queue of the deepest topology node
 // covering its CPU set (the global queue for the empty set). The task
 // must be in StateFree and have a non-nil Fn.
 func (e *Engine) Submit(t *Task) error {
-	if t.Fn == nil {
-		return fmt.Errorf("core: Submit of task with nil Fn")
-	}
-	if !t.state.CompareAndSwap(uint32(StateFree), uint32(StateSubmitted)) {
-		return fmt.Errorf("core: Submit of task in state %v", t.State())
+	if err := submitPrep(t, "Submit"); err != nil {
+		return err
 	}
 	// Placement, flattened from QueueFor so the pinned fast path — the
 	// common case — costs one popcount check and one table load inside
@@ -184,12 +256,19 @@ func (e *Engine) Submit(t *Task) error {
 	} else {
 		q = e.queueForSlow(t.CPUSet)
 	}
+	e.submitTo(t, q)
+	return nil
+}
+
+// submitTo is the shared tail of every submission entry point: record
+// the home queue, enqueue, and fire the wakeup notifier. The caller has
+// already validated the task and transitioned it to StateSubmitted.
+func (e *Engine) submitTo(t *Task, q *Queue) {
 	t.home = q
 	q.enqueue(t)
 	if fn := e.notify.Load(); fn != nil {
 		(*fn)(t.CPUSet)
 	}
-	return nil
 }
 
 // SetNotifier installs a callback invoked after every successful Submit
@@ -241,6 +320,12 @@ func (e *Engine) IsIdle(cpu int) bool {
 // (excluding home itself), or -1 when every other core is busy. Proximity
 // is by walking up home's topology path, preferring cores that share the
 // closest ancestor — minimizing cache effects, as §IV-B requires.
+//
+// Among equally-near idle CPUs the one with the fewest executions so far
+// (the per-CPU sharded counters read for free) wins: placement feedback
+// that spreads pinned submissions away from cores that have already
+// absorbed the most work, instead of always re-picking the lowest CPU
+// index.
 func (e *Engine) FindIdleNear(home int) int {
 	if home < 0 || home >= e.topo.NCPUs {
 		home = 0
@@ -248,10 +333,13 @@ func (e *Engine) FindIdleNear(home int) int {
 	seen := cpuset.New(home)
 	for _, node := range e.topo.PathToRoot(home) {
 		found := -1
+		var foundExec uint64
 		node.CPUSet.ForEach(func(cpu int) bool {
 			if !seen.IsSet(cpu) && e.idle[cpu].v.Load() {
-				found = cpu
-				return false
+				ex := e.shards[cpu].executions.Load()
+				if found < 0 || ex < foundExec {
+					found, foundExec = cpu, ex
+				}
 			}
 			return true
 		})
@@ -307,25 +395,88 @@ func (e *Engine) schedule(cpu int, max int) int {
 		if max > 0 {
 			budget = max - ran
 		}
-		ran += e.drainQueue(q, cpu, budget)
+		ran += e.drainQueue(q, cpu, budget, nil)
 		if max > 0 && ran >= max {
 			return ran
 		}
 	}
+	// Only when the entire local path — leaf and every ancestor — yielded
+	// nothing does the CPU reach outward and steal (steal.go). A CPU with
+	// local work never pays the victim-selection walk.
+	if ran == 0 && e.cfg.Steal.Policy != StealOff {
+		ran = e.steal(cpu, max)
+	}
 	return ran
+}
+
+// rehomeChain accumulates CPU-set-mismatched tasks during a drain and
+// re-enqueues each on the queue its CPU set maps to under
+// deepest-covering placement — usually the queue it was drained from
+// (tasks on ancestor queues are correctly placed by construction), in
+// which case the whole batch still costs one chained append. When
+// locality-first placement (SubmitLocal) parked a task somewhere its
+// owner can never run it, any scan that touches it repairs the
+// placement instead of bouncing it on the same unreachable queue.
+// Task.home follows, so Repeat re-enqueues stay repaired.
+//
+// A non-nil pin overrides the placement rule: every task goes back to
+// that queue and keeps its home. The urgent queue needs this — an
+// urgent task skipped by a CPU outside its set must stay urgent, not
+// be demoted into the hierarchy.
+type rehomeChain struct {
+	e          *Engine
+	pin        *Queue
+	head, tail *Task
+	dest       *Queue
+	n          int // tasks in the open chain
+	total      int // tasks re-homed over the chain's lifetime
+}
+
+// add appends a mismatched task; consecutive same-destination tasks
+// share one locked append.
+func (c *rehomeChain) add(t *Task) {
+	dest := c.pin
+	if dest == nil {
+		dest = c.e.QueueFor(t.CPUSet)
+		t.home = dest
+	}
+	if dest != c.dest {
+		c.flush()
+		c.dest = dest
+	}
+	if c.tail == nil {
+		c.head = t
+	} else {
+		c.tail.next = t
+	}
+	c.tail = t
+	c.n++
+	c.total++
+}
+
+// flush re-enqueues the open chain, if any.
+func (c *rehomeChain) flush() {
+	if c.n > 0 {
+		c.dest.enqueueChain(c.head, c.tail, c.n)
+	}
+	c.head, c.tail, c.n = nil, nil, 0
 }
 
 // drainQueue is the per-queue portion of Algorithm 1 with batched
 // dequeue: tasks are detached drainBatch at a time under one lock
 // acquisition, executed locally, and CPU-set mismatches are collected
-// and put back with one locked append per call instead of one lock
-// round-trip per task. budget < 0 means unbounded; otherwise at most
-// budget tasks are executed (skips do not consume budget).
+// and re-homed with one locked append per destination run instead of
+// one lock round-trip per task. budget < 0 means unbounded; otherwise
+// at most budget tasks are executed (skips do not consume budget).
 //
 // The pass is bounded by the queue's length at entry: tasks re-enqueued
 // during the scan (repeats, put-backs) are not reconsidered until the
 // next call, so a persistent Repeat task cannot livelock the caller.
-func (e *Engine) drainQueue(q *Queue, cpu int, budget int) int {
+//
+// pin, when non-nil, forces every put-back onto that queue instead of
+// re-homing by CPU set (see rehomeChain); the urgent queue drains with
+// pin == itself so skipped urgent tasks keep their priority.
+func (e *Engine) drainQueue(q *Queue, cpu int, budget int, pin *Queue) int {
 	bound := q.Len()
 	if bound == 0 {
 		if !e.cfg.AlwaysLock {
@@ -335,8 +486,7 @@ func (e *Engine) drainQueue(q *Queue, cpu int, budget int) int {
 		bound = 1
 	}
 	ran, processed := 0, 0
-	var pbHead, pbTail *Task // put-back chain for CPU-set mismatches
-	pbN := 0
+	pb := rehomeChain{e: e, pin: pin}
 	for processed < bound {
 		n := bound - processed
 		if n > e.batch {
@@ -359,13 +509,7 @@ func (e *Engine) drainQueue(q *Queue, cpu int, budget int) int {
 			if !t.CPUSet.IsEmpty() && !t.CPUSet.IsSet(cpu) {
 				// Not allowed here (possible for ancestor queues holding
 				// tasks whose CPU set is a strict subset): put it back.
-				if pbTail == nil {
-					pbHead = t
-				} else {
-					pbTail.next = t
-				}
-				pbTail = t
-				pbN++
+				pb.add(t)
 			} else {
 				e.run(t, cpu)
 				ran++
@@ -376,9 +520,9 @@ func (e *Engine) drainQueue(q *Queue, cpu int, budget int) int {
 			break
 		}
 	}
-	if pbN > 0 {
-		e.shards[cpu].skips.Add(uint64(pbN))
-		q.enqueueChain(pbHead, pbTail, pbN)
+	pb.flush()
+	if pb.total > 0 {
+		e.shards[cpu].skips.Add(uint64(pb.total))
 	}
 	return ran
 }
@@ -432,6 +576,16 @@ type Stats struct {
 	Requeues   uint64   // Repeat re-enqueues
 	Skips      uint64   // dequeues put back due to CPU-set mismatch
 	ExecPerCPU []uint64 // executions indexed by CPU
+
+	// StealAttempts counts drains attempted on victim queues; StealHits
+	// counts attempts that migrated at least one task; StealTasks counts
+	// stolen tasks executed by a thief CPU (StealTasks ≤ Executions).
+	StealAttempts uint64
+	StealHits     uint64
+	StealTasks    uint64
+	// StealPerCPU is the stolen-task execution count indexed by the
+	// *thief* CPU; its sum equals StealTasks.
+	StealPerCPU []uint64
 }
 
 // Stats returns a snapshot of the engine counters, aggregated across the
@@ -447,7 +601,10 @@ type Stats struct {
 // Under concurrency the snapshot is approximate (counters are read
 // independently), exactly like the seed's global counters were.
 func (e *Engine) Stats() Stats {
-	s := Stats{ExecPerCPU: make([]uint64, len(e.shards))}
+	s := Stats{
+		ExecPerCPU:  make([]uint64, len(e.shards)),
+		StealPerCPU: make([]uint64, len(e.shards)),
+	}
 	for i := range e.shards {
 		sh := &e.shards[i]
 		ex := sh.executions.Load()
@@ -455,6 +612,11 @@ func (e *Engine) Stats() Stats {
 		s.ExecPerCPU[i] = ex
 		s.Requeues += sh.requeues.Load()
 		s.Skips += sh.skips.Load()
+		st := sh.stealTasks.Load()
+		s.StealTasks += st
+		s.StealPerCPU[i] = st
+		s.StealAttempts += sh.stealAttempts.Load()
+		s.StealHits += sh.stealHits.Load()
 	}
 	enq := uint64(0)
 	for _, q := range e.queues {
@@ -481,6 +643,9 @@ func (e *Engine) ResetStats() {
 		sh.executions.Store(0)
 		sh.requeues.Store(0)
 		sh.skips.Store(0)
+		sh.stealAttempts.Store(0)
+		sh.stealHits.Store(0)
+		sh.stealTasks.Store(0)
 	}
 	for _, q := range e.queues {
 		q.resetStats()

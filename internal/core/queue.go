@@ -85,7 +85,12 @@ type Queue struct {
 	chainOps    atomic.Uint64 // enqueueChain ops (one lock each)
 	chainTasks  atomic.Uint64 // tasks appended by enqueueChain
 	contended   atomic.Uint64 // lock acquisitions that had to wait
-	_           spinlock.CacheLinePad
+	// fruitless is the work-stealing hint: enqueues+1 as of the last
+	// steal that detached tasks but could run none (the backlog is
+	// pinned to the owner), zero when unmarked. Any enqueue invalidates
+	// the mark by changing the comparison value. See Engine.stealable.
+	fruitless atomic.Uint64
+	_         spinlock.CacheLinePad
 }
 
 func newQueue(node *topology.Node, kind QueueKind) *Queue {
@@ -187,6 +192,7 @@ func (q *Queue) resetStats() {
 	q.chainOps.Store(0)
 	q.chainTasks.Store(0)
 	q.contended.Store(0)
+	q.fruitless.Store(0)
 	if q.lf != nil {
 		q.lf.ResetStats()
 	}

@@ -1,0 +1,223 @@
+package core
+
+// Work stealing across sibling leaf queues.
+//
+// The queue hierarchy places every task on the deepest topology node
+// covering its CPU set, so strictly-placed tasks are always reachable
+// from the paths of the CPUs allowed to run them — stealing would never
+// find anything. What makes stealing useful is *locality-first*
+// placement: SubmitLocal parks an unconstrained task on the producing
+// core's leaf queue so that, under normal load, it executes where its
+// data is hot. When that core backs up while its siblings idle — the
+// imbalance the hierarchy cannot absorb by itself — an out-of-work CPU
+// walks outward (topology.StealOrder: siblings first, then cousins,
+// NUMA-remote cores last) and migrates a half-batch from the most
+// backlogged victim using the same Queue.drain critical section the
+// local scan uses.
+//
+// Correctness is unchanged from the local path: a stolen task's CPU set
+// is checked before execution exactly like a drained one's, and
+// mismatches are re-homed — re-enqueued, via the chained put-back path,
+// on the queue their CPU set actually maps to — so a pinned task can
+// transit a thief but never execute outside its set.
+
+// initSteal precomputes the per-CPU victim order and the steal batch
+// size. Called from New; cheap enough to do unconditionally so the
+// policy can stay a pure runtime check.
+func (e *Engine) initSteal() {
+	batch := e.batch / 2
+	if f := e.cfg.Steal.BatchFraction; f > 0 {
+		batch = int(f * float64(e.batch))
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > e.batch {
+		// BatchFraction is documented as (0, 1]: a steal never detaches
+		// more than one full drain batch.
+		batch = e.batch
+	}
+	e.stealBatch = batch
+	if e.cfg.SingleGlobalQueue {
+		// One shared queue: everyone already drains everything.
+		e.stealGroups = make([][][]*Queue, e.topo.NCPUs)
+		return
+	}
+	e.stealGroups = make([][][]*Queue, e.topo.NCPUs)
+	for cpu := 0; cpu < e.topo.NCPUs; cpu++ {
+		for _, nodes := range e.topo.StealOrder(cpu) {
+			group := make([]*Queue, 0, len(nodes))
+			for _, n := range nodes {
+				group = append(group, e.byID[n.ID])
+			}
+			e.stealGroups[cpu] = append(e.stealGroups[cpu], group)
+		}
+	}
+}
+
+// SubmitLocal places the task on the per-core leaf queue of the home
+// CPU regardless of how broad the task's CPU set is — locality-first
+// placement, where Submit's deepest-covering rule is locality-exact.
+// The intended pattern is an unconstrained task (empty CPU set)
+// produced by code running on home: it should preferably execute there,
+// cache-hot, but any CPU may legally run it. Without stealing only
+// home's CPU scans that leaf queue, so the task waits behind home's
+// backlog; with stealing enabled (Config.Steal) an out-of-work sibling
+// migrates it. The CPU set is still enforced at execution time wherever
+// the task ends up.
+//
+// If the task's CPU set excludes home entirely (a caller bug more than
+// a use case), the first scan that touches the task — home's own, or a
+// thief's — re-homes it onto the queue its CPU set maps to, so it is
+// delayed, not stranded, even with stealing off.
+func (e *Engine) SubmitLocal(t *Task, home int) error {
+	if err := submitPrep(t, "SubmitLocal"); err != nil {
+		return err
+	}
+	var q *Queue
+	if home >= 0 && home < len(e.leaf) {
+		q = e.leaf[home]
+	} else {
+		q = e.queueForSlow(t.CPUSet)
+	}
+	e.submitTo(t, q)
+	return nil
+}
+
+// steal walks cpu's victim groups in topological-distance order and
+// migrates work from the first group holding any. Within a group the
+// most backlogged victim is tried first (queue length, with the
+// victim's execution count as tiebreak — a core that has both a backlog
+// and a history of executing the most is the overload the ExecPerCPU
+// imbalance stat points at). Returns the number of stolen tasks
+// executed; max has ScheduleOne semantics (max > 0 bounds executions).
+func (e *Engine) steal(cpu int, max int) int {
+	groups := e.stealGroups[cpu]
+	if len(groups) == 0 {
+		return 0
+	}
+	if e.cfg.Steal.Policy == StealSiblings {
+		groups = groups[:1]
+	}
+	budget := -1
+	if max > 0 {
+		budget = max
+	}
+	for _, group := range groups {
+		best := e.bestVictim(group)
+		if best == nil {
+			continue
+		}
+		if ran := e.stealFrom(best, cpu, budget); ran > 0 {
+			return ran
+		}
+		// The best victim raced empty or held only mismatches; sweep the
+		// rest of the group once before widening the radius.
+		for _, q := range group {
+			if q == best || !e.stealable(q) {
+				continue
+			}
+			if ran := e.stealFrom(q, cpu, budget); ran > 0 {
+				return ran
+			}
+		}
+	}
+	return 0
+}
+
+// stealable reports whether a victim queue is worth a drain: non-empty
+// and not marked fruitless. A queue is fruitless when the last steal
+// against it detached tasks and could run none (its visible backlog is
+// pinned to its owner); the mark clears itself as soon as anything new
+// is enqueued there, since the newcomer may well be stealable. Without
+// this hint, every idle CPU's every keypoint would re-drain and
+// re-enqueue the busy core's pinned backlog — lock traffic on exactly
+// the queue the hierarchy is meant to keep quiet, and a FIFO rotation
+// for nothing.
+func (e *Engine) stealable(q *Queue) bool {
+	if q.Empty() {
+		return false
+	}
+	f := q.fruitless.Load()
+	return f == 0 || f != q.enqueues.Load()+1
+}
+
+// bestVictim returns the group's stealable queue with the largest
+// backlog, preferring on ties the queue whose owning CPU has executed
+// the most — the per-CPU execution shard is the load signal ExecPerCPU
+// exposes, read here for one atomic load per candidate. Returns nil
+// when no queue in the group is worth draining.
+func (e *Engine) bestVictim(group []*Queue) *Queue {
+	var best *Queue
+	bestLen := 0
+	var bestExec uint64
+	for _, q := range group {
+		if !e.stealable(q) {
+			continue
+		}
+		l := q.Len()
+		if l == 0 {
+			continue
+		}
+		// Victim leaves are Core nodes, so Node().Index is the owning CPU.
+		ex := e.shards[q.node.Index].executions.Load()
+		if best == nil || l > bestLen || (l == bestLen && ex > bestExec) {
+			best, bestLen, bestExec = q, l, ex
+		}
+	}
+	return best
+}
+
+// stealFrom detaches up to stealBatch tasks from the victim in one
+// drain critical section, executes the ones this CPU may run, and
+// re-homes the rest: CPU-set mismatches are re-enqueued — with the same
+// chained put-back used by the local drain path — on the queue their
+// CPU set maps to under deepest-covering placement, which also repairs
+// any stale locality-first placement. Returns the number of tasks
+// executed.
+func (e *Engine) stealFrom(q *Queue, cpu int, budget int) int {
+	want := e.stealBatch
+	if budget >= 0 && want > budget {
+		want = budget
+	}
+	sh := &e.shards[cpu]
+	sh.stealAttempts.Add(1)
+	head, got := q.drain(want, false)
+	if got == 0 {
+		return 0
+	}
+	ran := 0
+	pb := rehomeChain{e: e}
+	for t := head; t != nil; {
+		next := t.next
+		t.next = nil
+		if !t.CPUSet.IsEmpty() && !t.CPUSet.IsSet(cpu) {
+			pb.add(t)
+		} else {
+			e.run(t, cpu)
+			ran++
+		}
+		t = next
+	}
+	pb.flush()
+	if pb.total > 0 {
+		sh.skips.Add(uint64(pb.total))
+	}
+	if ran > 0 {
+		sh.stealHits.Add(1)
+		sh.stealTasks.Add(uint64(ran))
+	} else if want == e.stealBatch && got < want {
+		// The steal saw the victim's entire visible backlog (a full
+		// window that came back short) and ran none of it: mark the
+		// victim fruitless until its next enqueue so other thieves stop
+		// re-draining a pinned backlog. Stored as enqueues+1 so zero
+		// means "no mark"; the re-home appends above already bumped
+		// enqueues, so the mark reflects the queue's state after this
+		// steal. A window that filled completely (got == want) proves
+		// nothing — stealable tasks may sit right behind the pinned
+		// head — and neither does a budget-clipped one (ScheduleOne
+		// drains a single task), so neither marks.
+		q.fruitless.Store(q.enqueues.Load() + 1)
+	}
+	return ran
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"pioman/internal/cpuset"
 )
 
@@ -34,11 +32,8 @@ func (e *Engine) initUrgent() *Queue {
 // SetInterrupter), it is invoked so a computing CPU executes the task
 // without waiting for its next natural keypoint.
 func (e *Engine) SubmitUrgent(t *Task) error {
-	if t.Fn == nil {
-		return fmt.Errorf("core: SubmitUrgent of task with nil Fn")
-	}
-	if !t.state.CompareAndSwap(uint32(StateFree), uint32(StateSubmitted)) {
-		return fmt.Errorf("core: SubmitUrgent of task in state %v", t.State())
+	if err := submitPrep(t, "SubmitUrgent"); err != nil {
+		return err
 	}
 	q := e.initUrgent()
 	t.home = q
@@ -81,5 +76,7 @@ func (e *Engine) scheduleUrgent(cpu int, max int) int {
 	if max > 0 {
 		budget = max
 	}
-	return e.drainQueue(q, cpu, budget)
+	// pin == q: a skipped urgent task goes back on the urgent queue —
+	// being unrunnable *here* must not demote it into the hierarchy.
+	return e.drainQueue(q, cpu, budget, q)
 }

@@ -77,6 +77,45 @@ func Imbalance(samples []float64) float64 {
 	return max / (sum / float64(len(samples)))
 }
 
+// Migration summarizes work-stealing effectiveness from the engine's
+// raw steal counters: drains attempted on victim queues, attempts that
+// migrated at least one task, and tasks executed by a thief. The
+// benchmark harnesses and examples use it to render steal columns
+// without each re-deriving the rates.
+type Migration struct {
+	Attempts uint64
+	Hits     uint64
+	Tasks    uint64
+}
+
+// HitRate returns Hits/Attempts — how often reaching into a victim
+// queue actually migrated work (1.0 means victim selection never chose
+// an empty or unrunnable backlog). Zero attempts yield 0.
+func (m Migration) HitRate() float64 {
+	if m.Attempts == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.Attempts)
+}
+
+// TasksPerHit returns the average number of tasks one successful steal
+// migrated — the realized steal batch size. Zero hits yield 0.
+func (m Migration) TasksPerHit() float64 {
+	if m.Hits == 0 {
+		return 0
+	}
+	return float64(m.Tasks) / float64(m.Hits)
+}
+
+// StolenFraction returns the share of the given total executions that
+// were stolen-task executions. Zero total yields 0.
+func (m Migration) StolenFraction(totalExecutions uint64) float64 {
+	if totalExecutions == 0 {
+		return 0
+	}
+	return float64(m.Tasks) / float64(totalExecutions)
+}
+
 // Percentile returns the p-th percentile (0-100) using nearest-rank.
 func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {

@@ -153,6 +153,42 @@ func (t *Topology) PathToRoot(cpu int) []*Node {
 	return path
 }
 
+// StealOrder returns the machine's Core nodes grouped by topological
+// distance from the given CPU: group 0 holds the leaves sharing cpu's
+// immediate parent (sibling cores), group 1 the leaves sharing the
+// grandparent but not the parent (cousins), and so on up to the root.
+// cpu's own Core node is excluded. Each successive group crosses a wider
+// — and therefore more expensive — hardware boundary, so a work-stealing
+// scheduler that walks the groups in order visits the nearest victims
+// first and only reaches across chip and NUMA boundaries as a last
+// resort. Returns nil for an out-of-range CPU.
+func (t *Topology) StealOrder(cpu int) [][]*Node {
+	core := t.CoreNode(cpu)
+	if core == nil {
+		return nil
+	}
+	var groups [][]*Node
+	covered := core.CPUSet
+	for n := core.Parent; n != nil; n = n.Parent {
+		fresh := cpuset.AndNot(n.CPUSet, covered)
+		if fresh.IsEmpty() {
+			continue
+		}
+		var group []*Node
+		fresh.ForEach(func(c int) bool {
+			if leaf := t.CoreNode(c); leaf != nil {
+				group = append(group, leaf)
+			}
+			return true
+		})
+		if len(group) > 0 {
+			groups = append(groups, group)
+		}
+		covered = n.CPUSet
+	}
+	return groups
+}
+
 // String renders the topology as an indented tree (lstopo-style).
 func (t *Topology) String() string {
 	var b strings.Builder

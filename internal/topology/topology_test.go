@@ -297,3 +297,66 @@ func TestNodeIDsAreDense(t *testing.T) {
 		}
 	}
 }
+
+func TestStealOrder(t *testing.T) {
+	// Kwak CPU 5 (NUMA node 1, cores 4-7): siblings 4,6,7 first, then
+	// the twelve NUMA-remote cores in one machine-level group.
+	topo := Kwak()
+	groups := topo.StealOrder(5)
+	if len(groups) != 2 {
+		t.Fatalf("StealOrder(5) has %d groups, want 2: %v", len(groups), groups)
+	}
+	wantFirst := map[int]bool{4: true, 6: true, 7: true}
+	if len(groups[0]) != 3 {
+		t.Fatalf("sibling group = %v, want cores 4,6,7", groups[0])
+	}
+	for _, n := range groups[0] {
+		if n.Kind != Core || !wantFirst[n.Index] {
+			t.Errorf("unexpected sibling %v", n)
+		}
+	}
+	if len(groups[1]) != 12 {
+		t.Errorf("remote group has %d cores, want 12", len(groups[1]))
+	}
+	for _, n := range groups[1] {
+		if n.Index >= 4 && n.Index <= 7 {
+			t.Errorf("core %d in remote group but shares CPU 5's NUMA node", n.Index)
+		}
+	}
+
+	// No group may contain the CPU's own core, and the union over all
+	// groups must be every other core exactly once.
+	for _, name := range []string{"borderline", "kwak", "host"} {
+		topo, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cpu := 0; cpu < topo.NCPUs; cpu++ {
+			seen := map[int]bool{}
+			for _, g := range topo.StealOrder(cpu) {
+				for _, n := range g {
+					if n.Kind != Core {
+						t.Fatalf("%s: non-core victim %v", name, n)
+					}
+					if n.Index == cpu {
+						t.Fatalf("%s: StealOrder(%d) contains its own core", name, cpu)
+					}
+					if seen[n.Index] {
+						t.Fatalf("%s: core %d appears twice in StealOrder(%d)", name, n.Index, cpu)
+					}
+					seen[n.Index] = true
+				}
+			}
+			if len(seen) != topo.NCPUs-1 {
+				t.Errorf("%s: StealOrder(%d) covers %d cores, want %d", name, cpu, len(seen), topo.NCPUs-1)
+			}
+		}
+	}
+
+	if got := topo.StealOrder(-1); got != nil {
+		t.Errorf("StealOrder(-1) = %v, want nil", got)
+	}
+	if got := topo.StealOrder(99); got != nil {
+		t.Errorf("StealOrder(99) = %v, want nil", got)
+	}
+}
