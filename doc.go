@@ -20,8 +20,13 @@
 //   - internal/cpuset, internal/topology — CPU sets and machine trees;
 //   - internal/sched — lightweight threads with idle / context-switch /
 //     timer keypoint hooks driving the task engine;
-//   - internal/nmad, internal/mpi — the communication library and its
-//     MPI-flavoured interface on the real runtime stack;
+//   - internal/fabric — the libfabric-shaped provider layer (domains,
+//     endpoints, completion queues, registered memory, per-rail
+//     Capabilities), including an RDMA-style simulated rail with eager
+//     inject, rendezvous-by-RMA-read and virtual-time completions;
+//   - internal/nmad, internal/mpi — the communication library (gates
+//     over fabric rails with capability-aware multirail striping) and
+//     its MPI-flavoured interface on the real runtime stack;
 //   - internal/simtime, internal/simmachine, internal/simnet,
 //     internal/simmpi, internal/experiments — the virtual-time
 //     substrates and harnesses that regenerate every table and figure

@@ -1,10 +1,15 @@
-// Multirail: the optimization layer of the paper's Figure 1.
+// Multirail: capability-aware striping over heterogeneous rails.
 //
-// Two engines are connected by two rails. Small messages from several
-// application flows are aggregated into shared packets; a large message
-// is striped across both rails. The engine statistics show both
-// optimizations at work: fewer frames than messages, and one rendezvous
-// fragment per rail.
+// Two engines are connected by two simulated RDMA rails with very
+// different envelopes — an 8 GB/s low-latency rail and a 1 GB/s
+// high-latency one, the shape of the paper's BORDERLINE nodes carrying
+// both ConnectX IB and Myri-10G. A large message is sent twice: once
+// with the seed's even striping (half the payload on each rail, so the
+// slow rail dominates completion) and once with capability-aware
+// striping (chunks proportional to per-rail bandwidth, so both rails
+// finish together). The fabric's virtual clock reports the modelled
+// transfer times, and the per-rail statistics show where the bytes
+// went. Small messages ride the lowest-latency rail either way.
 //
 // Run with: go run ./examples/multirail
 package main
@@ -12,73 +17,84 @@ package main
 import (
 	"fmt"
 
+	"pioman/internal/fabric"
 	"pioman/internal/nmad"
+	"pioman/internal/simtime"
 )
 
-func main() {
-	sender := nmad.NewEngine(nmad.Config{Strategy: nmad.StrategyAggreg})
-	receiver := nmad.NewEngine(nmad.Config{Strategy: nmad.StrategyAggreg})
+// transfer sends one large payload over a fresh fast+slow gate pair
+// and returns the modelled transfer time plus the sender gate.
+func transfer(even bool, payload []byte) (simtime.Duration, *nmad.Gate, nmad.Stats) {
+	f := fabric.NewSimFabric(fabric.SimConfig{}) // free-running virtual time
+	fast := f.OpenDomain(fabric.Capabilities{
+		Latency: simtime.Microsecond, Bandwidth: 8e9, MaxInject: 16 << 10, RMA: true,
+	})
+	fastPeer := f.OpenDomain(fast.Capabilities())
+	slow := f.OpenDomain(fabric.Capabilities{
+		Latency: 5 * simtime.Microsecond, Bandwidth: 1e9, MaxInject: 16 << 10, RMA: true,
+	})
+	slowPeer := f.OpenDomain(slow.Capabilities())
+	ea0, eb0 := fabric.Connect(fast, fastPeer)
+	ea1, eb1 := fabric.Connect(slow, slowPeer)
+
+	sender := nmad.NewEngine(nmad.Config{EvenStripe: even})
+	receiver := nmad.NewEngine(nmad.Config{})
 	defer sender.Close()
 	defer receiver.Close()
-
-	// Two rails between the peers (a multirail cluster's two NICs).
-	a0, b0 := nmad.MemPair()
-	a1, b1 := nmad.MemPair()
-	gs, err := sender.NewGate(a0, a1)
+	gs, err := sender.NewGateEndpoints(ea0, ea1)
 	if err != nil {
 		panic(err)
 	}
-	gr, err := receiver.NewGate(b0, b1)
+	gr, err := receiver.NewGateEndpoints(eb0, eb1)
 	if err != nil {
 		panic(err)
 	}
 
-	// Four application flows each send eight small messages (Fig. 1's
-	// numbered flows feeding the optimization layer).
-	const flows, perFlow = 4, 8
-	var reqs []*nmad.Request
-	for flow := 0; flow < flows; flow++ {
-		for i := 0; i < perFlow; i++ {
-			msg := []byte(fmt.Sprintf("flow-%d-msg-%d", flow, i))
-			reqs = append(reqs, gs.Isend(uint64(flow), msg))
+	// A few small messages first: they ride the lowest-latency rail.
+	for i := 0; i < 4; i++ {
+		if err := gs.Send(uint64(i), []byte(fmt.Sprintf("ctl-%d", i))); err != nil {
+			panic(err)
 		}
-	}
-	for _, r := range reqs {
-		if err := r.Wait(); err != nil {
+		if _, err := gr.Recv(uint64(i)); err != nil {
 			panic(err)
 		}
 	}
-	for flow := 0; flow < flows; flow++ {
-		for i := 0; i < perFlow; i++ {
-			data, err := gr.Recv(uint64(flow))
-			if err != nil {
-				panic(err)
-			}
-			_ = data
-		}
-	}
+	small := simtime.Duration(f.Now())
 
-	// One large message striped across both rails.
-	big := make([]byte, 2<<20)
 	done := make(chan error, 1)
 	go func() {
 		_, err := gr.Recv(99)
 		done <- err
 	}()
-	if err := gs.Send(99, big); err != nil {
+	if err := gs.Send(99, payload); err != nil {
 		panic(err)
 	}
 	if err := <-done; err != nil {
 		panic(err)
 	}
+	return simtime.Duration(f.Now()) - small, gs, sender.Stats()
+}
 
-	st := sender.Stats()
-	fmt.Printf("messages sent:        %d\n", st.MsgsSent)
-	fmt.Printf("frames on the wire:   %d\n", st.FramesSent)
-	fmt.Printf("messages aggregated:  %d (into %d aggregate frames)\n", st.Aggregated, st.AggrFrames)
-	fmt.Printf("rendezvous handshakes: %d, data fragments: %d (rails: %d)\n",
-		st.RdvStarted, st.RdvData, gs.Rails())
-	if st.FramesSent < st.MsgsSent {
-		fmt.Println("=> multiplexing packed several application messages per packet (Fig. 1)")
+func main() {
+	payload := make([]byte, 8<<20)
+	fmt.Printf("8 MiB over two rails: 8 GB/s @ 1µs  +  1 GB/s @ 5µs\n\n")
+
+	evenTime, evenGate, _ := transfer(true, payload)
+	capTime, capGate, st := transfer(false, payload)
+
+	show := func(name string, d simtime.Duration, g *nmad.Gate) {
+		fmt.Printf("%-18s %10v modelled transfer\n", name, simtime.Time(d))
+		for i, r := range g.RailStats() {
+			fmt.Printf("  rail %d (%s, %s): %d frames, %.2f MiB\n",
+				i, r.Provider, r.Caps, r.Frames, float64(r.Bytes)/(1<<20))
+		}
 	}
+	show("even striping", evenTime, evenGate)
+	show("capability-aware", capTime, capGate)
+
+	fmt.Printf("\ncapability-aware completes in %.0f%% of even striping's time\n",
+		100*float64(capTime)/float64(evenTime))
+	fmt.Printf("(rendezvous handshakes: %d, data fragments: %d, eager sends: %d)\n",
+		st.RdvStarted, st.RdvData, st.EagerSent)
+	fmt.Println("=> chunk sizes proportional to per-rail bandwidth make both rails finish together (Fig. 1's optimization layer, generalized to heterogeneous NICs)")
 }

@@ -1,0 +1,96 @@
+package core
+
+import "pioman/internal/cpuset"
+
+// Batch submission.
+//
+// A communication strategy that flushes a burst of packets — the
+// aggregation strategy's send path is the motivating case — would pay
+// one queue-lock round-trip and one notifier wakeup per packet under
+// Submit. SubmitAll amortizes both across the burst: consecutive
+// same-queue tasks are appended as one chain under a single lock
+// acquisition (the producer-side mirror of the consumer's batched
+// drain), and the wakeup notifier fires once for the whole batch with
+// the union of the tasks' CPU sets.
+
+// SubmitAll submits a batch of tasks as one operation. Placement is
+// identical to per-task Submit (deepest covering queue per task), but
+// runs of consecutive tasks bound for the same queue share one locked
+// chain append and the notifier fires once per batch.
+//
+// The batch is all-or-nothing with respect to validation: every task
+// is checked and transitioned first, and if any is invalid (nil Fn, or
+// not in StateFree) the already-transitioned tasks are reverted and no
+// task is enqueued.
+func (e *Engine) SubmitAll(tasks ...*Task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if len(tasks) == 1 {
+		return e.Submit(tasks[0])
+	}
+	for i, t := range tasks {
+		if err := submitPrep(t, "SubmitAll"); err != nil {
+			for _, u := range tasks[:i] {
+				u.state.Store(uint32(StateFree))
+			}
+			return err
+		}
+	}
+
+	var head, tail *Task
+	var dest *Queue
+	n := 0
+	flush := func() {
+		if n > 0 {
+			dest.enqueueChain(head, tail, n)
+		}
+		head, tail, n = nil, nil, 0
+	}
+	union := cpuset.Set{}
+	anyCPU := false
+	for _, t := range tasks {
+		var q *Queue
+		if cpu, ok := t.CPUSet.Single(); ok && cpu < len(e.leaf) {
+			q = e.leaf[cpu]
+		} else {
+			q = e.queueForSlow(t.CPUSet)
+		}
+		t.home = q
+		if q != dest {
+			flush()
+			dest = q
+		}
+		if tail == nil {
+			head = t
+		} else {
+			tail.next = t
+		}
+		tail = t
+		n++
+		if t.CPUSet.IsEmpty() {
+			anyCPU = true
+		} else {
+			union = cpuset.Or(union, t.CPUSet)
+		}
+	}
+	flush()
+
+	if fn := e.notify.Load(); fn != nil {
+		if anyCPU {
+			// An unconstrained task is runnable anywhere: wake as for
+			// the empty set.
+			union = cpuset.Set{}
+		}
+		(*fn)(union)
+	}
+	return nil
+}
+
+// MustSubmitAll is SubmitAll that panics on error, for call sites where
+// a batch failure is a programming bug.
+func (e *Engine) MustSubmitAll(tasks ...*Task) {
+	if err := e.SubmitAll(tasks...); err != nil {
+		panic(err)
+	}
+}

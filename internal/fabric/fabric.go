@@ -1,0 +1,188 @@
+// Package fabric is the libfabric-shaped provider layer beneath the
+// nmad communication engine. It abstracts one network rail the way
+// libfabric abstracts a NIC: a Domain is the resource container (the
+// opened NIC), an Endpoint is a connected transmit/receive channel
+// bound to a completion queue, a MemoryRegion is a registered buffer
+// remote peers may read, and Capabilities is the fi_info-style
+// envelope — latency, bandwidth, inject limit, RMA support — that a
+// multirail scheduler consumes to decide where each message goes.
+//
+// The paper's NewMadeleine stack is explicitly multi-backend: the
+// scheduler is generic and the NIC drivers (Myrinet/MX, IB verbs, TCP)
+// plug in underneath, with rail selection driven by sampled per-rail
+// latency and bandwidth. This package is that seam. Two providers
+// exist today: nmad's adapter wrapping its classic frame drivers
+// (shared-memory and TCP rails), and the RDMA-style simulated provider
+// in simrdma.go, which supplies the paper's IB-verbs scenario — queue
+// pairs, registered buffers, eager inject vs. rendezvous-by-RMA-read —
+// without hardware, with completion latency modelled in virtual time
+// via internal/simtime. Future backends (a real libfabric binding, a
+// UCX-shaped transport, a loopback-perf rail) slot in behind the same
+// interfaces.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"pioman/internal/simtime"
+)
+
+// ErrClosed is returned when operating on a closed endpoint or domain.
+var ErrClosed = errors.New("fabric: endpoint closed")
+
+// ErrNoRegion is returned when an RMA operation names an unknown or
+// deregistered memory region key.
+var ErrNoRegion = errors.New("fabric: no such memory region")
+
+// Capabilities describes one rail's performance envelope — the subset
+// of libfabric's fi_info the multirail striping policy consumes.
+// Latency and Bandwidth are the sampled per-rail constants the paper's
+// rail-selection strategy is driven by.
+type Capabilities struct {
+	// Latency is the one-way message latency of the rail.
+	Latency simtime.Duration
+	// Bandwidth is the sustained rail bandwidth in bytes per (virtual)
+	// second. Zero means unknown; consumers should treat unknown rails
+	// as equal-weight.
+	Bandwidth float64
+	// MaxInject is the largest payload the provider sends inline
+	// ("eager inject"): the data is buffered at post time and the send
+	// completes immediately. Larger payloads may use a rendezvous
+	// protocol internally (the simulated RDMA provider pulls them with
+	// an RMA read).
+	MaxInject int
+	// RMA reports whether the provider supports remote memory access
+	// (RegisterMemory on its domain, RMARead on its endpoints).
+	RMA bool
+}
+
+// NsPerByte returns the inverse bandwidth in nanoseconds per byte, or 0
+// when the bandwidth is unknown.
+func (c Capabilities) NsPerByte() float64 {
+	if c.Bandwidth <= 0 {
+		return 0
+	}
+	return 1e9 / c.Bandwidth
+}
+
+// TransferTime returns the modelled wire time for a message of the
+// given size: one latency plus the serialization delay.
+func (c Capabilities) TransferTime(size int) simtime.Duration {
+	return c.Latency + simtime.Duration(float64(size)*c.NsPerByte())
+}
+
+// String renders the envelope compactly for stats tables.
+func (c Capabilities) String() string {
+	return fmt.Sprintf("lat=%v bw=%.2fGB/s inject≤%d rma=%v",
+		c.Latency, c.Bandwidth/1e9, c.MaxInject, c.RMA)
+}
+
+// EventKind discriminates completion-queue entries.
+type EventKind int
+
+// Completion-queue entry kinds.
+const (
+	// EventRecv signals an inbound message; Imm and Payload carry it.
+	EventRecv EventKind = iota
+	// EventRMADone signals a locally posted RMARead has delivered all
+	// remote data into the local buffer; Context echoes the post's
+	// context value.
+	EventRMADone
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventRecv:
+		return "recv"
+	case EventRMADone:
+		return "rma-done"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one completion-queue entry popped by Endpoint.Poll.
+type Event struct {
+	// Kind discriminates the entry.
+	Kind EventKind
+	// Imm carries the message's immediate (header) bytes (EventRecv).
+	Imm []byte
+	// Payload carries the message body (EventRecv) or the filled local
+	// buffer (EventRMADone).
+	Payload []byte
+	// From identifies the sending endpoint's domain id (EventRecv on
+	// providers that have one; -1 otherwise).
+	From int
+	// Context echoes the caller-supplied context of the completed
+	// operation (EventRMADone).
+	Context any
+}
+
+// RKey names a registered memory region for remote access — the
+// libfabric/verbs remote key a peer presents to RMARead.
+type RKey uint64
+
+// MemoryRegion is a registered buffer remote endpoints may read until
+// it is closed (deregistered).
+type MemoryRegion interface {
+	// Key returns the remote key peers present to RMARead.
+	Key() RKey
+	// Close deregisters the region; subsequent RMA reads of its key
+	// fail with ErrNoRegion.
+	Close() error
+}
+
+// Domain is one opened NIC-like resource container: endpoints and
+// memory registrations live inside it, and its capability envelope
+// applies to every endpoint opened on it.
+type Domain interface {
+	// Provider names the backend ("simrdma", "mem", "tcp", ...).
+	Provider() string
+	// Capabilities returns the domain's performance envelope.
+	Capabilities() Capabilities
+	// RegisterMemory pins buf for remote access and returns its region
+	// handle. Fails on providers whose Capabilities report RMA false.
+	RegisterMemory(buf []byte) (MemoryRegion, error)
+	// Close releases the domain and every endpoint opened on it.
+	Close() error
+}
+
+// Endpoint is one connected transmit/receive channel to a single peer,
+// bound to a completion queue — libfabric's connected message endpoint.
+// Send must not block beyond handing the message to the provider; Poll
+// must never block (it is called from PIOMan polling tasks).
+type Endpoint interface {
+	// Provider names the backend the endpoint belongs to.
+	Provider() string
+	// Capabilities returns the rail's performance envelope.
+	Capabilities() Capabilities
+	// Send transmits one message: imm (small header bytes, delivered
+	// verbatim) plus payload. Both are owned by the caller again when
+	// Send returns — providers buffer or finish the wire write before
+	// returning (buffered-send semantics, like the classic drivers).
+	Send(imm, payload []byte) error
+	// Poll pops the next completion-queue entry, reporting false when
+	// the queue is empty. A non-nil error means the rail is dead.
+	Poll() (Event, bool, error)
+	// Backlog reports the endpoint's current completion-queue depth:
+	// operations posted but not yet complete plus completions not yet
+	// polled. The striping policy deprioritizes backpressured rails.
+	Backlog() int
+	// Close shuts the endpoint down; subsequent Sends fail and Polls
+	// report ErrClosed.
+	Close() error
+}
+
+// RMAEndpoint is the optional remote-memory-access face of an
+// endpoint, implemented by providers whose Capabilities report RMA: an
+// RMA read pulls bytes from a peer's registered region into a local
+// buffer without involving the peer's host CPU, completing with an
+// EventRMADone on the local completion queue.
+type RMAEndpoint interface {
+	Endpoint
+	// RMARead starts pulling len(local) bytes from the peer region
+	// named by key into local. ctx is echoed in the completion event.
+	RMARead(key RKey, local []byte, ctx any) error
+}

@@ -1,0 +1,257 @@
+package fabric
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"pioman/internal/simtime"
+)
+
+// testCaps is a 1 byte/ns rail with 1 µs latency and a 64-byte inject
+// ceiling, so modelled timestamps are easy to compute by hand.
+func testCaps() Capabilities {
+	return Capabilities{
+		Latency:   1000 * simtime.Nanosecond,
+		Bandwidth: 1e9,
+		MaxInject: 64,
+		RMA:       true,
+	}
+}
+
+// pair builds a free-running fabric with one connected queue pair.
+func pair(t *testing.T, caps Capabilities) (*SimFabric, *SimEndpoint, *SimEndpoint) {
+	t.Helper()
+	f := NewSimFabric(SimConfig{})
+	a := f.OpenDomain(caps)
+	b := f.OpenDomain(caps)
+	ea, eb := Connect(a, b)
+	return f, ea, eb
+}
+
+// drainOne polls until one event arrives (free-running fabrics deliver
+// on the first poll once anything is pending).
+func drainOne(t *testing.T, ep *SimEndpoint) Event {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		ev, ok, err := ep.Poll()
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if ok {
+			return ev
+		}
+	}
+	t.Fatal("no event after 1000 polls")
+	return Event{}
+}
+
+func TestInjectRoundTrip(t *testing.T) {
+	f, ea, eb := pair(t, testCaps())
+	imm := []byte("hdr")
+	payload := bytes.Repeat([]byte{7}, 64)
+	if err := ea.Send(imm, payload); err != nil {
+		t.Fatal(err)
+	}
+	ev := drainOne(t, eb)
+	if ev.Kind != EventRecv || !bytes.Equal(ev.Imm, imm) || !bytes.Equal(ev.Payload, payload) {
+		t.Fatalf("event = %+v", ev)
+	}
+	// 64 bytes at 1 byte/ns plus one latency crossing.
+	if got, want := f.Now(), simtime.Time(64+1000); got != want {
+		t.Errorf("virtual completion at %v, want %v", got, want)
+	}
+	injects, rdvs, _, _ := ea.Stats()
+	if injects != 1 || rdvs != 0 {
+		t.Errorf("injects=%d rdvs=%d, want 1, 0", injects, rdvs)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	_, ea, eb := pair(t, testCaps())
+	payload := []byte("original")
+	if err := ea.Send([]byte{1}, payload); err != nil {
+		t.Fatal(err)
+	}
+	copy(payload, "clobber!")
+	ev := drainOne(t, eb)
+	if string(ev.Payload) != "original" {
+		t.Errorf("payload = %q; the wire must own its bytes", ev.Payload)
+	}
+}
+
+func TestRendezvousByRMARead(t *testing.T) {
+	f, ea, eb := pair(t, testCaps())
+	payload := make([]byte, 4000) // > MaxInject: rendezvous path
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if err := ea.Send([]byte("big"), payload); err != nil {
+		t.Fatal(err)
+	}
+	ev := drainOne(t, eb)
+	if !bytes.Equal(ev.Payload, payload) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+	// Control out (1 µs) + read request (1 µs) + 4000 ns transfer +
+	// tail latency (1 µs).
+	if got, want := f.Now(), simtime.Time(2000+4000+1000); got != want {
+		t.Errorf("virtual completion at %v, want %v", got, want)
+	}
+	injects, rdvs, _, _ := ea.Stats()
+	if injects != 0 || rdvs != 1 {
+		t.Errorf("injects=%d rdvs=%d, want 0, 1", injects, rdvs)
+	}
+	// The staged region is deregistered after delivery.
+	f.mu.Lock()
+	left := len(f.regions)
+	f.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d regions leaked after rendezvous", left)
+	}
+}
+
+func TestLinkOccupancySerializesSameRail(t *testing.T) {
+	f, ea, eb := pair(t, testCaps())
+	// Two 64-byte injects back to back share one wire: the second
+	// starts after the first's serialization, not in parallel.
+	for i := 0; i < 2; i++ {
+		if err := ea.Send([]byte{byte(i)}, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOne(t, eb)
+	drainOne(t, eb)
+	if got, want := f.Now(), simtime.Time(128+1000); got != want {
+		t.Errorf("second delivery at %v, want %v (serialized)", got, want)
+	}
+}
+
+func TestExplicitRegisterAndRMARead(t *testing.T) {
+	_, ea, eb := pair(t, testCaps())
+	src := []byte("registered region contents")
+	mr, err := eb.dom.RegisterMemory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := make([]byte, len(src))
+	type ctxKey struct{ n int }
+	if err := ea.RMARead(mr.Key(), local, ctxKey{42}); err != nil {
+		t.Fatal(err)
+	}
+	ev := drainOne(t, ea) // completion lands on the reader's CQ
+	if ev.Kind != EventRMADone {
+		t.Fatalf("event kind = %v, want rma-done", ev.Kind)
+	}
+	if ev.Context != (ctxKey{42}) {
+		t.Errorf("context = %v", ev.Context)
+	}
+	if !bytes.Equal(local, src) {
+		t.Errorf("local = %q, want %q", local, src)
+	}
+	if err := mr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ea.RMARead(mr.Key(), local, nil); err != ErrNoRegion {
+		t.Errorf("read of deregistered region = %v, want ErrNoRegion", err)
+	}
+}
+
+func TestRegisterMemoryRequiresRMA(t *testing.T) {
+	f := NewSimFabric(SimConfig{})
+	caps := testCaps()
+	caps.RMA = false
+	d := f.OpenDomain(caps)
+	if _, err := d.RegisterMemory(make([]byte, 8)); err == nil {
+		t.Error("RegisterMemory on a non-RMA domain should fail")
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	_, ea, eb := pair(t, testCaps())
+	if err := eb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ea.Send([]byte{1}, nil); err != ErrClosed {
+		t.Errorf("send to closed peer = %v, want ErrClosed", err)
+	}
+	if _, _, err := eb.Poll(); err != ErrClosed {
+		t.Errorf("poll of closed endpoint = %v, want ErrClosed", err)
+	}
+}
+
+func TestBacklogReportsOutstanding(t *testing.T) {
+	_, ea, eb := pair(t, testCaps())
+	for i := 0; i < 5; i++ {
+		if err := ea.Send([]byte{byte(i)}, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ea.Backlog(); got != 5 {
+		t.Errorf("sender backlog = %d, want 5 before any poll", got)
+	}
+	for i := 0; i < 5; i++ {
+		drainOne(t, eb)
+	}
+	if got := ea.Backlog(); got != 0 {
+		t.Errorf("sender backlog = %d after drain, want 0", got)
+	}
+}
+
+func TestWallClockGating(t *testing.T) {
+	// 1 virtual second of latency at TimeScale 0.01 = 10 ms wall.
+	f := NewSimFabric(SimConfig{TimeScale: 0.01})
+	caps := testCaps()
+	caps.Latency = simtime.Second
+	a, b := f.OpenDomain(caps), f.OpenDomain(caps)
+	ea, eb := Connect(a, b)
+	if err := ea.Send([]byte{1}, []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := eb.Poll(); ok {
+		t.Fatal("completion visible before its wall deadline")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok, _ := eb.Poll(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("completion never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConcurrentSendPollUnderRace(t *testing.T) {
+	_, ea, eb := pair(t, testCaps())
+	const msgs = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			if err := ea.Send([]byte{byte(i)}, make([]byte, 100)); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	got := 0
+	go func() {
+		defer wg.Done()
+		for got < msgs {
+			if _, ok, err := eb.Poll(); err != nil {
+				t.Errorf("poll: %v", err)
+				return
+			} else if ok {
+				got++
+			}
+		}
+	}()
+	wg.Wait()
+	if got != msgs {
+		t.Fatalf("received %d/%d", got, msgs)
+	}
+}

@@ -1,0 +1,370 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+
+	"pioman/internal/simtime"
+)
+
+// SimConfig parameterizes a simulated RDMA fabric.
+type SimConfig struct {
+	// TimeScale maps virtual nanoseconds to wall-clock nanoseconds:
+	// a completion modelled at virtual time T becomes visible to Poll
+	// once TimeScale*T wall nanoseconds have elapsed since the fabric
+	// was created. 1.0 runs the model in real time (wall benchmarks);
+	// values below 1 fast-forward it.
+	//
+	// 0 (the default) runs the fabric free-running: virtual time jumps
+	// to the next modelled completion whenever a Poll finds the queue
+	// empty, so correctness tests finish instantly yet the virtual
+	// clock still reports exact modelled durations.
+	TimeScale float64
+}
+
+// SimFabric is the RDMA-style simulated provider: queue pairs,
+// registered buffers, eager inject for small messages and
+// rendezvous-by-RMA-read for large ones, with completion latency
+// modelled in virtual time on an internal simtime engine. It supplies
+// the paper's IB-verbs scenario — and any capability envelope a test
+// wants — without hardware.
+//
+// All endpoints of one fabric share a single virtual clock and a
+// single lock, so the provider is safe for concurrent use from many
+// polling tasks while the underlying discrete-event engine stays
+// single-threaded, as simtime requires.
+type SimFabric struct {
+	cfg   SimConfig
+	epoch time.Time
+
+	mu      sync.Mutex
+	sim     *simtime.Sim
+	domains []*SimDomain
+	nextKey RKey
+	regions map[RKey][]byte
+}
+
+// NewSimFabric creates an empty simulated fabric.
+func NewSimFabric(cfg SimConfig) *SimFabric {
+	return &SimFabric{
+		cfg:     cfg,
+		epoch:   time.Now(),
+		sim:     simtime.New(),
+		regions: make(map[RKey][]byte),
+	}
+}
+
+// Now returns the fabric's current virtual time: the modelled
+// timestamp of the latest completion delivered so far (free-running
+// mode) or the wall-mapped clock position (real-time mode).
+func (f *SimFabric) Now() simtime.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceLocked()
+	return f.sim.Now()
+}
+
+// advanceLocked delivers every completion already due under the
+// wall-clock mapping. Free-running fabrics advance in pollLocked
+// instead, one completion at a time.
+func (f *SimFabric) advanceLocked() {
+	if f.cfg.TimeScale <= 0 {
+		return
+	}
+	virtual := simtime.Time(float64(time.Since(f.epoch)) / f.cfg.TimeScale)
+	f.sim.RunUntil(virtual)
+}
+
+// registerLocked pins buf under a fresh key.
+func (f *SimFabric) registerLocked(buf []byte) RKey {
+	f.nextKey++
+	f.regions[f.nextKey] = buf
+	return f.nextKey
+}
+
+// OpenDomain opens one simulated NIC with the given capability
+// envelope. Every endpoint created on the domain inherits it.
+func (f *SimFabric) OpenDomain(caps Capabilities) *SimDomain {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := &SimDomain{fab: f, id: len(f.domains), caps: caps}
+	f.domains = append(f.domains, d)
+	return d
+}
+
+// SimDomain is one simulated NIC: a resource container with a fixed
+// capability envelope. It implements Domain.
+type SimDomain struct {
+	fab    *SimFabric
+	id     int
+	caps   Capabilities
+	eps    []*SimEndpoint
+	closed bool
+}
+
+// ID returns the domain's fabric-assigned id (the From field of
+// completions it sends).
+func (d *SimDomain) ID() int { return d.id }
+
+// Provider names the backend.
+func (d *SimDomain) Provider() string { return "simrdma" }
+
+// Capabilities returns the domain's performance envelope.
+func (d *SimDomain) Capabilities() Capabilities { return d.caps }
+
+// RegisterMemory pins buf for remote access. The buffer must stay
+// valid until every RMA read of it has completed; Close deregisters.
+func (d *SimDomain) RegisterMemory(buf []byte) (MemoryRegion, error) {
+	if !d.caps.RMA {
+		return nil, ErrNoRegion
+	}
+	f := d.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return &simMR{fab: f, key: f.registerLocked(buf)}, nil
+}
+
+// Close closes the domain and every endpoint opened on it.
+func (d *SimDomain) Close() error {
+	f := d.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d.closed = true
+	for _, ep := range d.eps {
+		ep.closed = true
+	}
+	return nil
+}
+
+// simMR is a registered buffer on a simulated fabric.
+type simMR struct {
+	fab *SimFabric
+	key RKey
+}
+
+// Key returns the remote key peers present to RMARead.
+func (m *simMR) Key() RKey { return m.key }
+
+// Close deregisters the region.
+func (m *simMR) Close() error {
+	m.fab.mu.Lock()
+	defer m.fab.mu.Unlock()
+	delete(m.fab.regions, m.key)
+	return nil
+}
+
+// Connect creates a connected queue pair: one endpoint on each domain,
+// wired back to back like a verbs RC connection. The two directions
+// have independent link occupancy, each timed by the sending domain's
+// capability envelope.
+func Connect(a, b *SimDomain) (*SimEndpoint, *SimEndpoint) {
+	f := a.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ea := &SimEndpoint{fab: f, dom: a, dir: &direction{caps: a.caps}}
+	eb := &SimEndpoint{fab: f, dom: b, dir: &direction{caps: b.caps}}
+	ea.peer, eb.peer = eb, ea
+	a.eps = append(a.eps, ea)
+	b.eps = append(b.eps, eb)
+	return ea, eb
+}
+
+// direction is one half of a connected pair's wire: the serialization
+// occupancy of messages flowing out of one endpoint. Bandwidth is a
+// property of the link, so chunks posted back to back on the same rail
+// queue behind each other while chunks on different rails overlap —
+// exactly the contention multirail striping exists to exploit.
+type direction struct {
+	caps      Capabilities
+	busyUntil simtime.Time
+}
+
+// SimEndpoint is one side of a simulated queue pair. It implements
+// RMAEndpoint.
+type SimEndpoint struct {
+	fab  *SimFabric
+	dom  *SimDomain
+	peer *SimEndpoint
+	dir  *direction
+
+	cq          []Event
+	outstanding int
+	closed      bool
+
+	injects, rdvs, rmaReads, polls uint64
+}
+
+// Provider names the backend.
+func (ep *SimEndpoint) Provider() string { return "simrdma" }
+
+// Capabilities returns the rail's performance envelope.
+func (ep *SimEndpoint) Capabilities() Capabilities { return ep.dom.caps }
+
+// Send transmits imm+payload to the peer endpoint. Payloads up to
+// MaxInject go as an eager inject: one wire crossing, buffered at post
+// time. Larger payloads on an RMA-capable domain use the rendezvous:
+// the payload is staged in a registered region, a control flight
+// announces it, the peer NIC pulls it with an RMA read and the message
+// surfaces in the peer's completion queue when the read finishes — two
+// extra latency crossings but no host copy on the receive path, the
+// verbs large-message shape. Either way Send itself returns
+// immediately (buffered semantics) and the wire time is modelled on
+// the virtual clock.
+func (ep *SimEndpoint) Send(imm, payload []byte) error {
+	f := ep.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ep.closed || ep.peer.closed {
+		return ErrClosed
+	}
+	f.advanceLocked()
+	caps := ep.dom.caps
+	// The wire owns its bytes, like a real DMA engine.
+	immCp := append([]byte(nil), imm...)
+	data := append([]byte(nil), payload...)
+
+	now := f.sim.Now()
+	var deliver simtime.Time
+	if caps.RMA && len(data) > caps.MaxInject {
+		// Rendezvous-by-RMA-read: stage the payload in a registered
+		// region, announce with a control flight, peer pulls it.
+		ep.rdvs++
+		key := f.registerLocked(data)
+		request := now + 2*caps.Latency // control out, read request back
+		start := request
+		if ep.dir.busyUntil > start {
+			start = ep.dir.busyUntil
+		}
+		end := start + simtime.Duration(float64(len(data))*caps.NsPerByte())
+		ep.dir.busyUntil = end
+		deliver = end + caps.Latency
+		ep.outstanding++
+		from := ep.dom.id
+		peer := ep.peer
+		f.sim.At(deliver, func() {
+			ep.outstanding--
+			delete(f.regions, key)
+			if !peer.closed {
+				peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from})
+			}
+		})
+		return nil
+	}
+	// Eager inject: one serialized wire crossing.
+	ep.injects++
+	start := now
+	if ep.dir.busyUntil > start {
+		start = ep.dir.busyUntil
+	}
+	end := start + simtime.Duration(float64(len(data))*caps.NsPerByte())
+	ep.dir.busyUntil = end
+	deliver = end + caps.Latency
+	ep.outstanding++
+	from := ep.dom.id
+	peer := ep.peer
+	f.sim.At(deliver, func() {
+		ep.outstanding--
+		if !peer.closed {
+			peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from})
+		}
+	})
+	return nil
+}
+
+// RMARead starts pulling len(local) bytes from the region named by key
+// into local, without involving the peer's host CPU: the request
+// crosses the wire, the data flows back over the peer's direction of
+// the link, and an EventRMADone carrying ctx lands in the local
+// completion queue when the last byte arrives.
+func (ep *SimEndpoint) RMARead(key RKey, local []byte, ctx any) error {
+	f := ep.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ep.closed || ep.peer.closed {
+		return ErrClosed
+	}
+	f.advanceLocked()
+	src, ok := f.regions[key]
+	if !ok {
+		return ErrNoRegion
+	}
+	ep.rmaReads++
+	// Request flight by our envelope, data flight over the peer's
+	// direction (the data flows peer -> us) by the peer's envelope.
+	pd := ep.peer.dir
+	start := f.sim.Now() + ep.dom.caps.Latency
+	if pd.busyUntil > start {
+		start = pd.busyUntil
+	}
+	end := start + simtime.Duration(float64(len(local))*pd.caps.NsPerByte())
+	pd.busyUntil = end
+	deliver := end + pd.caps.Latency
+	ep.outstanding++
+	f.sim.At(deliver, func() {
+		ep.outstanding--
+		if ep.closed {
+			return
+		}
+		n := copy(local, src)
+		ep.cq = append(ep.cq, Event{Kind: EventRMADone, Payload: local[:n], From: ep.peer.dom.id, Context: ctx})
+	})
+	return nil
+}
+
+// Poll pops the next completion-queue entry. On a free-running fabric
+// an empty queue fast-forwards the virtual clock to the next modelled
+// completion anywhere on the fabric, so progression never depends on
+// wall time; on a real-time fabric only completions whose modelled
+// timestamp has been reached by the wall clock are visible.
+func (ep *SimEndpoint) Poll() (Event, bool, error) {
+	f := ep.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ep.closed {
+		return Event{}, false, ErrClosed
+	}
+	ep.polls++
+	f.advanceLocked()
+	if f.cfg.TimeScale <= 0 {
+		for len(ep.cq) == 0 && f.sim.Step() {
+		}
+	}
+	if len(ep.cq) == 0 {
+		return Event{}, false, nil
+	}
+	ev := ep.cq[0]
+	ep.cq = ep.cq[1:]
+	return ev, true, nil
+}
+
+// Backlog reports posted-but-incomplete operations plus completions
+// not yet polled — the completion-queue depth the striping policy
+// treats as backpressure.
+func (ep *SimEndpoint) Backlog() int {
+	f := ep.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return ep.outstanding + len(ep.cq)
+}
+
+// Close shuts the endpoint down. In-flight deliveries to it are
+// dropped, like frames in a drained RX ring.
+func (ep *SimEndpoint) Close() error {
+	f := ep.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep.closed = true
+	return nil
+}
+
+// Stats returns (eager injects, rendezvous sends, RMA reads posted,
+// polls) for the endpoint.
+func (ep *SimEndpoint) Stats() (injects, rdvs, rmaReads, polls uint64) {
+	f := ep.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return ep.injects, ep.rdvs, ep.rmaReads, ep.polls
+}

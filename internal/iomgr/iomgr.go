@@ -28,7 +28,7 @@ var ErrClosed = errors.New("iomgr: manager closed")
 // Config parameterizes a Manager.
 type Config struct {
 	// Tasks is the PIOMan engine to run on; a private host-topology
-	// engine is created when nil.
+	// engine with full-tree work stealing is created when nil.
 	Tasks *core.Engine
 	// NoAutoProgress disables the background progression goroutine (use
 	// when a sched.Runtime or an nmad engine already drives the task
@@ -41,9 +41,12 @@ type Config struct {
 
 // Manager executes I/O requests through PIOMan tasks.
 type Manager struct {
-	tasks   *core.Engine
-	stopped atomic.Bool
-	wg      chanWaiter
+	tasks *core.Engine
+	// progressCPU is the CPU the background progression goroutine
+	// scans, and the leaf locality-first submission parks requests on.
+	progressCPU int
+	stopped     atomic.Bool
+	wg          chanWaiter
 
 	reads, writes, filters atomic.Uint64
 }
@@ -57,18 +60,20 @@ type chanWaiter struct {
 // New builds a manager.
 func New(cfg Config) *Manager {
 	if cfg.Tasks == nil {
-		cfg.Tasks = core.New(core.Config{Topology: topology.Host()})
+		cfg.Tasks = core.New(core.Config{
+			Topology: topology.Host(),
+			Steal:    core.StealConfig{Policy: core.StealFullTree},
+		})
 	}
 	if cfg.ProgressIdle <= 0 {
 		cfg.ProgressIdle = 50 * time.Microsecond
 	}
-	m := &Manager{tasks: cfg.Tasks}
+	m := &Manager{tasks: cfg.Tasks, progressCPU: 1 % cfg.Tasks.Topology().NCPUs}
 	if !cfg.NoAutoProgress {
 		m.wg = chanWaiter{done: make(chan struct{}), used: true}
 		go func() {
 			defer close(m.wg.done)
-			ncpu := m.tasks.Topology().NCPUs
-			cpu := 1 % ncpu
+			cpu := m.progressCPU
 			for !m.stopped.Load() {
 				if m.tasks.Schedule(cpu) == 0 {
 					m.tasks.SetIdle(cpu, true)
@@ -181,7 +186,18 @@ func (m *Manager) submit(r *Request) *Request {
 		r.finish(0, ErrClosed)
 		return r
 	}
-	// Offload to the nearest idle core, like packet submission (§IV-B).
+	// Locality-first when full-tree stealing can migrate the request
+	// to any scanning CPU: it parks on the progression CPU's leaf,
+	// where the background goroutine runs it directly under light
+	// load and an idle core steals it under imbalance. Otherwise fall
+	// back to the §IV-B idle-core offload so the request is always on
+	// some scanner's path.
+	if m.tasks.StealReachesAll() {
+		if err := m.tasks.SubmitLocal(&r.task, m.progressCPU); err != nil {
+			r.finish(0, err)
+		}
+		return r
+	}
 	if err := m.tasks.SubmitToIdle(&r.task, 0); err != nil {
 		r.finish(0, err)
 	}

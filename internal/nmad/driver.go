@@ -33,6 +33,12 @@ type Driver interface {
 // ErrClosed is returned when using a closed driver.
 var ErrClosed = errors.New("nmad: driver closed")
 
+// ErrBackpressure reports a transient rail-full condition: the send
+// failed because the peer's receive ring is full, but the rail itself
+// is healthy and later sends may succeed. The gate fails the affected
+// request without marking the rail dead.
+var ErrBackpressure = errors.New("nmad: rail backpressure")
+
 // ---- In-process memory driver ----
 
 // memDriver is one endpoint of an in-process rail: frames written by the
@@ -67,7 +73,7 @@ func (d *memDriver) Send(hdr Header, payload []byte) error {
 	case d.peer.rx <- Frame{Hdr: hdr, Payload: cp}:
 		return nil
 	default:
-		return fmt.Errorf("nmad: mem rail backpressure (rx ring full)")
+		return fmt.Errorf("mem rail rx ring full: %w", ErrBackpressure)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"pioman/internal/core"
 	"pioman/internal/cpuset"
+	"pioman/internal/fabric"
 	"pioman/internal/topology"
 )
 
@@ -29,7 +30,9 @@ const (
 // Config parameterizes an Engine.
 type Config struct {
 	// Tasks is the PIOMan task engine driving progression. When nil a
-	// private engine on the host topology is created.
+	// private engine on the host topology is created, with full-tree
+	// work stealing enabled so locality-first placement of polling
+	// tasks (SubmitLocal) cannot strand them on an unscanned leaf.
 	Tasks *core.Engine
 	// EagerThreshold is the largest payload sent eagerly; larger
 	// messages use the RTS/CTS rendezvous (default 8 KiB).
@@ -39,6 +42,11 @@ type Config struct {
 	// MaxAggr bounds the payload bytes packed into one aggregate frame
 	// (default 16 KiB).
 	MaxAggr int
+	// EvenStripe disables capability-aware striping and divides
+	// rendezvous payloads evenly across alive rails regardless of
+	// their bandwidth — the seed behaviour, kept as an ablation for
+	// the heterogeneous-rail benchmarks.
+	EvenStripe bool
 	// AutoProgress starts a background progression goroutine (default
 	// on; disable when an external sched.Runtime drives the task
 	// engine). Zero value means on; set NoAutoProgress to disable.
@@ -59,13 +67,15 @@ type Stats struct {
 	AggrFrames uint64 // aggregate frames sent
 	RdvStarted uint64 // rendezvous handshakes initiated
 	RdvData    uint64 // rendezvous data fragments sent
+	Restripes  uint64 // fragments re-routed onto a surviving rail
 }
 
 // Engine is one communication endpoint multiplexing any number of gates
 // (peer connections) over the PIOMan task engine.
 type Engine struct {
-	cfg   Config
-	tasks *core.Engine
+	cfg         Config
+	tasks       *core.Engine
+	progressCPU int
 
 	mu         sync.Mutex
 	gates      []*Gate
@@ -79,7 +89,7 @@ type Engine struct {
 
 	msgsSent, msgsRecv, framesSent, framesRecv atomic.Uint64
 	eagerSent, aggregated, aggrFrames          atomic.Uint64
-	rdvStarted, rdvData                        atomic.Uint64
+	rdvStarted, rdvData, restripes             atomic.Uint64
 }
 
 type rdvKey struct {
@@ -102,7 +112,10 @@ type sendRdvState struct {
 // NewEngine builds an engine and starts its progression.
 func NewEngine(cfg Config) *Engine {
 	if cfg.Tasks == nil {
-		cfg.Tasks = core.New(core.Config{Topology: topology.Host()})
+		cfg.Tasks = core.New(core.Config{
+			Topology: topology.Host(),
+			Steal:    core.StealConfig{Policy: core.StealFullTree},
+		})
 	}
 	if cfg.EagerThreshold <= 0 {
 		cfg.EagerThreshold = 8 << 10
@@ -114,10 +127,11 @@ func NewEngine(cfg Config) *Engine {
 		cfg.ProgressIdle = 20 * time.Microsecond
 	}
 	e := &Engine{
-		cfg:     cfg,
-		tasks:   cfg.Tasks,
-		rdvRecv: make(map[rdvKey]*Request),
-		sendRdv: make(map[rdvKey]*sendRdvState),
+		cfg:         cfg,
+		tasks:       cfg.Tasks,
+		progressCPU: 1 % cfg.Tasks.Topology().NCPUs,
+		rdvRecv:     make(map[rdvKey]*Request),
+		sendRdv:     make(map[rdvKey]*sendRdvState),
 	}
 	if !cfg.NoAutoProgress {
 		e.wg.Add(1)
@@ -130,13 +144,24 @@ func NewEngine(cfg Config) *Engine {
 // sched.Runtime or for WaitActive-style helpers).
 func (e *Engine) Tasks() *core.Engine { return e.tasks }
 
+// submitProgress routes an internal progression task to the task
+// engine: locality-first (SubmitLocal on the progression CPU's leaf)
+// when full-tree stealing can migrate it to whichever CPU scans,
+// deepest-covering placement otherwise — a leaf-parked task that no
+// scanner can reach would strand its gate forever.
+func (e *Engine) submitProgress(t *core.Task) error {
+	if e.tasks.StealReachesAll() {
+		return e.tasks.SubmitLocal(t, e.progressCPU)
+	}
+	return e.tasks.Submit(t)
+}
+
 // progressLoop is the background progression context: the stand-in for
 // idle cores and timer interrupts executing PIOMan tasks while the
 // application computes.
 func (e *Engine) progressLoop() {
 	defer e.wg.Done()
-	ncpu := e.tasks.Topology().NCPUs
-	cpu := 1 % ncpu
+	cpu := e.progressCPU
 	for !e.stopped.Load() {
 		ran := e.tasks.Schedule(cpu)
 		if ran == 0 {
@@ -168,8 +193,8 @@ func (e *Engine) Close() error {
 	}
 	var firstErr error
 	for _, g := range gates {
-		for _, rail := range g.rails {
-			if err := rail.Close(); err != nil && firstErr == nil {
+		for _, r := range g.rails {
+			if err := r.ep.Close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -190,16 +215,48 @@ func (e *Engine) Stats() Stats {
 		AggrFrames: e.aggrFrames.Load(),
 		RdvStarted: e.rdvStarted.Load(),
 		RdvData:    e.rdvData.Load(),
+		Restripes:  e.restripes.Load(),
 	}
 }
 
-// Gate is a connection to one peer over one or more rails. Large
-// rendezvous payloads are striped across all rails (multirail).
+// rail is one fabric endpoint of a gate plus its liveness flag and
+// transfer accounting. The mutex serializes Sends on the endpoint;
+// the counters feed RailStats and the Σ per-rail bytes invariant.
+type rail struct {
+	ep     fabric.Endpoint
+	mu     sync.Mutex
+	dead   atomic.Bool
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// RailStat is one rail's liveness, accounting and capability envelope,
+// as returned by Gate.RailStats.
+type RailStat struct {
+	// Provider names the rail's backend ("mem", "tcp", "simrdma").
+	Provider string
+	// Caps is the rail's capability envelope.
+	Caps fabric.Capabilities
+	// Frames counts frames sent on the rail.
+	Frames uint64
+	// Bytes counts payload bytes sent on the rail.
+	Bytes uint64
+	// Backlog is the rail's current completion-queue depth.
+	Backlog int
+	// Dead reports whether the rail has failed.
+	Dead bool
+}
+
+// Gate is a connection to one peer over one or more rails (fabric
+// endpoints). Small messages are routed to the lowest-latency alive
+// rail; large rendezvous payloads are striped across alive rails in
+// proportion to their bandwidth (multirail), with backpressured rails
+// deprioritized and fragments re-routed when a rail dies mid-request.
 type Gate struct {
 	eng       *Engine
 	id        int
-	rails     []Driver
-	railMu    []sync.Mutex
+	rails     []*rail
+	alive     atomic.Int32
 	nextMsgID atomic.Uint64
 
 	aggMu       sync.Mutex
@@ -215,46 +272,147 @@ type pendingSend struct {
 	req     *Request
 }
 
-// NewGate attaches a connection made of the given rails and starts one
-// repeated polling task per rail. The polling tasks run until the engine
-// closes; their CPU set is unrestricted on the flat host topology (on a
-// topology with caches PIOMan pins them near the submitting core).
-func (e *Engine) NewGate(rails ...Driver) (*Gate, error) {
-	if len(rails) == 0 {
+// NewGate attaches a connection made of the given classic driver rails,
+// wrapping each in the fabric adapter with its assumed capability
+// envelope. Equivalent to NewGateEndpoints(WrapDriver(d, ...) ...);
+// mem/TCP gates work exactly as before.
+func (e *Engine) NewGate(drivers ...Driver) (*Gate, error) {
+	eps := make([]fabric.Endpoint, len(drivers))
+	for i, d := range drivers {
+		eps[i] = WrapDriver(d, capsForDriver(d))
+	}
+	return e.NewGateEndpoints(eps...)
+}
+
+// NewGateEndpoints attaches a connection made of the given fabric
+// endpoints and starts one repeated polling task per rail. Polling
+// tasks run until the engine closes or their rail dies; they are
+// placed locality-first on the progression CPU's leaf queue when the
+// task engine steals (see Config.Tasks).
+func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
+	if len(eps) == 0 {
 		return nil, errors.New("nmad: gate needs at least one rail")
 	}
-	g := &Gate{eng: e, rails: rails, railMu: make([]sync.Mutex, len(rails))}
+	g := &Gate{eng: e}
+	for _, ep := range eps {
+		g.rails = append(g.rails, &rail{ep: ep})
+	}
+	g.alive.Store(int32(len(eps)))
 	g.pktPool.New = func() any { return new(Packet) }
 	e.mu.Lock()
 	g.id = len(e.gates)
 	e.gates = append(e.gates, g)
 	e.mu.Unlock()
 
-	for i := range rails {
-		rail := i
+	for i := range g.rails {
+		r := g.rails[i]
+		idx := i
+		// The driver adapter moves decoded Headers through the
+		// package-internal fast path, preserving the classic rails'
+		// codec-free, allocation-free frame handling.
+		fe, _ := r.ep.(frameEndpoint)
+		// A rail marked dead by the send path keeps being polled:
+		// send and receive capability fail independently, and frames
+		// already in flight toward us (a CTS, a data fragment) must
+		// still land. Polling stops only on a receive-side error or
+		// engine close.
 		pollTask := &core.Task{
 			Options: core.Repeat,
 			CPUSet:  cpuset.Set{},
 			Fn: func(any) bool {
-				f, ok, err := g.rails[rail].Poll()
+				var hdr Header
+				var payload []byte
+				var got bool
+				var err error
+				if fe != nil {
+					var f Frame
+					f, got, err = fe.PollFrame()
+					hdr, payload = f.Hdr, f.Payload
+				} else {
+					var ev fabric.Event
+					ev, got, err = r.ep.Poll()
+					if err == nil && got {
+						if ev.Kind != fabric.EventRecv {
+							got = false
+						} else {
+							payload = ev.Payload
+							// A frame we cannot parse means the rail
+							// is delivering garbage: treat it like a
+							// poll error rather than dropping frames
+							// silently.
+							hdr, err = decodeHeader(ev.Imm)
+						}
+					}
+				}
 				if err != nil {
-					// Rail dead: stop polling it and fail every request
-					// still bound to this gate so waiters do not hang.
-					e.failGate(g, err)
+					e.railFailed(g, idx, err)
 					return true
 				}
-				if ok {
+				if got {
 					e.framesRecv.Add(1)
-					e.handleFrame(g, f)
+					e.handleFrame(g, Frame{Hdr: hdr, Payload: payload})
 				}
 				return e.stopped.Load()
 			},
 		}
-		if err := e.tasks.Submit(pollTask); err != nil {
+		if err := e.submitProgress(pollTask); err != nil {
 			return nil, fmt.Errorf("nmad: submitting poll task: %w", err)
 		}
 	}
 	return g, nil
+}
+
+// railDown marks a rail dead and returns how many rails remain alive.
+// The first caller to kill a given rail decrements the alive count.
+func (g *Gate) railDown(i int) int {
+	if g.rails[i].dead.CompareAndSwap(false, true) {
+		return int(g.alive.Add(-1))
+	}
+	return int(g.alive.Load())
+}
+
+// railFailed handles a receiver-observed rail death. The rail stops
+// being polled; when no rail survives the whole gate fails. When some
+// do, the gate's in-flight rendezvous state is failed — inbound
+// frames already in flight on the dead rail (a data fragment toward a
+// reassembly, a CTS toward a waiting sender) are lost and never
+// retransmitted, so waiting for them would hang forever — while
+// posted receives and future traffic continue over the survivors.
+//
+// The sweep is deliberately conservative: nothing records which rails
+// a given rendezvous' remaining fragments ride (the sender decides),
+// so a transfer that never touched the dead rail may be failed
+// spuriously. A prompt, retriable error beats an unbounded wait.
+//
+// The dead endpoint is also closed, which is how the peer finds out:
+// its next send into the closed transport fails, its own rail-death
+// path marks the rail dead for sending, and its striping re-routes
+// onto the survivors instead of feeding fragments to a ring nobody
+// polls.
+func (e *Engine) railFailed(g *Gate, idx int, err error) {
+	if g.railDown(idx) == 0 {
+		e.failGate(g, err)
+		return
+	}
+	_ = g.rails[idx].ep.Close()
+	e.mu.Lock()
+	var victims []*Request
+	for key, r := range e.rdvRecv {
+		if key.gate == g {
+			victims = append(victims, r)
+			delete(e.rdvRecv, key)
+		}
+	}
+	for key, st := range e.sendRdv {
+		if key.gate == g {
+			victims = append(victims, st.req)
+			delete(e.sendRdv, key)
+		}
+	}
+	e.mu.Unlock()
+	for _, r := range victims {
+		r.complete(err)
+	}
 }
 
 // failGate completes every outstanding request bound to the gate with
@@ -293,6 +451,62 @@ func (e *Engine) failGate(g *Gate, err error) {
 // Rails returns the number of rails of the gate.
 func (g *Gate) Rails() int { return len(g.rails) }
 
+// RailStats returns a per-rail snapshot: provider, capability
+// envelope, frames and payload bytes sent, backlog, liveness. Bytes
+// counts what the rail actually carried, so across rails it sums to
+// the payload bytes the gate put on the wire — equal to the
+// application payload bytes under StrategyDefault (the multirail
+// tie-out invariant the tests check); aggregate frames count their
+// packed size, which exceeds the raw application payloads by one
+// 20-byte sub-header per packed message.
+func (g *Gate) RailStats() []RailStat {
+	out := make([]RailStat, len(g.rails))
+	for i, r := range g.rails {
+		out[i] = RailStat{
+			Provider: r.ep.Provider(),
+			Caps:     r.ep.Capabilities(),
+			Frames:   r.frames.Load(),
+			Bytes:    r.bytes.Load(),
+			Backlog:  r.ep.Backlog(),
+			Dead:     r.dead.Load(),
+		}
+	}
+	return out
+}
+
+// backpressureLimit is the completion-queue depth beyond which a rail
+// is deprioritized by both eager routing and rendezvous striping, as
+// long as a less congested rail exists.
+const backpressureLimit = 64
+
+// pickEager returns the alive rail with the lowest latency, preferring
+// rails whose completion queue is under the backpressure limit; -1
+// when every rail is dead. Small messages ride this rail, so they
+// never queue behind a bulk transfer on a congested or slow rail.
+func (g *Gate) pickEager() int {
+	best, bestCongested := -1, -1
+	var bestLat, bestCLat int64
+	for i, r := range g.rails {
+		if r.dead.Load() {
+			continue
+		}
+		lat := int64(r.ep.Capabilities().Latency)
+		if r.ep.Backlog() > backpressureLimit {
+			if bestCongested < 0 || lat < bestCLat {
+				bestCongested, bestCLat = i, lat
+			}
+			continue
+		}
+		if best < 0 || lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	if best < 0 {
+		return bestCongested
+	}
+	return best
+}
+
 // packet takes a wrapper from the gate pool.
 func (g *Gate) packet() *Packet {
 	p := g.pktPool.Get().(*Packet)
@@ -301,24 +515,112 @@ func (g *Gate) packet() *Packet {
 	return p
 }
 
-// sendPacket submits the packet's embedded task: the actual driver Send
-// runs on an idle core when one exists, otherwise wherever the next
-// scheduling hole appears (paper §IV-B submission offload).
-func (g *Gate) sendPacket(p *Packet) {
+// preparePacket wires the packet's embedded task for submission. The
+// task is marked Repeat so a transiently backpressured rendezvous
+// frame can requeue itself for another attempt; ordinary sends report
+// completion on the first run.
+func (g *Gate) preparePacket(p *Packet) *core.Task {
 	p.Task.Arg = p
 	p.Task.Fn = sendPacketTask
 	p.Task.OnDone = recyclePacket
-	g.eng.tasks.MustSubmit(&p.Task)
+	p.Task.Options = core.Repeat
+	return &p.Task
 }
 
-// sendPacketTask is the task body shared by every packet send.
+// sendPacket submits the packet's embedded task: the actual endpoint
+// Send runs on an idle core when one exists, otherwise wherever the
+// next scheduling hole appears (paper §IV-B submission offload).
+func (g *Gate) sendPacket(p *Packet) {
+	g.eng.tasks.MustSubmit(g.preparePacket(p))
+}
+
+// errAllRailsDead reports a send that found no alive rail to run on.
+var errAllRailsDead = errors.New("nmad: every rail of the gate has failed")
+
+// maxSendRetries bounds how many times a backpressured rendezvous
+// frame requeues itself before the failure surfaces; each retry rides
+// a full scheduling pass, giving the peer's ring time to drain.
+const maxSendRetries = 64
+
+// sendPacketTask is the task body shared by every packet send. A send
+// failure marks the rail dead and re-routes the frame onto the best
+// surviving rail — re-striping in flight — so a multirail request
+// survives the loss of any proper subset of its rails; only when no
+// rail remains does the request fail.
 func sendPacketTask(arg any) bool {
 	p := arg.(*Packet)
 	g := p.gate
-	g.railMu[p.rail].Lock()
-	err := g.rails[p.rail].Send(p.Hdr, p.Payload)
-	g.railMu[p.rail].Unlock()
-	g.eng.framesSent.Add(1)
+	var err error
+	for {
+		r := g.rails[p.rail]
+		if r.dead.Load() {
+			err = errAllRailsDead
+		} else if fe, ok := r.ep.(frameEndpoint); ok {
+			// Classic driver fast path: the decoded Header moves
+			// straight through, no codec round-trip.
+			r.mu.Lock()
+			err = fe.SendFrame(p.Hdr, p.Payload)
+			r.mu.Unlock()
+		} else {
+			var imm [headerBytes]byte
+			p.Hdr.encode(imm[:])
+			r.mu.Lock()
+			err = r.ep.Send(imm[:], p.Payload)
+			r.mu.Unlock()
+		}
+		if err == nil {
+			r.frames.Add(1)
+			r.bytes.Add(uint64(len(p.Payload)))
+			g.eng.framesSent.Add(1)
+			if p.Hdr.Kind == KindAggr {
+				g.eng.aggrFrames.Add(1)
+				g.eng.aggregated.Add(uint64(len(p.reqs)))
+			}
+			p.completeAll(nil)
+			return true
+		}
+		if errors.Is(err, ErrBackpressure) {
+			// Transient rail-full condition; the rail stays alive
+			// either way. A rendezvous frame has remote state waiting
+			// on it (a CTS-waiting sender, a reassembling receiver
+			// counting bytes), so it requeues itself and retries while
+			// the ring drains, up to a budget; past the budget — or
+			// for an eager/aggregate frame, whose buffered-send
+			// contract is to fail fast — the outcome surfaces locally.
+			switch p.Hdr.Kind {
+			case KindRTS, KindCTS, KindData:
+				if p.retries < maxSendRetries {
+					p.retries++
+					return false
+				}
+			}
+			p.completeAll(err)
+			return true
+		}
+		g.railDown(p.rail)
+		next := g.pickEager()
+		if next < 0 || next == p.rail {
+			// The gate's last rail died through the send path: fail
+			// the other outstanding requests too, exactly as a poll
+			// error on the last rail would.
+			if g.alive.Load() <= 0 {
+				g.eng.failGate(g, err)
+			}
+			p.completeAll(err)
+			return true
+		}
+		g.eng.restripes.Add(1)
+		p.rail = next
+	}
+}
+
+// completeAll routes the send outcome to every request attached to the
+// packet: the single fragment/eager request and, for aggregate frames,
+// each packed message's request. A failed control frame (RTS, CTS)
+// carries no request of its own, but the rendezvous state behind it is
+// waiting on a reply that will now never come — fail it visibly
+// instead of leaving both sides hanging.
+func (p *Packet) completeAll(err error) {
 	if p.req != nil {
 		if err != nil {
 			p.req.complete(err)
@@ -326,7 +628,37 @@ func sendPacketTask(arg any) bool {
 			p.req.complete(nil)
 		}
 	}
-	return true
+	for _, r := range p.reqs {
+		r.complete(err)
+	}
+	if err != nil && p.req == nil && len(p.reqs) == 0 {
+		p.gate.eng.failRendezvous(p.gate, p.Hdr, err)
+	}
+}
+
+// failRendezvous completes the rendezvous state attached to a failed
+// control frame: the sender's CTS-waiting entry for an RTS, the
+// receiver's reassembly for a CTS.
+func (e *Engine) failRendezvous(g *Gate, hdr Header, err error) {
+	key := rdvKey{gate: g, msgID: hdr.MsgID}
+	var victim *Request
+	e.mu.Lock()
+	switch hdr.Kind {
+	case KindRTS:
+		if st := e.sendRdv[key]; st != nil {
+			victim = st.req
+			delete(e.sendRdv, key)
+		}
+	case KindCTS:
+		if r := e.rdvRecv[key]; r != nil {
+			victim = r
+			delete(e.rdvRecv, key)
+		}
+	}
+	e.mu.Unlock()
+	if victim != nil {
+		victim.complete(err)
+	}
 }
 
 // recyclePacket returns the wrapper to its gate's pool. It runs as the

@@ -1,0 +1,103 @@
+package nmad
+
+import (
+	"pioman/internal/fabric"
+	"pioman/internal/simtime"
+)
+
+// This file adapts the classic frame Drivers (mem, TCP) to the fabric
+// provider layer, so a Gate built from Drivers and a Gate built from
+// fabric endpoints run the same code path: NewGate wraps each driver
+// in a driverEndpoint and hands it to the endpoint-based gate.
+
+// Assumed capability envelopes for the classic drivers. The paper's
+// NewMadeleine samples each rail's latency/bandwidth at startup; here
+// the envelopes are static per driver kind, chosen so an in-process
+// rail outranks a TCP rail for small messages and the two split large
+// payloads evenly when paired with themselves.
+var driverCaps = map[string]fabric.Capabilities{
+	"mem": {Latency: 200 * simtime.Nanosecond, Bandwidth: 8e9, MaxInject: 16 << 10},
+	"tcp": {Latency: 30 * simtime.Microsecond, Bandwidth: 1e9, MaxInject: 8 << 10},
+}
+
+// capsForDriver returns the assumed envelope for a driver, defaulting
+// to a generic middle-of-the-road rail for unknown kinds.
+func capsForDriver(d Driver) fabric.Capabilities {
+	if caps, ok := driverCaps[d.Name()]; ok {
+		return caps
+	}
+	return fabric.Capabilities{Latency: simtime.Microsecond, Bandwidth: 1e9, MaxInject: 8 << 10}
+}
+
+// WrapDriver adapts a classic frame Driver into a fabric.Endpoint with
+// the given capability envelope, for mixing classic rails with fabric
+// rails in one gate.
+func WrapDriver(d Driver, caps fabric.Capabilities) fabric.Endpoint {
+	return &driverEndpoint{d: d, caps: caps}
+}
+
+// frameEndpoint is the package-internal fast path of the driver
+// adapter: the gate moves decoded Headers straight through, skipping
+// the imm encode/decode round-trip and its allocation, so the classic
+// rails keep their codec-free frame path (§IV-B zero-allocation
+// submission). External fabric endpoints use the generic byte-
+// oriented Send/Poll instead.
+type frameEndpoint interface {
+	// SendFrame transmits one decoded frame.
+	SendFrame(hdr Header, payload []byte) error
+	// PollFrame pops the next received frame.
+	PollFrame() (Frame, bool, error)
+}
+
+// driverEndpoint is the adapter provider: fabric messages map 1:1 onto
+// driver frames, with the immediate bytes carrying the encoded nmad
+// header.
+type driverEndpoint struct {
+	d    Driver
+	caps fabric.Capabilities
+}
+
+// Provider names the backend after the wrapped driver.
+func (ep *driverEndpoint) Provider() string { return ep.d.Name() }
+
+// Capabilities returns the assumed envelope.
+func (ep *driverEndpoint) Capabilities() fabric.Capabilities { return ep.caps }
+
+// SendFrame hands a decoded frame straight to the driver (the
+// frameEndpoint fast path).
+func (ep *driverEndpoint) SendFrame(hdr Header, payload []byte) error {
+	return ep.d.Send(hdr, payload)
+}
+
+// PollFrame pops the next driver frame (the frameEndpoint fast path).
+func (ep *driverEndpoint) PollFrame() (Frame, bool, error) {
+	return ep.d.Poll()
+}
+
+// Send decodes the immediate bytes back into a frame header and hands
+// the frame to the driver.
+func (ep *driverEndpoint) Send(imm, payload []byte) error {
+	hdr, err := decodeHeader(imm)
+	if err != nil {
+		return err
+	}
+	return ep.d.Send(hdr, payload)
+}
+
+// Poll pops the next driver frame as an EventRecv.
+func (ep *driverEndpoint) Poll() (fabric.Event, bool, error) {
+	f, ok, err := ep.d.Poll()
+	if err != nil || !ok {
+		return fabric.Event{}, false, err
+	}
+	imm := make([]byte, headerBytes)
+	f.Hdr.encode(imm)
+	return fabric.Event{Kind: fabric.EventRecv, Imm: imm, Payload: f.Payload, From: -1}, true, nil
+}
+
+// Backlog is always zero: the classic drivers complete sends before
+// returning, so they never accumulate posted-but-incomplete work.
+func (ep *driverEndpoint) Backlog() int { return 0 }
+
+// Close shuts the wrapped driver down.
+func (ep *driverEndpoint) Close() error { return ep.d.Close() }

@@ -1,6 +1,7 @@
 package nmad
 
 import (
+	"bytes"
 	"errors"
 	"net"
 	"sync/atomic"
@@ -52,6 +53,215 @@ func TestSendFailureCompletesRequestWithError(t *testing.T) {
 	req := g.Isend(1, []byte("doomed"))
 	if err := req.Wait(); err == nil {
 		t.Fatal("send over failing rail should report an error")
+	}
+}
+
+func TestSendDeathOnLastRailFailsGate(t *testing.T) {
+	da, db := MemPair()
+	_ = db
+	fd := &faultyDriver{inner: da}
+	boom := errors.New("wire gone")
+	fd.sendErr.Store(&boom)
+	e := NewEngine(Config{})
+	defer e.Close()
+	g, err := e.NewGate(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := g.Irecv(1)
+	// The send kills the gate's only rail; the posted receive must
+	// fail too, exactly as a poll-detected death would make it.
+	if err := g.Isend(2, []byte("doomed")).Wait(); err == nil {
+		t.Fatal("send over dead rail should report an error")
+	}
+	select {
+	case <-recv.Done():
+		if recv.Err() == nil {
+			t.Error("posted receive should fail when the last rail dies")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("posted receive hung after send-path rail death")
+	}
+}
+
+func TestBackpressureDoesNotKillRail(t *testing.T) {
+	da, db := MemPair()
+	e := NewEngine(Config{})
+	defer e.Close()
+	g, err := e.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the peer's 4096-slot rx ring (nothing drains db), then one
+	// more send must fail with the transient backpressure error while
+	// the rail stays alive.
+	for i := 0; i < 4096; i++ {
+		if err := g.Isend(1, []byte{1}).Wait(); err != nil {
+			t.Fatalf("send %d into a non-full ring: %v", i, err)
+		}
+	}
+	if err := g.Isend(1, []byte{1}).Wait(); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("send into full ring = %v, want ErrBackpressure", err)
+	}
+	if g.RailStats()[0].Dead {
+		t.Fatal("transient backpressure marked the rail dead")
+	}
+	// Drain one slot: the rail works again.
+	if _, ok, _ := db.Poll(); !ok {
+		t.Fatal("peer ring unexpectedly empty")
+	}
+	if err := g.Isend(1, []byte{2}).Wait(); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+}
+
+func TestBackpressuredRendezvousFailsVisibly(t *testing.T) {
+	da, db := MemPair()
+	_ = db
+	e := NewEngine(Config{})
+	defer e.Close()
+	g, err := e.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the ring, then start a rendezvous: its RTS control frame
+	// hits backpressure and, carrying no request of its own, must fail
+	// the waiting send instead of leaving it hanging forever.
+	for i := 0; i < 4096; i++ {
+		if err := g.Isend(1, []byte{1}).Wait(); err != nil {
+			t.Fatalf("send %d into a non-full ring: %v", i, err)
+		}
+	}
+	req := g.Isend(2, make([]byte, 1<<20))
+	select {
+	case <-req.Done():
+		if !errors.Is(req.Err(), ErrBackpressure) {
+			t.Errorf("backpressured rendezvous = %v, want ErrBackpressure", req.Err())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backpressured rendezvous hung instead of failing")
+	}
+	if g.RailStats()[0].Dead {
+		t.Error("backpressure marked the rail dead")
+	}
+}
+
+func TestReceiveSideDeathPropagatesToPeer(t *testing.T) {
+	da0, db0 := MemPair()
+	da1, db1 := MemPair()
+	fd := &faultyDriver{inner: db1}
+	sender := NewEngine(Config{})
+	receiver := NewEngine(Config{})
+	defer sender.Close()
+	defer receiver.Close()
+	ga, err := sender.NewGate(da0, da1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := capsForDriver(db0)
+	gb, err := receiver.NewGateEndpoints(WrapDriver(db0, caps), WrapDriver(fd, caps))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rail 1 dies on the receiver's side only. The sender still thinks
+	// it is alive, but the death closed the transport, so the sender's
+	// next striped fragment onto rail 1 fails at Send time and is
+	// re-routed — no fragments feed a ring nobody polls.
+	boom := errors.New("receiver rail 1 down")
+	fd.pollErr.Store(&boom)
+	deadline := time.Now().Add(5 * time.Second)
+	for !gb.RailStats()[1].Dead {
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never marked rail 1 dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+	done := make(chan struct{})
+	var got []byte
+	var recvErr error
+	go func() {
+		defer close(done)
+		got, recvErr = gb.Recv(3)
+	}()
+	if err := ga.Send(3, payload); err != nil {
+		t.Fatalf("send after peer-side rail death: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("rendezvous hung: fragments went to the dead rail")
+	}
+	if recvErr != nil {
+		t.Fatal(recvErr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted after re-route")
+	}
+	if st := sender.Stats(); st.Restripes == 0 {
+		t.Error("sender never re-striped onto the surviving rail")
+	}
+}
+
+func TestPartialRailDeathFailsReassemblyKeepsGate(t *testing.T) {
+	da0, db0 := MemPair()
+	da1, db1 := MemPair()
+	_ = da1
+	fd := &faultyDriver{inner: db1}
+	e := NewEngine(Config{})
+	defer e.Close()
+	caps := capsForDriver(db0)
+	g, err := e.NewGateEndpoints(WrapDriver(db0, caps), WrapDriver(fd, caps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := g.Irecv(7)
+
+	// Hand-deliver an RTS on the healthy rail: the engine sets up a
+	// reassembly and grants a CTS.
+	rts := Header{Kind: KindRTS, Tag: 7, MsgID: 1, Total: 1 << 20}
+	if err := da0.Send(rts, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e.mu.Lock()
+		n := len(e.rdvRecv)
+		e.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reassembly never set up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Rail 1 dies. Its in-flight fragments are lost forever, so the
+	// reassembly must fail promptly instead of hanging — but the gate
+	// survives on rail 0.
+	boom := errors.New("rail 1 down")
+	fd.pollErr.Store(&boom)
+	select {
+	case <-recv.Done():
+		if recv.Err() == nil {
+			t.Error("reassembly should fail when a carrying rail dies")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reassembly hung after partial rail death")
+	}
+	// Eager traffic still flows over the survivor.
+	eager := Header{Kind: KindEager, Tag: 8, MsgID: 2, Total: 10}
+	if err := da0.Send(eager, []byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := g.Recv(8); err != nil || string(got) != "still here" {
+		t.Fatalf("post-death Recv = %q, %v", got, err)
 	}
 }
 

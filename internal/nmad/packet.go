@@ -111,9 +111,11 @@ type Packet struct {
 	Hdr     Header
 	Payload []byte
 
-	gate *Gate
-	rail int
-	req  *Request // request to complete once the frame is on the wire
+	gate    *Gate
+	rail    int
+	retries int        // backpressure requeues consumed (sendPacketTask)
+	req     *Request   // request to complete once the frame is on the wire
+	reqs    []*Request // per-message requests of an aggregate frame
 }
 
 // reset prepares a pooled packet for reuse.
@@ -123,5 +125,10 @@ func (p *Packet) reset() {
 	p.Payload = nil
 	p.gate = nil
 	p.rail = 0
+	p.retries = 0
 	p.req = nil
+	for i := range p.reqs {
+		p.reqs[i] = nil
+	}
+	p.reqs = p.reqs[:0]
 }

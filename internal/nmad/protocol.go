@@ -29,16 +29,27 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 			g.aggPush(hdr, data, req)
 			return req
 		}
+		rail := g.pickEager()
+		if rail < 0 {
+			req.complete(errAllRailsDead)
+			return req
+		}
 		p := g.packet()
 		p.Hdr = hdr
 		p.Payload = data
 		p.req = req
+		p.rail = rail
 		g.sendPacket(p)
 		return req
 	}
 
 	// Rendezvous: register the payload, announce with an RTS, wait for
 	// the CTS to arrive (handled by a polling task) before moving data.
+	rail := g.pickEager()
+	if rail < 0 {
+		req.complete(errAllRailsDead)
+		return req
+	}
 	e.rdvStarted.Add(1)
 	st := &sendRdvState{data: data, req: req}
 	e.mu.Lock()
@@ -46,6 +57,7 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 	e.mu.Unlock()
 	p := g.packet()
 	p.Hdr = Header{Kind: KindRTS, Tag: tag, MsgID: msgID, Total: uint32(len(data))}
+	p.rail = rail
 	g.sendPacket(p)
 	return req
 }
@@ -116,11 +128,25 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 		// Set up reassembly and grant the sender a CTS.
 		req.total = u.hdr.Total
 		req.Data = make([]byte, u.hdr.Total)
+		key := rdvKey{gate: u.gate, msgID: u.hdr.MsgID}
 		e.mu.Lock()
-		e.rdvRecv[rdvKey{gate: u.gate, msgID: u.hdr.MsgID}] = req
+		e.rdvRecv[key] = req
 		e.mu.Unlock()
+		rail := u.gate.pickEager()
+		if rail < 0 || u.gate.alive.Load() <= 0 {
+			// Every rail died around this handshake. The failGate
+			// sweep may have run before the entry above was inserted,
+			// so clean it up here rather than leaving the receive
+			// hanging on a sweep that will never run again.
+			e.mu.Lock()
+			delete(e.rdvRecv, key)
+			e.mu.Unlock()
+			req.complete(errAllRailsDead)
+			return
+		}
 		p := u.gate.packet()
 		p.Hdr = Header{Kind: KindCTS, Tag: u.hdr.Tag, MsgID: u.hdr.MsgID, Total: u.hdr.Total}
+		p.rail = rail
 		u.gate.sendPacket(p)
 	default:
 		req.complete(fmt.Errorf("nmad: unexpected frame kind %v matched a receive", u.hdr.Kind))
@@ -188,31 +214,26 @@ func (e *Engine) matchOrStash(u inbound) {
 	e.mu.Unlock()
 }
 
-// sendRdvData stripes the rendezvous payload across the gate's rails
-// (multirail distribution) and ships each fragment as its own packet
-// task, executed in parallel when idle cores exist.
+// sendRdvData stripes the rendezvous payload across the gate's alive
+// rails (multirail distribution, sized by Gate.stripe) and ships each
+// fragment as its own packet task, executed in parallel when idle
+// cores exist.
 func (g *Gate) sendRdvData(st *sendRdvState, cts Header) {
-	rails := len(g.rails)
-	frags := rails
-	if len(st.data) < rails {
-		frags = 1
+	chunks := g.stripe(len(st.data))
+	if len(chunks) == 0 {
+		st.req.complete(errAllRailsDead)
+		return
 	}
-	st.req.remaining.Add(int32(frags)) // plus the initial 1 consumed below
-	chunk := (len(st.data) + frags - 1) / frags
-	for i := 0; i < frags; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > len(st.data) {
-			hi = len(st.data)
-		}
+	st.req.remaining.Add(int32(len(chunks))) // plus the initial 1 consumed below
+	for i, c := range chunks {
 		p := g.packet()
 		p.Hdr = Header{
 			Kind: KindData, Tag: cts.Tag, MsgID: cts.MsgID,
-			FragIdx: uint32(i), FragCnt: uint32(frags),
-			Offset: uint32(lo), Total: uint32(len(st.data)),
+			FragIdx: uint32(i), FragCnt: uint32(len(chunks)),
+			Offset: uint32(c.lo), Total: uint32(len(st.data)),
 		}
-		p.Payload = st.data[lo:hi]
-		p.rail = i % rails
+		p.Payload = st.data[c.lo:c.hi]
+		p.rail = c.rail
 		p.req = st.req
 		g.eng.rdvData.Add(1)
 		g.sendPacket(p)
@@ -244,51 +265,59 @@ func (g *Gate) aggPush(hdr Header, payload []byte, req *Request) {
 	}
 }
 
-// aggFlush drains the pending queue, packing batches into aggregate
-// frames (or sending singletons plain).
+// aggFlush drains the pending queue, packs it into aggregate frames
+// bounded by MaxAggr (singletons stay plain), and submits every
+// frame's packet task in one core.SubmitAll batch: the burst of frames
+// a flush produces pays one queue-lock chain append and one notifier
+// wakeup instead of one of each per frame.
 func (g *Gate) aggFlush() {
 	e := g.eng
 	for {
 		g.aggMu.Lock()
-		if len(g.aggPending) == 0 {
+		pending := g.aggPending
+		if len(pending) == 0 {
 			g.aggFlushing = false
 			g.aggMu.Unlock()
 			return
 		}
-		// Take a batch bounded by MaxAggr payload bytes.
-		var batch []pendingSend
-		total := 0
-		for len(g.aggPending) > 0 {
-			next := g.aggPending[0]
-			if len(batch) > 0 && total+len(next.payload) > e.cfg.MaxAggr {
-				break
-			}
-			batch = append(batch, next)
-			total += len(next.payload)
-			g.aggPending = g.aggPending[1:]
-		}
+		g.aggPending = nil
 		g.aggMu.Unlock()
 
-		if len(batch) == 1 {
-			m := batch[0]
-			g.railMu[0].Lock()
-			err := g.rails[0].Send(m.hdr, m.payload)
-			g.railMu[0].Unlock()
-			e.framesSent.Add(1)
-			m.req.complete(err)
+		rail := g.pickEager()
+		if rail < 0 {
+			for _, m := range pending {
+				m.req.complete(errAllRailsDead)
+			}
 			continue
 		}
-		payload := packAggr(batch)
-		hdr := Header{Kind: KindAggr, Total: uint32(len(payload))}
-		g.railMu[0].Lock()
-		err := g.rails[0].Send(hdr, payload)
-		g.railMu[0].Unlock()
-		e.framesSent.Add(1)
-		e.aggrFrames.Add(1)
-		e.aggregated.Add(uint64(len(batch)))
-		for _, m := range batch {
-			m.req.complete(err)
+		var tasks []*core.Task
+		for len(pending) > 0 {
+			// Take a batch bounded by MaxAggr payload bytes.
+			n, total := 1, len(pending[0].payload)
+			for n < len(pending) && total+len(pending[n].payload) <= e.cfg.MaxAggr {
+				total += len(pending[n].payload)
+				n++
+			}
+			batch := pending[:n]
+			pending = pending[n:]
+
+			p := g.packet()
+			p.rail = rail
+			if len(batch) == 1 {
+				p.Hdr = batch[0].hdr
+				p.Payload = batch[0].payload
+				p.req = batch[0].req
+			} else {
+				payload := packAggr(batch)
+				p.Hdr = Header{Kind: KindAggr, Total: uint32(len(payload))}
+				p.Payload = payload
+				for _, m := range batch {
+					p.reqs = append(p.reqs, m.req)
+				}
+			}
+			tasks = append(tasks, g.preparePacket(p))
 		}
+		e.tasks.MustSubmitAll(tasks...)
 	}
 }
 

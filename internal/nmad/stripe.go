@@ -1,0 +1,104 @@
+package nmad
+
+// Capability-aware multirail striping.
+//
+// The seed divided rendezvous payloads evenly across rails, which is
+// only optimal when every rail is identical. Real multirail nodes are
+// heterogeneous — the paper's BORDERLINE machines carry both Myri-10G
+// and ConnectX IB — so the optimal split finishes every rail at the
+// same instant: chunk sizes proportional to per-rail bandwidth. Rails
+// whose completion queue is backed up are deprioritized (their
+// effective bandwidth is already spoken for), and rails that have died
+// are excluded entirely; Config.EvenStripe restores the seed split for
+// ablation benchmarks.
+
+// chunk is one rendezvous fragment assignment: payload[lo:hi] rides
+// the given rail.
+type chunk struct {
+	rail   int
+	lo, hi int
+}
+
+// minStripeChunk is the smallest fragment worth a frame of its own:
+// below this, per-frame latency dominates the bandwidth gain of using
+// an extra rail, so sub-minimum shares fold into the fastest rail.
+const minStripeChunk = 4 << 10
+
+// stripe splits a payload of the given size across the gate's alive
+// rails in proportion to their capability bandwidth (equal shares
+// under Config.EvenStripe). Backpressured rails are skipped while an
+// uncongested rail exists; shares below minStripeChunk fold into the
+// fastest rail. Returns nil when every rail is dead.
+func (g *Gate) stripe(total int) []chunk {
+	type cand struct {
+		rail int
+		w    float64
+	}
+	var ready, congested []cand
+	for i, r := range g.rails {
+		if r.dead.Load() {
+			continue
+		}
+		w := r.ep.Capabilities().Bandwidth
+		if r.ep.Backlog() > backpressureLimit {
+			congested = append(congested, cand{rail: i, w: w})
+		} else {
+			ready = append(ready, cand{rail: i, w: w})
+		}
+	}
+	if len(ready) == 0 {
+		ready = congested
+	}
+	if len(ready) == 0 {
+		return nil
+	}
+	// A participating rail with an unknown bandwidth makes a
+	// proportional split meaningless (its share would be ~0 against
+	// absolute bytes/s weights): fall back to equal weights, as the
+	// Capabilities contract documents. Judged over the rails actually
+	// in the split, not ones excluded as congested or dead.
+	unknown := false
+	for _, c := range ready {
+		if c.w <= 0 {
+			unknown = true
+		}
+	}
+	if unknown || g.eng.cfg.EvenStripe {
+		for i := range ready {
+			ready[i].w = 1
+		}
+	}
+
+	sumW := 0.0
+	fastest := 0
+	for i, c := range ready {
+		sumW += c.w
+		if c.w > ready[fastest].w {
+			fastest = i
+		}
+	}
+	sizes := make([]int, len(ready))
+	assigned := 0
+	for i, c := range ready {
+		sizes[i] = int(float64(total) * c.w / sumW)
+		assigned += sizes[i]
+	}
+	sizes[fastest] += total - assigned // rounding remainder
+	for i := range sizes {
+		if i != fastest && sizes[i] < minStripeChunk {
+			sizes[fastest] += sizes[i]
+			sizes[i] = 0
+		}
+	}
+
+	var out []chunk
+	lo := 0
+	for i, c := range ready {
+		if sizes[i] == 0 {
+			continue
+		}
+		out = append(out, chunk{rail: c.rail, lo: lo, hi: lo + sizes[i]})
+		lo += sizes[i]
+	}
+	return out
+}
