@@ -196,6 +196,63 @@ func BenchmarkDrainBatch(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/backlog, "ns/task")
 }
 
+// ---- Adaptive drain batching (internal/adapt feedback) ----
+
+// BenchmarkAdaptiveDrainBacklog drains deep pinned backlogs through an
+// adaptive engine: the per-queue controller must grow the batch from
+// the default 32 to its cap (reported as the batch metric), pushing
+// tasks-per-lock-acquire past the fixed engine's 32.
+func BenchmarkAdaptiveDrainBacklog(b *testing.B) {
+	e := core.New(core.Config{Topology: topology.Kwak(), AdaptiveDrain: true})
+	const backlog = 512
+	tasks := make([]core.Task, backlog)
+	for i := range tasks {
+		tasks[i].Fn = func(any) bool { return true }
+		tasks[i].CPUSet = cpuset.New(0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range tasks {
+			tasks[j].Reset()
+			e.MustSubmit(&tasks[j])
+		}
+		b.StartTimer()
+		for drained := 0; drained < backlog; {
+			drained += e.Schedule(0)
+		}
+	}
+	b.StopTimer()
+	q := e.QueueFor(cpuset.New(0))
+	b.ReportMetric(float64(q.DrainBatchNow()), "batch")
+	if drains, drained := q.DrainStats(); drains > 0 {
+		b.ReportMetric(float64(drained)/float64(drains), "tasks/lock-acquire")
+	}
+	b.ReportMetric(float64(e.Stats().BatchGrows), "grows")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/backlog, "ns/task")
+}
+
+// BenchmarkAdaptiveDrainScheduleOne feeds the same queue through
+// latency-budgeted ScheduleOne keypoints: the controller must shrink
+// the batch to 1 (the batch metric), so each keypoint's critical
+// section detaches exactly the task it pays for.
+func BenchmarkAdaptiveDrainScheduleOne(b *testing.B) {
+	e := core.New(core.Config{Topology: topology.Kwak(), AdaptiveDrain: true})
+	task := core.Task{Fn: func(any) bool { return true }, CPUSet: cpuset.New(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.Reset()
+		e.MustSubmit(&task)
+		e.ScheduleOne(0)
+	}
+	b.StopTimer()
+	q := e.QueueFor(cpuset.New(0))
+	b.ReportMetric(float64(q.DrainBatchNow()), "batch")
+	b.ReportMetric(float64(e.Stats().BatchShrinks), "shrinks")
+}
+
 // BenchmarkMPMCContended is the contended multi-producer/multi-consumer
 // stress: every worker bursts tasks into the global queue (the maximal
 // contention point) and then schedules until its burst completes. The

@@ -18,21 +18,30 @@
 //     locality-placed backlogs, re-homing pinned tasks rather than
 //     running them off their CPU set);
 //   - internal/cpuset, internal/topology — CPU sets and machine trees;
+//   - internal/adapt — the measurement & feedback control plane:
+//     lock-free online estimators (EWMA, windowed min/max, per-CPU
+//     shards) and controllers behind adaptive drain batching
+//     (Config.AdaptiveDrain), steal-window feedback (Steal.Adaptive)
+//     and online rail calibration;
 //   - internal/sched — lightweight threads with idle / context-switch /
 //     timer keypoint hooks driving the task engine;
 //   - internal/fabric — the libfabric-shaped provider layer (domains,
 //     endpoints, completion queues, registered memory, per-rail
 //     Capabilities), including an RDMA-style simulated rail with eager
-//     inject, rendezvous-by-RMA-read and virtual-time completions;
+//     inject, rendezvous-by-RMA-read and virtual-time completions, a
+//     wall-clock loopback rail, and the Calibrate wrapper that turns
+//     assumed capability envelopes into measured ones;
 //   - internal/nmad, internal/mpi — the communication library (gates
-//     over fabric rails with capability-aware multirail striping) and
-//     its MPI-flavoured interface on the real runtime stack;
+//     over fabric rails with capability-aware multirail striping,
+//     calibrated online under Config.Calibrate) and its MPI-flavoured
+//     interface on the real runtime stack;
 //   - internal/simtime, internal/simmachine, internal/simnet,
 //     internal/simmpi, internal/experiments — the virtual-time
 //     substrates and harnesses that regenerate every table and figure
 //     of the paper's evaluation.
 //
 // See docs/ARCHITECTURE.md for the package map and dependency diagram,
-// DESIGN.md for the engine's hot-path and work-stealing design with
-// measured numbers, and examples/README.md for six guided programs.
+// DESIGN.md for the engine's hot-path, work-stealing and adaptive-
+// control design with measured numbers, and examples/README.md for
+// seven guided programs.
 package pioman

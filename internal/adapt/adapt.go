@@ -1,0 +1,230 @@
+// Package adapt is the measurement-and-feedback control plane: small,
+// lock-free online estimators and controllers that let the scheduling
+// and communication layers tune themselves to the running workload
+// instead of trusting configured constants.
+//
+// The paper's system is configured up front — drain batch sizes, rail
+// latency/bandwidth envelopes, steal batch fractions — which is only
+// right for the workload the constants were measured on. This package
+// supplies the missing feedback loop in three reusable pieces:
+//
+//   - EWMA, an 8-byte exponentially weighted moving average that is
+//     safe for concurrent observers (one CAS per sample, no
+//     allocation), for tracking drifting quantities such as per-rail
+//     bandwidth or steal hit-rates;
+//   - Window, a rotating-bucket windowed min/max, for quantities whose
+//     extreme is the estimate — the minimum observed round-trip of a
+//     small probe is the rail's base latency, free of queueing noise;
+//   - Sharded, cache-line-padded per-shard EWMAs for hot paths where
+//     many CPUs observe concurrently and a single CAS word would
+//     false-share (the per-CPU steal hit-rate);
+//   - BatchController, a bounded multiplicative-increase /
+//     multiplicative-decrease controller with hysteresis, driving the
+//     adaptive drain-batch size in internal/core.
+//
+// Consumers: internal/core (adaptive DrainBatch, steal-batch
+// feedback), internal/fabric (rail calibration publishing live
+// Capabilities estimates), internal/nmad (calibrated striping via
+// Config.Calibrate). Everything here is allocation-free after
+// construction; estimator reads are single atomic loads.
+package adapt
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultAlpha is the EWMA gain used when a caller passes 0: each new
+// sample moves the estimate a quarter of the way toward itself — fast
+// enough to track a rail whose effective bandwidth shifts mid-stream
+// within a few tens of samples, smooth enough that one outlier cannot
+// fold the estimate.
+const DefaultAlpha = 0.25
+
+// EWMA is a lock-free exponentially weighted moving average in one
+// atomic word. The zero value is empty (no samples). Observe is safe
+// for any number of concurrent callers; Value is a single atomic load.
+//
+// The word stores math.Float64bits(value)+1 so that 0 can mean
+// "empty"; NaN samples are discarded (they would poison the average).
+type EWMA struct {
+	bits atomic.Uint64
+}
+
+// Observe folds one sample into the average with gain alpha (0 means
+// DefaultAlpha). The first sample initializes the estimate directly,
+// so a calibrator is live after one observation rather than decaying
+// up from zero.
+func (e *EWMA) Observe(alpha, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	for {
+		old := e.bits.Load()
+		next := v
+		if old != 0 {
+			prev := math.Float64frombits(old - 1)
+			next = prev + alpha*(v-prev)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)+1) {
+			return
+		}
+	}
+}
+
+// Value returns the current estimate and whether any sample has been
+// observed.
+func (e *EWMA) Value() (float64, bool) {
+	b := e.bits.Load()
+	if b == 0 {
+		return 0, false
+	}
+	return math.Float64frombits(b - 1), true
+}
+
+// Reset discards all samples, returning the estimator to empty.
+func (e *EWMA) Reset() { e.bits.Store(0) }
+
+// windowBuckets is how many rotating buckets a Window keeps: the
+// reported extreme spans the current bucket plus three predecessors,
+// so a stale extreme ages out after at most four bucket lifetimes.
+const windowBuckets = 4
+
+// defaultBucketSamples is the bucket rotation period when Window.Per
+// is zero.
+const defaultBucketSamples = 64
+
+// Window tracks the minimum and maximum over a sliding window of
+// recent samples, as a ring of rotating buckets: every Per samples the
+// oldest bucket is recycled, so extremes observed long ago expire
+// instead of pinning the estimate forever (a rail whose base latency
+// rises would otherwise keep reporting the historic floor). The zero
+// value is ready to use with the default bucket size.
+//
+// Observe is lock-free — one atomic add plus bounded CAS loops — and
+// safe for concurrent callers. Rotation is racy by design: samples
+// landing exactly on a bucket boundary may be attributed to either
+// side, which shifts the effective window by at most one sample.
+type Window struct {
+	count   atomic.Uint64
+	buckets [windowBuckets]windowBucket
+
+	// Per is the number of samples per bucket (0 means 64). Set before
+	// the first Observe; it must not change afterwards.
+	Per uint64
+}
+
+// windowBucket is one rotation epoch's extremes. min and max hold
+// math.Float64bits of non-negative samples (monotone under integer
+// comparison); n counts the bucket's samples; epoch tags which
+// rotation the contents belong to.
+type windowBucket struct {
+	epoch atomic.Uint64
+	n     atomic.Uint64
+	min   atomic.Uint64
+	max   atomic.Uint64
+}
+
+// Observe folds one non-negative sample into the window. Negative and
+// NaN samples are discarded (the bit encoding relies on non-negative
+// floats comparing like their bit patterns).
+func (w *Window) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	per := w.Per
+	if per == 0 {
+		per = defaultBucketSamples
+	}
+	seq := w.count.Add(1) - 1
+	epoch := seq / per
+	b := &w.buckets[epoch%windowBuckets]
+	// First arrival of a new epoch recycles the bucket. The reset races
+	// benignly with concurrent observers of the same epoch: a sample
+	// applied between the epoch CAS and the min/max stores can be lost,
+	// costing one sample of window accuracy, never a corrupt estimate.
+	// The strictly-forward guard keeps an observer that stalled for
+	// several whole epochs from recycling a bucket younger observers
+	// already own — its stale sample blurs into the newer bucket
+	// instead of wiping it.
+	if old := b.epoch.Load(); old < epoch+1 && b.epoch.CompareAndSwap(old, epoch+1) {
+		b.n.Store(0)
+		b.min.Store(math.MaxUint64)
+		b.max.Store(0)
+	}
+	bits := math.Float64bits(v)
+	for {
+		cur := b.min.Load()
+		if bits >= cur || b.min.CompareAndSwap(cur, bits) {
+			break
+		}
+	}
+	for {
+		cur := b.max.Load()
+		if bits <= cur || b.max.CompareAndSwap(cur, bits) {
+			break
+		}
+	}
+	b.n.Add(1)
+}
+
+// Min returns the smallest sample in the window and whether the window
+// holds any samples.
+func (w *Window) Min() (float64, bool) {
+	best := uint64(math.MaxUint64)
+	any := false
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.epoch.Load() == 0 || b.n.Load() == 0 {
+			continue
+		}
+		if m := b.min.Load(); m < best {
+			best = m
+			any = true
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	return math.Float64frombits(best), true
+}
+
+// Max returns the largest sample in the window and whether the window
+// holds any samples.
+func (w *Window) Max() (float64, bool) {
+	best := uint64(0)
+	any := false
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.epoch.Load() == 0 || b.n.Load() == 0 {
+			continue
+		}
+		if m := b.max.Load(); m >= best {
+			best = m
+			any = true
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	return math.Float64frombits(best), true
+}
+
+// Count returns the total number of samples observed (across all
+// epochs, including expired ones).
+func (w *Window) Count() uint64 { return w.count.Load() }
+
+// Reset discards all samples and restarts the window.
+func (w *Window) Reset() {
+	w.count.Store(0)
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		b.epoch.Store(0)
+		b.n.Store(0)
+		b.min.Store(math.MaxUint64)
+		b.max.Store(0)
+	}
+}

@@ -1,0 +1,245 @@
+package adapt
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEWMAConvergesAndTracks(t *testing.T) {
+	var e EWMA
+	if _, ok := e.Value(); ok {
+		t.Fatal("empty EWMA reports a value")
+	}
+	// First sample initializes directly.
+	e.Observe(0.25, 100)
+	if v, ok := e.Value(); !ok || v != 100 {
+		t.Fatalf("after first sample: %v, %v; want 100, true", v, ok)
+	}
+	// Constant input converges to the input.
+	for i := 0; i < 64; i++ {
+		e.Observe(0.25, 10)
+	}
+	if v, _ := e.Value(); math.Abs(v-10) > 0.01 {
+		t.Errorf("after 64 samples of 10: %v, want ≈10", v)
+	}
+	// A shifted input re-converges — the calibration re-convergence
+	// property in miniature.
+	for i := 0; i < 64; i++ {
+		e.Observe(0.25, 80)
+	}
+	if v, _ := e.Value(); math.Abs(v-80) > 0.01 {
+		t.Errorf("after shift: %v, want ≈80", v)
+	}
+	// NaN is discarded, zero is a legal value distinct from empty.
+	e.Observe(0.25, math.NaN())
+	if v, ok := e.Value(); !ok || math.IsNaN(v) {
+		t.Error("NaN sample poisoned the estimator")
+	}
+	var z EWMA
+	z.Observe(0.5, 0)
+	if v, ok := z.Value(); !ok || v != 0 {
+		t.Errorf("zero sample: %v, %v; want 0, true", v, ok)
+	}
+	z.Reset()
+	if _, ok := z.Value(); ok {
+		t.Error("Reset did not empty the estimator")
+	}
+}
+
+func TestWindowMinMaxExpires(t *testing.T) {
+	w := Window{Per: 4}
+	if _, ok := w.Min(); ok {
+		t.Fatal("empty window reports a min")
+	}
+	// One noisy early sample among a steady stream.
+	w.Observe(900)
+	for i := 0; i < 3; i++ {
+		w.Observe(10)
+	}
+	if v, ok := w.Min(); !ok || v != 10 {
+		t.Fatalf("min = %v, %v; want 10", v, ok)
+	}
+	if v, ok := w.Max(); !ok || v != 900 {
+		t.Fatalf("max = %v, %v; want 900", v, ok)
+	}
+	// After windowBuckets full rotations the early outlier has expired.
+	for i := 0; i < 4*4; i++ {
+		w.Observe(10 + float64(i%3))
+	}
+	if v, _ := w.Max(); v == 900 {
+		t.Error("stale outlier did not expire from the window")
+	}
+	if v, _ := w.Min(); v != 10 {
+		t.Errorf("min = %v, want 10", v)
+	}
+	w.Reset()
+	if _, ok := w.Min(); ok {
+		t.Error("Reset did not empty the window")
+	}
+}
+
+func TestWindowRejectsNegativeAndNaN(t *testing.T) {
+	var w Window
+	w.Observe(-5)
+	w.Observe(math.NaN())
+	if _, ok := w.Min(); ok {
+		t.Error("invalid samples were admitted")
+	}
+}
+
+func TestShardedMergesByWeight(t *testing.T) {
+	s := NewSharded(4, 0.5)
+	if _, ok := s.Value(); ok {
+		t.Fatal("empty sharded estimator reports a value")
+	}
+	// Shard 0 sees many 1.0 samples, shard 1 one 0.0 sample: the merge
+	// weights by count.
+	for i := 0; i < 9; i++ {
+		s.Observe(0, 1)
+	}
+	s.Observe(1, 0)
+	v, ok := s.Value()
+	if !ok {
+		t.Fatal("no merged value")
+	}
+	if math.Abs(v-0.9) > 0.05 {
+		t.Errorf("merged value = %v, want ≈0.9 (count-weighted)", v)
+	}
+	if v, ok := s.Shard(1); !ok || v != 0 {
+		t.Errorf("shard 1 = %v, %v; want 0, true", v, ok)
+	}
+	// Out-of-range shards fold into shard 0, never panic.
+	s.Observe(-1, 1)
+	s.Observe(99, 1)
+	if _, ok := s.Shard(99); ok {
+		t.Error("out-of-range Shard read reported a value")
+	}
+	s.Reset()
+	if _, ok := s.Value(); ok {
+		t.Error("Reset did not empty the estimator")
+	}
+}
+
+func TestBatchControllerHysteresisAndBounds(t *testing.T) {
+	var c BatchController
+	c.Init(32, 1, 256)
+	if c.Batch() != 32 {
+		t.Fatalf("start batch = %d, want 32", c.Batch())
+	}
+	// Fewer than hysteresis signals move nothing.
+	for i := 0; i < defaultHysteresis-1; i++ {
+		c.Latency()
+	}
+	if c.Batch() != 32 {
+		t.Fatalf("batch moved before hysteresis: %d", c.Batch())
+	}
+	// The hysteresis-th halves.
+	c.Latency()
+	if c.Batch() != 16 {
+		t.Fatalf("batch = %d after one shrink, want 16", c.Batch())
+	}
+	// Sustained latency pressure converges to Min and stays there.
+	for i := 0; i < 10*defaultHysteresis; i++ {
+		c.Latency()
+	}
+	if c.Batch() != 1 {
+		t.Fatalf("batch = %d under sustained latency pressure, want 1", c.Batch())
+	}
+	if c.Shrinks() != 5 { // 32 → 16 → 8 → 4 → 2 → 1
+		t.Errorf("shrinks = %d, want 5", c.Shrinks())
+	}
+	// Sustained backlog pressure converges to Max.
+	for i := 0; i < 10*defaultHysteresis; i++ {
+		c.Backlog()
+	}
+	if c.Batch() != 256 {
+		t.Fatalf("batch = %d under sustained backlog, want 256", c.Batch())
+	}
+	if c.Grows() != 8 { // 1 → 2 → ... → 256
+		t.Errorf("grows = %d, want 8", c.Grows())
+	}
+	// Opposing signals cancel: alternation holds the batch steady.
+	before := c.Batch()
+	for i := 0; i < 100; i++ {
+		c.Latency()
+		c.Backlog()
+	}
+	if c.Batch() != before {
+		t.Errorf("mixed signals moved the batch %d → %d", before, c.Batch())
+	}
+	c.ResetCounters()
+	if c.Grows() != 0 || c.Shrinks() != 0 {
+		t.Error("ResetCounters left event counts")
+	}
+	if c.Batch() != before {
+		t.Error("ResetCounters changed the batch size")
+	}
+}
+
+func TestBatchControllerInitClamps(t *testing.T) {
+	var c BatchController
+	c.Init(0, -3, -8)
+	if c.Min() != 1 || c.Max() != 1 || c.Batch() != 1 {
+		t.Errorf("degenerate Init → min %d max %d batch %d, want all 1",
+			c.Min(), c.Max(), c.Batch())
+	}
+	c.Init(1000, 2, 64)
+	if c.Batch() != 64 {
+		t.Errorf("start above max → %d, want 64", c.Batch())
+	}
+}
+
+// TestEstimatorsConsistentUnderRace is the concurrent-completions
+// guard: many goroutines hammer every estimator at once (run with
+// -race); afterwards each estimate must lie inside the observed sample
+// range and every sample must be accounted for.
+func TestEstimatorsConsistentUnderRace(t *testing.T) {
+	var e EWMA
+	var w Window
+	s := NewSharded(8, 0)
+	var c BatchController
+	c.Init(32, 1, 256)
+
+	const workers = 8
+	const perWorker = 2000
+	lo, hi := 5.0, 50.0
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := lo + float64((g*perWorker+i)%46)
+				e.Observe(0, v)
+				w.Observe(v)
+				s.Observe(g, v)
+				if i%2 == 0 {
+					c.Latency()
+				} else {
+					c.Backlog()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if v, ok := e.Value(); !ok || v < lo || v > hi {
+		t.Errorf("EWMA = %v, %v; want inside [%v, %v]", v, ok, lo, hi)
+	}
+	if v, ok := w.Min(); !ok || v < lo || v > hi {
+		t.Errorf("window min = %v, %v; want inside [%v, %v]", v, ok, lo, hi)
+	}
+	if v, ok := w.Max(); !ok || v < lo || v > hi {
+		t.Errorf("window max = %v, %v; want inside [%v, %v]", v, ok, lo, hi)
+	}
+	if got := w.Count(); got != workers*perWorker {
+		t.Errorf("window count = %d, want %d (no sample lost or duplicated)", got, workers*perWorker)
+	}
+	if v, ok := s.Value(); !ok || v < lo || v > hi {
+		t.Errorf("sharded = %v, %v; want inside [%v, %v]", v, ok, lo, hi)
+	}
+	if b := c.Batch(); b < 1 || b > 256 {
+		t.Errorf("controller batch = %d escaped its bounds", b)
+	}
+}

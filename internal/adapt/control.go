@@ -1,0 +1,132 @@
+package adapt
+
+import "sync/atomic"
+
+// defaultHysteresis is how many net same-direction signals a
+// BatchController accumulates before it moves the batch size: single
+// stray signals (one ScheduleOne call in a Schedule-dominated stream,
+// one deep backlog in a latency-sensitive phase) are absorbed instead
+// of thrashing the batch.
+const defaultHysteresis = 4
+
+// BatchController adapts a batch size between configured bounds from
+// two opposing signals, with hysteresis:
+//
+//   - Latency() — a latency-budgeted caller (ScheduleOne) drained the
+//     controlled queue: such callers want the smallest critical
+//     sections and the freshest put-backs, so sustained pressure
+//     halves the batch toward Min;
+//   - Backlog() — an unbudgeted drain saw more than a full batch of
+//     backlog: throughput is what matters, so sustained pressure
+//     doubles the batch toward Max, amortizing one lock acquisition
+//     over more tasks.
+//
+// The two signals feed one signed pressure counter; only when the
+// counter reaches the hysteresis threshold in either direction does
+// the size move (multiplicatively), and the counter resets. Mixed
+// workloads therefore hover, while a dominated workload converges to
+// its bound within hysteresis·log2(range) signals.
+//
+// All methods are lock-free and allocation-free: Batch is one atomic
+// load (the hot-path read), signals are one atomic add plus a rare
+// CAS. The zero value is unusable; call Init first.
+type BatchController struct {
+	v        atomic.Int32
+	pressure atomic.Int32
+	grows    atomic.Uint64
+	shrinks  atomic.Uint64
+	min, max int32
+	hys      int32
+}
+
+// Init sets the starting batch size and its bounds. start is clamped
+// into [min, max]; min below 1 becomes 1; max below min becomes min.
+// Not safe to call concurrently with the other methods.
+func (c *BatchController) Init(start, min, max int) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if start < min {
+		start = min
+	}
+	if start > max {
+		start = max
+	}
+	c.min, c.max = int32(min), int32(max)
+	c.hys = defaultHysteresis
+	c.v.Store(int32(start))
+	c.pressure.Store(0)
+}
+
+// Batch returns the current batch size — the hot-path read, one
+// atomic load.
+func (c *BatchController) Batch() int { return int(c.v.Load()) }
+
+// Min returns the controller's lower bound.
+func (c *BatchController) Min() int { return int(c.min) }
+
+// Max returns the controller's upper bound.
+func (c *BatchController) Max() int { return int(c.max) }
+
+// Latency records one latency-budgeted drain. Hysteresis-many net
+// latency signals halve the batch (never below Min).
+func (c *BatchController) Latency() {
+	if c.pressure.Add(-1) > -c.hys {
+		return
+	}
+	c.pressure.Store(0)
+	for {
+		v := c.v.Load()
+		nv := v / 2
+		if nv < c.min {
+			nv = c.min
+		}
+		if nv == v {
+			return
+		}
+		if c.v.CompareAndSwap(v, nv) {
+			c.shrinks.Add(1)
+			return
+		}
+	}
+}
+
+// Backlog records one unbudgeted drain that saw more than a full
+// batch of backlog. Hysteresis-many net backlog signals double the
+// batch (never above Max).
+func (c *BatchController) Backlog() {
+	if c.pressure.Add(1) < c.hys {
+		return
+	}
+	c.pressure.Store(0)
+	for {
+		v := c.v.Load()
+		nv := v * 2
+		if nv > c.max {
+			nv = c.max
+		}
+		if nv == v {
+			return
+		}
+		if c.v.CompareAndSwap(v, nv) {
+			c.grows.Add(1)
+			return
+		}
+	}
+}
+
+// Grows returns how many times the batch size doubled.
+func (c *BatchController) Grows() uint64 { return c.grows.Load() }
+
+// Shrinks returns how many times the batch size halved.
+func (c *BatchController) Shrinks() uint64 { return c.shrinks.Load() }
+
+// ResetCounters zeroes the grow/shrink event counters without
+// touching the current batch size or accumulated pressure.
+func (c *BatchController) ResetCounters() {
+	c.grows.Store(0)
+	c.shrinks.Store(0)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"pioman/internal/adapt"
 	"pioman/internal/cpuset"
 	"pioman/internal/spinlock"
 	"pioman/internal/topology"
@@ -24,12 +25,61 @@ type Config struct {
 	// the double-checked-locking ablation.
 	AlwaysLock bool
 	// DrainBatch bounds how many tasks one queue-lock acquisition may
-	// detach during Schedule. 0 means the default (32); 1 degenerates to
-	// the seed's lock-per-task behaviour, kept reachable for comparison.
+	// detach during Schedule. 0 or negative means the default (32); 1
+	// degenerates to the seed's lock-per-task behaviour, kept reachable
+	// for comparison. With AdaptiveDrain set this is the starting point
+	// of each queue's controller rather than a fixed size.
 	DrainBatch int
+	// AdaptiveDrain replaces the fixed drain batch with a per-queue
+	// feedback controller (internal/adapt): sustained draining by
+	// latency-budgeted callers (ScheduleOne) halves a queue's batch
+	// toward DrainMin, sustained more-than-a-batch backlog doubles it
+	// toward DrainMax. Queues drained by throughput callers amortize
+	// more tasks per lock acquisition; queues serving context-switch
+	// keypoints keep their critical sections minimal.
+	AdaptiveDrain bool
+	// DrainMin is the adaptive controller's lower bound. Zero or
+	// negative normalizes to the documented default 1.
+	DrainMin int
+	// DrainMax is the adaptive controller's upper bound. Zero, negative
+	// or below DrainMin normalizes to the documented default
+	// 8×DrainBatch (256 for the default batch).
+	DrainMax int
 	// Steal configures work stealing across sibling leaf queues (see
 	// steal.go). The zero value disables stealing.
 	Steal StealConfig
+}
+
+// normalized returns the config with every out-of-range knob replaced
+// by its documented default, so a zero or nonsense value misbehaves
+// loudly in exactly one place (here) instead of silently downstream:
+//
+//   - DrainBatch ≤ 0 → 32 (defaultDrainBatch);
+//   - DrainMin ≤ 0 → 1;
+//   - DrainMax ≤ 0 or < DrainMin → max(8×DrainBatch, DrainMin);
+//   - Steal.BatchFraction outside (0, 1] (NaN included) → 0.5, except
+//     values above 1, which clamp to 1 (one full drain batch).
+func (cfg Config) normalized() Config {
+	if cfg.DrainBatch <= 0 {
+		cfg.DrainBatch = defaultDrainBatch
+	}
+	if cfg.DrainMin <= 0 {
+		cfg.DrainMin = 1
+	}
+	if cfg.DrainMax <= 0 || cfg.DrainMax < cfg.DrainMin {
+		cfg.DrainMax = 8 * cfg.DrainBatch
+		if cfg.DrainMax < cfg.DrainMin {
+			cfg.DrainMax = cfg.DrainMin
+		}
+	}
+	f := cfg.Steal.BatchFraction
+	switch {
+	case f > 1:
+		cfg.Steal.BatchFraction = 1
+	case !(f > 0): // catches zero, negatives and NaN
+		cfg.Steal.BatchFraction = 0.5
+	}
+	return cfg
 }
 
 // StealPolicy selects how far an out-of-work CPU may reach when it
@@ -74,6 +124,16 @@ type StealConfig struct {
 	// victim without emptying it and destroying the victim's own
 	// locality. The result is clamped to at least one task.
 	BatchFraction float64
+	// Adaptive scales each thief's steal window by its observed
+	// hit-rate (a per-CPU EWMA of whether a steal migrated anything):
+	// a CPU whose steals keep coming back empty-handed — the victim's
+	// visible backlog is pinned, or races keep losing it — shrinks its
+	// window toward one task, so fruitless-steal-prone topologies stop
+	// over-draining (and re-enqueueing) their victims' backlogs. A
+	// thief whose steals land keeps the full BatchFraction window. The
+	// estimate starts optimistic (full window) and recovers as soon as
+	// steals succeed again.
+	Adaptive bool
 }
 
 // defaultDrainBatch is the Schedule batch size when Config.DrainBatch is
@@ -144,6 +204,10 @@ type Engine struct {
 	// stealBatch is how many tasks one steal may detach from a victim
 	// (Config.Steal.BatchFraction of the drain batch, default half).
 	stealBatch int
+	// stealRate tracks each thief CPU's steal hit-rate (Steal.Adaptive;
+	// nil otherwise). Each shard is its CPU's private cache line, so
+	// the feedback adds no cross-core traffic to the steal path.
+	stealRate *adapt.Sharded
 
 	idle   []paddedBool
 	notify atomic.Pointer[func(cpuset.Set)]
@@ -158,15 +222,15 @@ type Engine struct {
 	shards []counterShard
 }
 
-// New builds an engine for the configured topology.
+// New builds an engine for the configured topology. Out-of-range
+// batching and stealing knobs are normalized to their documented
+// defaults first (see Config.normalized).
 func New(cfg Config) *Engine {
 	if cfg.Topology == nil {
 		cfg.Topology = topology.Host()
 	}
+	cfg = cfg.normalized()
 	batch := cfg.DrainBatch
-	if batch <= 0 {
-		batch = defaultDrainBatch
-	}
 	e := &Engine{
 		cfg:    cfg,
 		topo:   cfg.Topology,
@@ -180,8 +244,15 @@ func New(cfg Config) *Engine {
 			continue
 		}
 		q := newQueue(n, cfg.QueueKind)
+		q.ctrl.Init(batch, cfg.DrainMin, cfg.DrainMax)
 		e.queues = append(e.queues, q)
 		e.byID[n.ID] = q
+	}
+	if cfg.Steal.Adaptive && cfg.Steal.Policy != StealOff {
+		// Primed optimistic: the first miss decays the rate gradually
+		// (1 → 0.75 → …) instead of collapsing the window to one task.
+		e.stealRate = adapt.NewSharded(cfg.Topology.NCPUs, 0)
+		e.stealRate.Prime(1)
 	}
 	e.rootQ = e.byID[e.topo.Root.ID]
 	e.leaf = make([]*Queue, e.topo.NCPUs)
@@ -476,6 +547,11 @@ func (c *rehomeChain) flush() {
 // pin, when non-nil, forces every put-back onto that queue instead of
 // re-homing by CPU set (see rehomeChain); the urgent queue drains with
 // pin == itself so skipped urgent tasks keep their priority.
+//
+// Under Config.AdaptiveDrain the batch size is the queue's controller
+// value instead of the engine constant, and the pass reports back: a
+// budgeted drain that ran something is a latency signal, an unbudgeted
+// drain that processed more than one full batch is a backlog signal.
 func (e *Engine) drainQueue(q *Queue, cpu int, budget int, pin *Queue) int {
 	bound := q.Len()
 	if bound == 0 {
@@ -485,12 +561,16 @@ func (e *Engine) drainQueue(q *Queue, cpu int, budget int, pin *Queue) int {
 		// Naive Get_Task: take the lock even to discover emptiness.
 		bound = 1
 	}
+	batch := e.batch
+	if e.cfg.AdaptiveDrain {
+		batch = q.ctrl.Batch()
+	}
 	ran, processed := 0, 0
 	pb := rehomeChain{e: e, pin: pin}
 	for processed < bound {
 		n := bound - processed
-		if n > e.batch {
-			n = e.batch
+		if n > batch {
+			n = batch
 		}
 		if budget >= 0 && n > budget-ran {
 			// Never detach more runnable tasks than we may execute;
@@ -523,6 +603,13 @@ func (e *Engine) drainQueue(q *Queue, cpu int, budget int, pin *Queue) int {
 	pb.flush()
 	if pb.total > 0 {
 		e.shards[cpu].skips.Add(uint64(pb.total))
+	}
+	if e.cfg.AdaptiveDrain && ran > 0 {
+		if budget >= 0 {
+			q.ctrl.Latency()
+		} else if processed > batch {
+			q.ctrl.Backlog()
+		}
 	}
 	return ran
 }
@@ -586,6 +673,13 @@ type Stats struct {
 	// StealPerCPU is the stolen-task execution count indexed by the
 	// *thief* CPU; its sum equals StealTasks.
 	StealPerCPU []uint64
+
+	// BatchGrows and BatchShrinks count adaptive drain-batch moves
+	// across all queues (urgent queue included): doublings under
+	// sustained backlog and halvings under sustained latency-budgeted
+	// draining. Zero unless Config.AdaptiveDrain is set.
+	BatchGrows   uint64
+	BatchShrinks uint64
 }
 
 // Stats returns a snapshot of the engine counters, aggregated across the
@@ -621,9 +715,13 @@ func (e *Engine) Stats() Stats {
 	enq := uint64(0)
 	for _, q := range e.queues {
 		enq += q.Enqueues()
+		s.BatchGrows += q.ctrl.Grows()
+		s.BatchShrinks += q.ctrl.Shrinks()
 	}
 	if uq := e.urgentQ.Load(); uq != nil {
 		enq += uq.Enqueues()
+		s.BatchGrows += uq.ctrl.Grows()
+		s.BatchShrinks += uq.ctrl.Shrinks()
 	}
 	if total := s.Requeues + s.Skips; enq >= total {
 		s.Submitted = enq - total

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pioman/internal/adapt"
 	"pioman/internal/spinlock"
 	"pioman/internal/topology"
 )
@@ -91,6 +92,13 @@ type Queue struct {
 	// the mark by changing the comparison value. See Engine.stealable.
 	fruitless atomic.Uint64
 	_         spinlock.CacheLinePad
+
+	// ctrl is the queue's adaptive drain-batch controller, consulted by
+	// drains only under Config.AdaptiveDrain. It sits on its own cache
+	// line: the consumer that adjusts it must not invalidate the
+	// producer or head lines.
+	ctrl adapt.BatchController
+	_    spinlock.CacheLinePad
 }
 
 func newQueue(node *topology.Node, kind QueueKind) *Queue {
@@ -164,6 +172,12 @@ func (q *Queue) DrainStats() (drains, drained uint64) {
 	return q.drains.Load(), q.dequeues.Load()
 }
 
+// DrainBatchNow returns the queue's current adaptive drain-batch size
+// — the value the next unbudgeted drain will use when the engine runs
+// with Config.AdaptiveDrain (the fixed engine batch applies
+// otherwise).
+func (q *Queue) DrainBatchNow() int { return q.ctrl.Batch() }
+
 // Retries returns the CAS retry count of the lock-free variant (its
 // contention analogue); zero for the locked variants.
 func (q *Queue) Retries() uint64 {
@@ -193,6 +207,7 @@ func (q *Queue) resetStats() {
 	q.chainTasks.Store(0)
 	q.contended.Store(0)
 	q.fruitless.Store(0)
+	q.ctrl.ResetCounters()
 	if q.lf != nil {
 		q.lf.ResetStats()
 	}

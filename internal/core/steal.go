@@ -25,17 +25,11 @@ package core
 // size. Called from New; cheap enough to do unconditionally so the
 // policy can stay a pure runtime check.
 func (e *Engine) initSteal() {
-	batch := e.batch / 2
-	if f := e.cfg.Steal.BatchFraction; f > 0 {
-		batch = int(f * float64(e.batch))
-	}
+	// Config.normalized has already forced BatchFraction into (0, 1],
+	// so the product is at most one full drain batch.
+	batch := int(e.cfg.Steal.BatchFraction * float64(e.batch))
 	if batch < 1 {
 		batch = 1
-	}
-	if batch > e.batch {
-		// BatchFraction is documented as (0, 1]: a steal never detaches
-		// more than one full drain batch.
-		batch = e.batch
 	}
 	e.stealBatch = batch
 	if e.cfg.SingleGlobalQueue {
@@ -57,6 +51,19 @@ func (e *Engine) initSteal() {
 
 // StealPolicy returns the engine's configured steal policy.
 func (e *Engine) StealPolicy() StealPolicy { return e.cfg.Steal.Policy }
+
+// StealRate returns cpu's current steal hit-rate estimate in [0, 1] —
+// the adaptive-steal feedback signal. It reports 1 (optimistic) when
+// the CPU has not attempted a steal yet or Steal.Adaptive is off.
+func (e *Engine) StealRate(cpu int) float64 {
+	if e.stealRate == nil {
+		return 1
+	}
+	if r, ok := e.stealRate.Shard(cpu); ok {
+		return r
+	}
+	return 1
+}
 
 // StealReachesAll reports whether work stealing can migrate a
 // leaf-parked task to any CPU in the machine — true only under the
@@ -187,8 +194,23 @@ func (e *Engine) bestVictim(group []*Queue) *Queue {
 // CPU set maps to under deepest-covering placement, which also repairs
 // any stale locality-first placement. Returns the number of tasks
 // executed.
+//
+// Under Steal.Adaptive the window is scaled by this thief's observed
+// hit-rate before the budget clip: a CPU whose steals keep migrating
+// nothing drains smaller and smaller windows (down to one task), so a
+// pinned-backlog victim is probed, not churned; success restores the
+// full window within a few hits.
 func (e *Engine) stealFrom(q *Queue, cpu int, budget int) int {
-	want := e.stealBatch
+	full := e.stealBatch
+	if e.stealRate != nil {
+		if r, ok := e.stealRate.Shard(cpu); ok {
+			full = int(r*float64(e.stealBatch) + 0.5)
+			if full < 1 {
+				full = 1
+			}
+		}
+	}
+	want := full
 	if budget >= 0 && want > budget {
 		want = budget
 	}
@@ -215,10 +237,19 @@ func (e *Engine) stealFrom(q *Queue, cpu int, budget int) int {
 	if pb.total > 0 {
 		sh.skips.Add(uint64(pb.total))
 	}
+	if e.stealRate != nil {
+		// One sample per steal that saw tasks: 1 when something
+		// migrated, 0 when the whole window was unrunnable here.
+		hit := 0.0
+		if ran > 0 {
+			hit = 1
+		}
+		e.stealRate.Observe(cpu, hit)
+	}
 	if ran > 0 {
 		sh.stealHits.Add(1)
 		sh.stealTasks.Add(uint64(ran))
-	} else if want == e.stealBatch && got < want {
+	} else if want == full && got < want {
 		// The steal saw the victim's entire visible backlog (a full
 		// window that came back short) and ran none of it: mark the
 		// victim fruitless until its next enqueue so other thieves stop

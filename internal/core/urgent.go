@@ -20,6 +20,7 @@ func (e *Engine) initUrgent() *Queue {
 		return q
 	}
 	q := newQueue(e.topo.Root, e.cfg.QueueKind)
+	q.ctrl.Init(e.batch, e.cfg.DrainMin, e.cfg.DrainMax)
 	if e.urgentQ.CompareAndSwap(nil, q) {
 		return q
 	}

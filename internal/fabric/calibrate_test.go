@@ -1,0 +1,344 @@
+package fabric
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pioman/internal/simtime"
+)
+
+// relErr returns |est-truth|/truth.
+func relErr(est, truth float64) float64 {
+	return math.Abs(est-truth) / truth
+}
+
+// calibratedSimRail builds one calibrated endpoint over a simulated
+// rail with the given true envelope, starting from zero knowledge.
+func calibratedSimRail(caps Capabilities) (*CalibratedEndpoint, *SimEndpoint, *SimDomain) {
+	f := NewSimFabric(SimConfig{SendCompletions: true})
+	a := f.OpenDomain(caps)
+	b := f.OpenDomain(caps)
+	ea, eb := Connect(a, b)
+	return Calibrate(ea, CalibratorConfig{}), eb, a
+}
+
+// drain consumes every available completion (sampling send-dones).
+func drain(ep Endpoint) {
+	for {
+		if _, ok, _ := ep.Poll(); !ok {
+			return
+		}
+	}
+}
+
+func TestCalibratorMeasuresSimRail(t *testing.T) {
+	truth := Capabilities{
+		Latency:   simtime.Microsecond,
+		Bandwidth: 8e9,
+		MaxInject: 16 << 10,
+		RMA:       true,
+	}
+	cal, _, _ := calibratedSimRail(truth)
+
+	// Unknown at start: the published envelope is zero except the
+	// structural fields inherited from the wrapped endpoint.
+	start := cal.Capabilities()
+	if start.Latency != 0 || start.Bandwidth != 0 {
+		t.Fatalf("uncalibrated envelope = %v, want unknown latency/bandwidth", start)
+	}
+	if start.MaxInject != truth.MaxInject || !start.RMA {
+		t.Fatalf("structural fields = %v, want inherited MaxInject/RMA", start)
+	}
+
+	// Small probes calibrate latency; polling between sends keeps each
+	// probe unqueued so its timing is pure latency.
+	probe := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		if err := cal.Send(probe, nil); err != nil {
+			t.Fatal(err)
+		}
+		drain(cal)
+	}
+	// Bulk transfers calibrate bandwidth (above MaxInject, so the
+	// provider's internal rendezvous carries them).
+	bulk := make([]byte, 256<<10)
+	for i := 0; i < 8; i++ {
+		if err := cal.Send(probe, bulk); err != nil {
+			t.Fatal(err)
+		}
+		drain(cal)
+	}
+
+	est := cal.Capabilities()
+	if e := relErr(float64(est.Latency), float64(truth.Latency)); e > 0.2 {
+		t.Errorf("latency estimate %v vs true %v: %.1f%% off, want ≤ 20%%",
+			est.Latency, truth.Latency, 100*e)
+	}
+	if e := relErr(est.Bandwidth, truth.Bandwidth); e > 0.2 {
+		t.Errorf("bandwidth estimate %.3g vs true %.3g: %.1f%% off, want ≤ 20%%",
+			est.Bandwidth, truth.Bandwidth, 100*e)
+	}
+	lat, bw := cal.Samples()
+	if lat == 0 || bw == 0 {
+		t.Errorf("samples = (%d lat, %d bw), want both non-zero", lat, bw)
+	}
+	if cal.Dropped() != 0 {
+		t.Errorf("dropped %d samples with a near-empty ring", cal.Dropped())
+	}
+}
+
+func TestCalibratorReconvergesAfterBandwidthShift(t *testing.T) {
+	truth := Capabilities{
+		Latency:   simtime.Microsecond,
+		Bandwidth: 8e9,
+		MaxInject: 16 << 10,
+		RMA:       true,
+	}
+	cal, _, dom := calibratedSimRail(truth)
+	probe := make([]byte, 8)
+	bulk := make([]byte, 256<<10)
+	for i := 0; i < 8; i++ {
+		if err := cal.Send(probe, nil); err != nil {
+			t.Fatal(err)
+		}
+		drain(cal)
+		if err := cal.Send(probe, bulk); err != nil {
+			t.Fatal(err)
+		}
+		drain(cal)
+	}
+	if e := relErr(cal.Capabilities().Bandwidth, 8e9); e > 0.2 {
+		t.Fatalf("pre-shift estimate %.3g off by %.1f%%", cal.Capabilities().Bandwidth, 100*e)
+	}
+
+	// The rail's effective bandwidth collapses mid-stream (a saturated
+	// uplink, a degraded NIC): the estimate must follow.
+	shifted := truth
+	shifted.Bandwidth = 1e9
+	dom.SetCapabilities(shifted)
+	for i := 0; i < 24; i++ {
+		if err := cal.Send(probe, bulk); err != nil {
+			t.Fatal(err)
+		}
+		drain(cal)
+	}
+	if e := relErr(cal.Capabilities().Bandwidth, 1e9); e > 0.2 {
+		t.Errorf("post-shift estimate %.3g vs true 1e9: %.1f%% off, want ≤ 20%%",
+			cal.Capabilities().Bandwidth, 100*e)
+	}
+}
+
+func TestCalibratorAssumeSeedAndOverride(t *testing.T) {
+	a, _ := NewLoopback()
+	seed := Capabilities{Latency: 7 * simtime.Microsecond, Bandwidth: 3e9, MaxInject: 4 << 10}
+	cal := Calibrate(a, CalibratorConfig{Assume: seed})
+	got := cal.Capabilities()
+	if got.Latency != seed.Latency || got.Bandwidth != seed.Bandwidth || got.MaxInject != seed.MaxInject {
+		t.Fatalf("seeded envelope = %v, want the Assume values %v", got, seed)
+	}
+	// Samples override the seed.
+	payload := make([]byte, 1<<20)
+	for i := 0; i < 4; i++ {
+		if err := cal.Send(nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cal.Capabilities().Bandwidth; got == seed.Bandwidth {
+		t.Error("measured bandwidth did not override the seed")
+	}
+}
+
+func TestCalibratorSyncLoopback(t *testing.T) {
+	a, b := NewLoopback()
+	cal := Calibrate(a, CalibratorConfig{})
+	payload := make([]byte, 1<<20)
+	probe := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		if err := cal.Send(probe, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := cal.Send(probe, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The wall clock is not deterministic, so only sanity is asserted:
+	// a megabyte memcpy is measurable, and the estimates are positive.
+	est := cal.Capabilities()
+	if est.Bandwidth <= 0 {
+		t.Errorf("loopback bandwidth estimate = %v, want > 0", est.Bandwidth)
+	}
+	lat, bw := cal.Samples()
+	if bw == 0 {
+		t.Errorf("samples = (%d lat, %d bw), want bandwidth samples", lat, bw)
+	}
+	// The peer received everything (the wrapper forwards traffic
+	// untouched).
+	for i := 0; i < 16; i++ {
+		if _, ok, err := b.Poll(); !ok || err != nil {
+			t.Fatalf("peer missing frame %d: %v", i, err)
+		}
+	}
+}
+
+// TestCalibratorConsistentUnderRace hammers one calibrated endpoint
+// from concurrent senders and pollers (run with -race): the estimators
+// must stay inside the physically possible range and the attribution
+// ring must account for every send.
+func TestCalibratorConsistentUnderRace(t *testing.T) {
+	f := NewSimFabric(SimConfig{SendCompletions: true})
+	caps := Capabilities{Latency: simtime.Microsecond, Bandwidth: 4e9, MaxInject: 64 << 10}
+	a := f.OpenDomain(caps)
+	b := f.OpenDomain(caps)
+	ea, eb := Connect(a, b)
+	cal := Calibrate(ea, CalibratorConfig{})
+
+	const senders = 4
+	const perSender = 200
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 32<<10)
+			for i := 0; i < perSender; i++ {
+				if err := cal.Send(nil, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				cal.Poll()
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cal.Poll()
+				eb.Poll()
+			}
+		}
+	}()
+	wg.Wait()
+	drain(cal)
+	close(stop)
+	pollers.Wait()
+
+	if bw, ok := cal.bw.Value(); ok && (bw <= 0 || bw > 1e12) {
+		t.Errorf("bandwidth estimate %.3g escaped the physical range", bw)
+	}
+	lat, bw := cal.Samples()
+	if lat+bw+cal.Dropped() > senders*perSender {
+		t.Errorf("samples (%d+%d) + dropped (%d) exceed sends (%d)",
+			lat, bw, cal.Dropped(), senders*perSender)
+	}
+}
+
+// fakeAsyncEndpoint is a hand-driven provider that posts send
+// completions from a scripted queue, for exercising the calibrator's
+// FIFO attribution without a fabric model.
+type fakeAsyncEndpoint struct {
+	cq []Event
+}
+
+func (f *fakeAsyncEndpoint) Provider() string               { return "fake" }
+func (f *fakeAsyncEndpoint) Capabilities() Capabilities     { return Capabilities{} }
+func (f *fakeAsyncEndpoint) Send(imm, payload []byte) error { return nil }
+func (f *fakeAsyncEndpoint) Backlog() int                   { return 0 }
+func (f *fakeAsyncEndpoint) Close() error                   { return nil }
+func (f *fakeAsyncEndpoint) SendCompletions() bool          { return true }
+func (f *fakeAsyncEndpoint) Poll() (Event, bool, error) {
+	if len(f.cq) == 0 {
+		return Event{}, false, nil
+	}
+	ev := f.cq[0]
+	f.cq = f.cq[1:]
+	return ev, true, nil
+}
+
+// TestCalibratorRingOverflowKeepsAttributionAligned: when the
+// in-flight ring overflows, the dropped send's completion must be
+// discarded — not attributed to the next send's timestamps, which
+// would desync every later sample.
+func TestCalibratorRingOverflowKeepsAttributionAligned(t *testing.T) {
+	fake := &fakeAsyncEndpoint{}
+	now := int64(0)
+	cal := Calibrate(fake, CalibratorConfig{Clock: func() int64 { return now }})
+	if !cal.Sampling() {
+		t.Fatal("async provider with completions should sample")
+	}
+	probe := make([]byte, 8)
+	t0 := func(seq int64) int64 { return seq * 10_000 }
+	// Fill the ring completely (seqs 0..calRing-1), then one more send
+	// that must be dropped.
+	for seq := int64(0); seq < calRing; seq++ {
+		now = t0(seq)
+		if err := cal.Send(probe, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = t0(calRing)
+	if err := cal.Send(probe, nil); err != nil { // seq calRing: dropped
+		t.Fatal(err)
+	}
+	if cal.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", cal.Dropped())
+	}
+	// Drain the ring's completions: each send took exactly 1000 ns.
+	for seq := int64(0); seq < calRing; seq++ {
+		fake.cq = append(fake.cq, Event{Kind: EventSendDone, Stamp: t0(seq) + 1000})
+	}
+	drain(cal)
+	// One more send, posted only 100 ns after the dropped send — if the
+	// dropped send's completion were misattributed to it, its 1000 ns
+	// stamp would read as a bogus 900 ns latency.
+	now = t0(calRing) + 100
+	if err := cal.Send(probe, nil); err != nil {
+		t.Fatal(err)
+	}
+	fake.cq = append(fake.cq, Event{Kind: EventSendDone, Stamp: t0(calRing) + 1000})       // dropped send's
+	fake.cq = append(fake.cq, Event{Kind: EventSendDone, Stamp: t0(calRing) + 100 + 1000}) // live send's
+	drain(cal)
+	if lat := int64(cal.Capabilities().Latency); lat != 1000 {
+		t.Errorf("latency floor = %d ns, want exactly 1000 (misattribution would read 900)", lat)
+	}
+	if latN, _ := cal.Samples(); latN != calRing+1 {
+		t.Errorf("latency samples = %d, want %d (dropped send unsampled)", latN, calRing+1)
+	}
+}
+
+// TestCalibratorDisabledWithoutSendCompletions: wrapping an
+// asynchronous provider whose completions are off must not sample
+// clock jitter — calibration runs disabled on the Assume seed.
+func TestCalibratorDisabledWithoutSendCompletions(t *testing.T) {
+	f := NewSimFabric(SimConfig{}) // SendCompletions off
+	caps := Capabilities{Latency: simtime.Microsecond, Bandwidth: 4e9, MaxInject: 4 << 10}
+	a := f.OpenDomain(caps)
+	b := f.OpenDomain(caps)
+	ea, eb := Connect(a, b)
+	seed := Capabilities{Bandwidth: 2e9}
+	cal := Calibrate(ea, CalibratorConfig{Assume: seed})
+	if cal.Sampling() {
+		t.Fatal("async provider without completions must not claim to sample")
+	}
+	payload := make([]byte, 1<<10)
+	for i := 0; i < 16; i++ {
+		if err := cal.Send(nil, payload); err != nil {
+			t.Fatal(err)
+		}
+		drain(cal)
+		eb.Poll()
+	}
+	if lat, bw := cal.Samples(); lat != 0 || bw != 0 {
+		t.Errorf("disabled calibrator folded in %d/%d samples", lat, bw)
+	}
+	if got := cal.Capabilities().Bandwidth; got != seed.Bandwidth {
+		t.Errorf("disabled calibrator moved off its seed: %v", got)
+	}
+}

@@ -89,6 +89,12 @@ const (
 	// remote data into the local buffer; Context echoes the post's
 	// context value.
 	EventRMADone
+	// EventSendDone signals a previously posted Send has fully left the
+	// wire (the verbs-style signaled send completion). Providers post
+	// these only when asked to (see SendCompleter); consumers that only
+	// care about traffic may ignore them, while calibrators use their
+	// timing to sample the rail's real latency and bandwidth.
+	EventSendDone
 )
 
 // String names the event kind.
@@ -98,6 +104,8 @@ func (k EventKind) String() string {
 		return "recv"
 	case EventRMADone:
 		return "rma-done"
+	case EventSendDone:
+		return "send-done"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -118,6 +126,12 @@ type Event struct {
 	// Context echoes the caller-supplied context of the completed
 	// operation (EventRMADone).
 	Context any
+	// Stamp is the completion's timestamp on the provider's own
+	// nanosecond clock (virtual time for the simulated provider), or 0
+	// when the provider does not timestamp completions. Calibrators
+	// prefer it over reading a clock at poll time: it is the exact
+	// instant the operation completed, not the instant somebody looked.
+	Stamp int64
 }
 
 // RKey names a registered memory region for remote access — the
@@ -185,4 +199,27 @@ type RMAEndpoint interface {
 	// RMARead starts pulling len(local) bytes from the peer region
 	// named by key into local. ctx is echoed in the completion event.
 	RMARead(key RKey, local []byte, ctx any) error
+}
+
+// SendCompleter is the optional interface of providers that post
+// EventSendDone completions for their sends. Asynchronous providers (a
+// send returns before the wire time has elapsed) implement it so a
+// calibrator can attribute completion timing; synchronous providers —
+// whose Send returns only after the wire write finished, like the
+// loopback rail and the classic frame drivers — do not, and are
+// sampled around the Send call itself.
+type SendCompleter interface {
+	// SendCompletions reports whether the endpoint currently posts
+	// EventSendDone entries.
+	SendCompletions() bool
+}
+
+// Clocked is the optional interface of providers with their own
+// completion clock — the simulated fabric's virtual clock. Calibrators
+// read send-post times from it so their arithmetic matches the clock
+// the provider stamps completions with; providers without one are
+// timed on the wall clock.
+type Clocked interface {
+	// ProviderClock returns a monotonic nanosecond clock function.
+	ProviderClock() func() int64
 }

@@ -1,0 +1,122 @@
+package fabric
+
+import "sync"
+
+// Loopback is the minimal wall-clock provider: two endpoints wired
+// back to back inside the process, with no simulated clock and no
+// modelled costs — a Send is one lock acquisition plus one copy of the
+// bytes into the peer's completion queue, and that real, measurable
+// work is the whole point. Calibration and striping benchmarks run
+// against it to exercise the adaptive layers on genuine elapsed time
+// (the ROADMAP "loopback-perf provider" item); its Capabilities are
+// deliberately all-zero, because whatever this rail can do is exactly
+// what a calibrator should discover.
+//
+// The provider is synchronous: Send finishes the "wire" write before
+// returning (like the classic frame drivers), so it posts no
+// EventSendDone — a Calibrator samples it around the Send call.
+
+// loopbackPair is the shared state of two connected endpoints: one
+// lock covering both directions, matching the provider's scale (an
+// in-process rail has no per-direction parallelism to preserve).
+type loopbackPair struct {
+	mu sync.Mutex
+}
+
+// LoopbackEndpoint is one side of an in-process wall-clock rail. It
+// implements Endpoint; all methods are safe for concurrent use.
+type LoopbackEndpoint struct {
+	pair   *loopbackPair
+	peer   *LoopbackEndpoint
+	cq     []Event
+	closed bool
+	sends  uint64
+	polls  uint64
+}
+
+// NewLoopback creates a connected endpoint pair.
+func NewLoopback() (*LoopbackEndpoint, *LoopbackEndpoint) {
+	p := &loopbackPair{}
+	a := &LoopbackEndpoint{pair: p}
+	b := &LoopbackEndpoint{pair: p}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Provider names the backend.
+func (ep *LoopbackEndpoint) Provider() string { return "loopback" }
+
+// Capabilities returns the all-unknown envelope: the loopback rail
+// reports nothing about itself, so consumers either treat it as
+// equal-weight (the Capabilities contract for unknown rails) or wrap
+// it in a Calibrator and measure.
+func (ep *LoopbackEndpoint) Capabilities() Capabilities { return Capabilities{} }
+
+// Send copies imm and payload into the peer's completion queue. The
+// copy happens inside the call — buffered-send semantics, and the
+// elapsed wall time is the rail's real serialization cost.
+func (ep *LoopbackEndpoint) Send(imm, payload []byte) error {
+	p := ep.pair
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ep.closed || ep.peer.closed {
+		return ErrClosed
+	}
+	ep.sends++
+	buf := make([]byte, len(imm)+len(payload))
+	copy(buf, imm)
+	copy(buf[len(imm):], payload)
+	ep.peer.cq = append(ep.peer.cq, Event{
+		Kind:    EventRecv,
+		Imm:     buf[:len(imm):len(imm)],
+		Payload: buf[len(imm):],
+		From:    -1,
+	})
+	return nil
+}
+
+// Poll pops the next completion-queue entry.
+func (ep *LoopbackEndpoint) Poll() (Event, bool, error) {
+	p := ep.pair
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ep.closed {
+		return Event{}, false, ErrClosed
+	}
+	ep.polls++
+	if len(ep.cq) == 0 {
+		return Event{}, false, nil
+	}
+	ev := ep.cq[0]
+	ep.cq = ep.cq[1:]
+	if len(ep.cq) == 0 {
+		ep.cq = nil // let a drained burst's backing array go
+	}
+	return ev, true, nil
+}
+
+// Backlog reports completions not yet polled.
+func (ep *LoopbackEndpoint) Backlog() int {
+	p := ep.pair
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(ep.cq)
+}
+
+// Close shuts the endpoint down; undelivered events are dropped.
+func (ep *LoopbackEndpoint) Close() error {
+	p := ep.pair
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ep.closed = true
+	ep.cq = nil
+	return nil
+}
+
+// Stats returns (sends, polls) for the endpoint.
+func (ep *LoopbackEndpoint) Stats() (sends, polls uint64) {
+	p := ep.pair
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ep.sends, ep.polls
+}

@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestLoopbackRoundTrip(t *testing.T) {
+	a, b := NewLoopback()
+	if a.Provider() != "loopback" {
+		t.Errorf("provider = %q", a.Provider())
+	}
+	if caps := a.Capabilities(); caps.Bandwidth != 0 || caps.Latency != 0 || caps.RMA {
+		t.Errorf("loopback capabilities = %v, want all-unknown", caps)
+	}
+	imm := []byte{1, 2, 3}
+	payload := []byte("hello across the pair")
+	if err := a.Send(imm, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Backlog(); got != 1 {
+		t.Errorf("peer backlog = %d, want 1", got)
+	}
+	ev, ok, err := b.Poll()
+	if !ok || err != nil {
+		t.Fatalf("poll = %v, %v", ok, err)
+	}
+	if ev.Kind != EventRecv || !bytes.Equal(ev.Imm, imm) || !bytes.Equal(ev.Payload, payload) {
+		t.Fatalf("event = %+v, want the sent frame", ev)
+	}
+	// The wire owns its bytes: mutating the sender's buffers after Send
+	// must not corrupt a frame still queued.
+	if err := b.Send(imm, payload); err != nil {
+		t.Fatal(err)
+	}
+	imm[0] = 99
+	payload[0] = 'X'
+	ev, ok, _ = a.Poll()
+	if !ok || ev.Imm[0] != 1 || ev.Payload[0] != 'h' {
+		t.Error("loopback frame aliases the sender's buffers")
+	}
+	if _, ok, err := a.Poll(); ok || err != nil {
+		t.Errorf("empty poll = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestLoopbackClose(t *testing.T) {
+	a, b := NewLoopback()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(nil, []byte("x")); err != ErrClosed {
+		t.Errorf("send to closed peer = %v, want ErrClosed", err)
+	}
+	if _, _, err := a.Poll(); err != ErrClosed {
+		t.Errorf("poll of closed endpoint = %v, want ErrClosed", err)
+	}
+}
+
+func TestLoopbackConcurrentUnderRace(t *testing.T) {
+	a, b := NewLoopback()
+	const senders = 4
+	const perSender = 500
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			msg := []byte{byte(g)}
+			for i := 0; i < perSender; i++ {
+				if err := a.Send(msg, msg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < senders*perSender {
+			if _, ok, err := b.Poll(); err != nil {
+				t.Error(err)
+				return
+			} else if ok {
+				got++
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got != senders*perSender {
+		t.Errorf("received %d frames, want %d", got, senders*perSender)
+	}
+}

@@ -20,6 +20,13 @@ type SimConfig struct {
 	// empty, so correctness tests finish instantly yet the virtual
 	// clock still reports exact modelled durations.
 	TimeScale float64
+
+	// SendCompletions makes every endpoint post an EventSendDone to the
+	// *sender's* completion queue when a send's modelled wire time has
+	// fully elapsed — the verbs signaled-send behaviour. Calibrators
+	// rely on it; plain traffic tests leave it off and keep their
+	// completion queues free of bookkeeping entries.
+	SendCompletions bool
 }
 
 // SimFabric is the RDMA-style simulated provider: queue pairs,
@@ -125,6 +132,22 @@ func (d *SimDomain) RegisterMemory(buf []byte) (MemoryRegion, error) {
 		return nil, ErrClosed
 	}
 	return &simMR{fab: f, key: f.registerLocked(buf)}, nil
+}
+
+// SetCapabilities swaps the domain's performance envelope at runtime —
+// the "effective bandwidth shifted mid-stream" scenario the
+// calibration layer exists for (a shared link saturating, a NIC
+// dropping to a degraded mode). Messages posted after the call are
+// timed by the new envelope; messages already on the wire keep the
+// timing they were posted with.
+func (d *SimDomain) SetCapabilities(caps Capabilities) {
+	f := d.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d.caps = caps
+	for _, ep := range d.eps {
+		ep.dir.caps = caps
+	}
 }
 
 // Close closes the domain and every endpoint opened on it.
@@ -248,7 +271,10 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 			ep.outstanding--
 			delete(f.regions, key)
 			if !peer.closed {
-				peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from})
+				peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
+			}
+			if f.cfg.SendCompletions && !ep.closed {
+				ep.cq = append(ep.cq, Event{Kind: EventSendDone, From: peer.dom.id, Stamp: int64(deliver)})
 			}
 		})
 		return nil
@@ -268,7 +294,10 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 	f.sim.At(deliver, func() {
 		ep.outstanding--
 		if !peer.closed {
-			peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from})
+			peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
+		}
+		if f.cfg.SendCompletions && !ep.closed {
+			ep.cq = append(ep.cq, Event{Kind: EventSendDone, From: peer.dom.id, Stamp: int64(deliver)})
 		}
 	})
 	return nil
@@ -309,7 +338,7 @@ func (ep *SimEndpoint) RMARead(key RKey, local []byte, ctx any) error {
 			return
 		}
 		n := copy(local, src)
-		ep.cq = append(ep.cq, Event{Kind: EventRMADone, Payload: local[:n], From: ep.peer.dom.id, Context: ctx})
+		ep.cq = append(ep.cq, Event{Kind: EventRMADone, Payload: local[:n], From: ep.peer.dom.id, Context: ctx, Stamp: int64(deliver)})
 	})
 	return nil
 }
@@ -358,6 +387,20 @@ func (ep *SimEndpoint) Close() error {
 	defer f.mu.Unlock()
 	ep.closed = true
 	return nil
+}
+
+// SendCompletions reports whether the fabric was configured to post
+// EventSendDone entries (SimConfig.SendCompletions), implementing the
+// optional SendCompleter interface.
+func (ep *SimEndpoint) SendCompletions() bool { return ep.fab.cfg.SendCompletions }
+
+// ProviderClock returns the fabric's virtual clock as a nanosecond
+// function, implementing the optional Clocked interface: calibrators
+// time send posts with it so their arithmetic lives on the same clock
+// the completion stamps do.
+func (ep *SimEndpoint) ProviderClock() func() int64 {
+	f := ep.fab
+	return func() int64 { return int64(f.Now()) }
 }
 
 // Stats returns (eager injects, rendezvous sends, RMA reads posted,

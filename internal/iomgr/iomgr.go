@@ -60,9 +60,12 @@ type chanWaiter struct {
 // New builds a manager.
 func New(cfg Config) *Manager {
 	if cfg.Tasks == nil {
+		// Like nmad's private engine: progression-only workload, so the
+		// adaptive drain/steal controllers run unconditionally.
 		cfg.Tasks = core.New(core.Config{
-			Topology: topology.Host(),
-			Steal:    core.StealConfig{Policy: core.StealFullTree},
+			Topology:      topology.Host(),
+			AdaptiveDrain: true,
+			Steal:         core.StealConfig{Policy: core.StealFullTree, Adaptive: true},
 		})
 	}
 	if cfg.ProgressIdle <= 0 {

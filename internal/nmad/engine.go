@@ -47,6 +47,20 @@ type Config struct {
 	// their bandwidth — the seed behaviour, kept as an ablation for
 	// the heterogeneous-rail benchmarks.
 	EvenStripe bool
+	// Calibrate wraps every gate rail in a fabric.Calibrator: striping
+	// and eager routing then consume *measured* per-rail latency and
+	// bandwidth instead of the provider's assumed envelope, starting
+	// from zero knowledge (equal-weight striping) and converging as
+	// completions are observed — the paper's sampled rail selection,
+	// done online. Endpoints already wrapped in a CalibratedEndpoint
+	// are used as-is, so callers may pre-seed or share calibrators.
+	// Classic driver rails lose their codec-free frame fast path when
+	// calibrated (frames pass through the generic byte interface to be
+	// timed). Asynchronous providers must post send completions to be
+	// measurable — for SimFabric, set SimConfig.SendCompletions — or
+	// the calibrator runs disabled on its Assume seed (see
+	// fabric.CalibratedEndpoint.Sampling).
+	Calibrate bool
 	// AutoProgress starts a background progression goroutine (default
 	// on; disable when an external sched.Runtime drives the task
 	// engine). Zero value means on; set NoAutoProgress to disable.
@@ -112,9 +126,15 @@ type sendRdvState struct {
 // NewEngine builds an engine and starts its progression.
 func NewEngine(cfg Config) *Engine {
 	if cfg.Tasks == nil {
+		// The private engine runs the full adaptive control plane: the
+		// drain batch of each queue tracks the poll/send mix, and steal
+		// windows track the thief hit-rate — this engine serves only
+		// progression tasks, so there is no externally tuned workload
+		// to preserve.
 		cfg.Tasks = core.New(core.Config{
-			Topology: topology.Host(),
-			Steal:    core.StealConfig{Policy: core.StealFullTree},
+			Topology:      topology.Host(),
+			AdaptiveDrain: true,
+			Steal:         core.StealConfig{Policy: core.StealFullTree, Adaptive: true},
 		})
 	}
 	if cfg.EagerThreshold <= 0 {
@@ -292,6 +312,20 @@ func (e *Engine) NewGate(drivers ...Driver) (*Gate, error) {
 func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 	if len(eps) == 0 {
 		return nil, errors.New("nmad: gate needs at least one rail")
+	}
+	if e.cfg.Calibrate {
+		// Wrap into a fresh slice: the variadic parameter may alias the
+		// caller's backing array, which must not see its endpoints
+		// silently replaced.
+		wrapped := make([]fabric.Endpoint, len(eps))
+		for i, ep := range eps {
+			if _, ok := ep.(*fabric.CalibratedEndpoint); ok {
+				wrapped[i] = ep
+			} else {
+				wrapped[i] = fabric.Calibrate(ep, fabric.CalibratorConfig{})
+			}
+		}
+		eps = wrapped
 	}
 	g := &Gate{eng: e}
 	for _, ep := range eps {

@@ -116,6 +116,20 @@ func (m Migration) StolenFraction(totalExecutions uint64) float64 {
 	return float64(m.Tasks) / float64(totalExecutions)
 }
 
+// RelError returns |estimate−truth|/|truth| — the convergence metric
+// the calibration tests and examples report (0.2 means the estimate
+// landed within 20% of the configured value). A zero truth yields +Inf
+// for a non-zero estimate and 0 for a zero one.
+func RelError(estimate, truth float64) float64 {
+	if truth == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimate-truth) / math.Abs(truth)
+}
+
 // Percentile returns the p-th percentile (0-100) using nearest-rank.
 func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {

@@ -163,3 +163,22 @@ func TestMigration(t *testing.T) {
 		t.Errorf("StolenFraction = %v, want 0.5", got)
 	}
 }
+
+func TestRelError(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{8e9, 8e9, 0},
+		{7.2e9, 8e9, 0.1},
+		{1.2e9, 1e9, 0.2},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RelError(c.est, c.truth); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RelError(%v, %v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+	if got := RelError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelError(1, 0) = %v, want +Inf", got)
+	}
+}
