@@ -1,15 +1,20 @@
-// Multirail: capability-aware striping over heterogeneous rails.
+// Multirail: capability-aware striping over heterogeneous rails, and
+// the receiver-driven zero-copy rendezvous.
 //
 // Two engines are connected by two simulated RDMA rails with very
 // different envelopes — an 8 GB/s low-latency rail and a 1 GB/s
 // high-latency one, the shape of the paper's BORDERLINE nodes carrying
-// both ConnectX IB and Myri-10G. A large message is sent twice: once
+// both ConnectX IB and Myri-10G. A large message is sent three times:
 // with the seed's even striping (half the payload on each rail, so the
-// slow rail dominates completion) and once with capability-aware
-// striping (chunks proportional to per-rail bandwidth, so both rails
-// finish together). The fabric's virtual clock reports the modelled
-// transfer times, and the per-rail statistics show where the bytes
-// went. Small messages ride the lowest-latency rail either way.
+// slow rail dominates completion), with capability-aware striping
+// (chunks proportional to per-rail bandwidth, so both rails finish
+// together), and finally with the receiver-driven pull rendezvous (the
+// RTS offers per-rail remote keys, the receiver stripes and RMA-reads
+// the chunks straight out of the sender's user buffer). The fabric's
+// virtual clock reports the modelled transfer times, its copy counters
+// prove where the bytes moved — host memcpy vs. NIC DMA — and the
+// per-rail statistics show where they went. Small messages ride the
+// lowest-latency rail either way.
 //
 // Run with: go run ./examples/multirail
 package main
@@ -22,9 +27,21 @@ import (
 	"pioman/internal/simtime"
 )
 
-// transfer sends one large payload over a fresh fast+slow gate pair
-// and returns the modelled transfer time plus the sender gate.
-func transfer(even bool, payload []byte) (simtime.Duration, *nmad.Gate, nmad.Stats) {
+// result is one transfer configuration's outcome.
+type result struct {
+	time     simtime.Duration
+	sendGate *nmad.Gate
+	recvGate *nmad.Gate
+	sent     nmad.Stats
+	recv     nmad.Stats
+	sim      fabric.SimStats
+}
+
+// transfer sends one large payload over a fresh fast+slow gate pair.
+// Striping runs on whichever side drives the protocol — the sender for
+// push mode, the receiver for pull mode — so both engines share the
+// even/pull knobs.
+func transfer(even, pull bool, payload []byte) result {
 	f := fabric.NewSimFabric(fabric.SimConfig{}) // free-running virtual time
 	fast := f.OpenDomain(fabric.Capabilities{
 		Latency: simtime.Microsecond, Bandwidth: 8e9, MaxInject: 16 << 10, RMA: true,
@@ -37,8 +54,8 @@ func transfer(even bool, payload []byte) (simtime.Duration, *nmad.Gate, nmad.Sta
 	ea0, eb0 := fabric.Connect(fast, fastPeer)
 	ea1, eb1 := fabric.Connect(slow, slowPeer)
 
-	sender := nmad.NewEngine(nmad.Config{EvenStripe: even})
-	receiver := nmad.NewEngine(nmad.Config{})
+	sender := nmad.NewEngine(nmad.Config{EvenStripe: even, NoRdvPull: !pull})
+	receiver := nmad.NewEngine(nmad.Config{EvenStripe: even, NoRdvPull: !pull})
 	defer sender.Close()
 	defer receiver.Close()
 	gs, err := sender.NewGateEndpoints(ea0, ea1)
@@ -72,29 +89,54 @@ func transfer(even bool, payload []byte) (simtime.Duration, *nmad.Gate, nmad.Sta
 	if err := <-done; err != nil {
 		panic(err)
 	}
-	return simtime.Duration(f.Now()) - small, gs, sender.Stats()
+	return result{
+		time:     simtime.Duration(f.Now()) - small,
+		sendGate: gs, recvGate: gr,
+		sent: sender.Stats(), recv: receiver.Stats(),
+		sim: f.Stats(),
+	}
 }
 
 func main() {
 	payload := make([]byte, 8<<20)
 	fmt.Printf("8 MiB over two rails: 8 GB/s @ 1µs  +  1 GB/s @ 5µs\n\n")
 
-	evenTime, evenGate, _ := transfer(true, payload)
-	capTime, capGate, st := transfer(false, payload)
+	evenPush := transfer(true, false, payload)
+	capPush := transfer(false, false, payload)
+	capPull := transfer(false, true, payload)
 
-	show := func(name string, d simtime.Duration, g *nmad.Gate) {
-		fmt.Printf("%-18s %10v modelled transfer\n", name, simtime.Time(d))
-		for i, r := range g.RailStats() {
-			fmt.Printf("  rail %d (%s, %s): %d frames, %.2f MiB\n",
-				i, r.Provider, r.Caps, r.Frames, float64(r.Bytes)/(1<<20))
+	show := func(name string, r result) {
+		fmt.Printf("%-22s %10v modelled transfer\n", name, simtime.Time(r.time))
+		for i, rs := range r.sendGate.RailStats() {
+			pull := r.recvGate.RailStats()[i].PullBytes
+			fmt.Printf("  rail %d (%s, %s): %d frames, %.2f MiB pushed, %.2f MiB pulled\n",
+				i, rs.Provider, rs.Caps, rs.Frames,
+				float64(rs.Bytes)/(1<<20), float64(pull)/(1<<20))
 		}
 	}
-	show("even striping", evenTime, evenGate)
-	show("capability-aware", capTime, capGate)
+	show("even striping (push)", evenPush)
+	show("capability-aware push", capPush)
+	show("receiver-driven pull", capPull)
 
 	fmt.Printf("\ncapability-aware completes in %.0f%% of even striping's time\n",
-		100*float64(capTime)/float64(evenTime))
+		100*float64(capPush.time)/float64(evenPush.time))
 	fmt.Printf("(rendezvous handshakes: %d, data fragments: %d, eager sends: %d)\n",
-		st.RdvStarted, st.RdvData, st.EagerSent)
-	fmt.Println("=> chunk sizes proportional to per-rail bandwidth make both rails finish together (Fig. 1's optimization layer, generalized to heterogeneous NICs)")
+		capPush.sent.RdvStarted, capPush.sent.RdvData, capPush.sent.EagerSent)
+
+	fmt.Printf("\npull vs push, same capability-aware split (copy counters, 8 MiB payload):\n")
+	fmt.Printf("  %-22s %12s %14s %12s %10s\n", "", "staged(host)", "recv-memcpy", "DMA(read)", "time")
+	row := func(name string, r result) {
+		fmt.Printf("  %-22s %9.1f MiB %11.1f MiB %9.1f MiB %10v\n", name,
+			float64(r.sim.StagedCopiedBytes)/(1<<20),
+			float64(r.recv.RecvCopiedBytes)/(1<<20),
+			float64(r.sim.RMAReadBytes)/(1<<20),
+			simtime.Time(r.time))
+	}
+	row("push", capPush)
+	row("pull", capPull)
+	fmt.Printf("  (pull: %d RMA reads, %d FIN; registrations interned by the cache: %d)\n",
+		capPull.recv.RdvPulls, capPull.recv.RdvFins, capPull.sim.Registrations)
+
+	fmt.Println("\n=> chunk sizes proportional to per-rail bandwidth make both rails finish together,")
+	fmt.Println("   and the receiver-driven rendezvous moves them with zero host copies on either side")
 }

@@ -80,9 +80,9 @@ type CalibratorConfig struct {
 	ProbeMax int
 	// Assume seeds the published envelope before any sample arrives.
 	// Latency and Bandwidth are taken as given (zero means unknown —
-	// the calibration-from-nothing scenario); a zero MaxInject and
-	// false RMA are filled in from the wrapped endpoint, since those
-	// are structural properties, not measurements.
+	// the calibration-from-nothing scenario); a zero MaxInject, false
+	// RMA and false NoExt are filled in from the wrapped endpoint,
+	// since those are structural properties, not measurements.
 	Assume Capabilities
 }
 
@@ -106,6 +106,18 @@ type CalibratedEndpoint struct {
 	sendSeq    uint64 // sends posted (ring-dropped ones included)
 	doneSeq    uint64 // send completions observed
 	lastDone   int64
+
+	// RMA-read attribution: locally posted reads awaiting their
+	// EventRMADone, FIFO like sends. Reads are bulk by construction
+	// (the pull-mode rendezvous stripes large payloads), so their
+	// completions feed the bandwidth EWMA exactly as bulk send
+	// completions do — with the same seq matching, so a ring-dropped
+	// read's completion is discarded instead of desyncing attribution.
+	rmaRing          [calRing]calPending
+	rmaHead, rmaTail uint32
+	rmaSendSeq       uint64 // reads posted (ring-dropped ones included)
+	rmaDoneSeq       uint64 // read completions observed
+	rmaLastDone      int64
 
 	lat adapt.Window
 	bw  adapt.EWMA
@@ -158,6 +170,9 @@ func Calibrate(ep Endpoint, cfg CalibratorConfig) *CalibratedEndpoint {
 	}
 	if !c.base.RMA {
 		c.base.RMA = inner.RMA
+	}
+	if !c.base.NoExt {
+		c.base.NoExt = inner.NoExt
 	}
 	return c
 }
@@ -231,13 +246,22 @@ func (c *CalibratedEndpoint) Send(imm, payload []byte) error {
 }
 
 // Poll forwards completions from the wrapped endpoint, consuming
-// EventSendDone entries internally as calibration samples — consumers
-// see exactly the event stream they would see uncalibrated.
+// EventSendDone entries internally as calibration samples and sampling
+// (but passing through) EventRMADone entries — consumers see exactly
+// the event stream they would see uncalibrated, minus the send-done
+// bookkeeping.
 func (c *CalibratedEndpoint) Poll() (Event, bool, error) {
 	for {
 		ev, ok, err := c.inner.Poll()
-		if err != nil || !ok || ev.Kind != EventSendDone {
+		if err != nil || !ok {
 			return ev, ok, err
+		}
+		if ev.Kind == EventRMADone {
+			c.sampleRMADone(ev)
+			return ev, ok, nil
+		}
+		if ev.Kind != EventSendDone {
+			return ev, ok, nil
 		}
 		tc := ev.Stamp
 		if tc == 0 {
@@ -318,12 +342,90 @@ func (c *CalibratedEndpoint) sample(bytes int, t0, tc int64) {
 
 // RMARead forwards to the wrapped endpoint when it supports RMA;
 // otherwise it reports ErrNoRegion. Consumers should gate on
-// Capabilities().RMA, which reflects the wrapped endpoint.
-func (c *CalibratedEndpoint) RMARead(key RKey, local []byte, ctx any) error {
+// Capabilities().RMA, which reflects the wrapped endpoint. Posted
+// reads are stamped and attributed against their EventRMADone in FIFO
+// order, feeding the bandwidth estimate the same way bulk send
+// completions do — on a pull-mode receiver, RMA completions are the
+// only bulk traffic there is to learn from.
+func (c *CalibratedEndpoint) RMARead(key RKey, offset int, local []byte, ctx any) error {
 	if c.rma == nil {
 		return ErrNoRegion
 	}
-	return c.rma.RMARead(key, local, ctx)
+	t0 := c.clock()
+	if err := c.rma.RMARead(key, offset, local, ctx); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	seq := c.rmaSendSeq
+	c.rmaSendSeq++
+	if c.rmaTail-c.rmaHead < calRing {
+		c.rmaRing[c.rmaTail%calRing] = calPending{bytes: len(local), t0: t0, seq: seq}
+		c.rmaTail++
+	} else {
+		c.dropped.Add(1)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// sampleRMADone attributes one RMA completion to the oldest posted
+// read. Reads complete in post order per endpoint (they serialize on
+// the peer's direction of the link), so FIFO attribution holds the
+// same way it does for signaled sends. A queued read — posted before
+// its predecessor completed — is timed completion-to-completion, the
+// latency-free serialization sample; an unqueued one is timed
+// post-to-completion minus the latency estimate.
+func (c *CalibratedEndpoint) sampleRMADone(ev Event) {
+	tc := ev.Stamp
+	if tc == 0 {
+		tc = c.clock()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.rmaDoneSeq
+	c.rmaDoneSeq++
+	// Completions arrive in post order; a head entry with an older seq
+	// lost its completion, and a completion whose seq is missing from
+	// the ring belongs to a ring-dropped read — either way, attribution
+	// stays aligned (same discipline as the send ring).
+	for c.rmaTail-c.rmaHead > 0 && c.rmaRing[c.rmaHead%calRing].seq < seq {
+		c.rmaHead++
+	}
+	if c.rmaTail == c.rmaHead || c.rmaRing[c.rmaHead%calRing].seq != seq {
+		return // not a read we posted (or ring-dropped)
+	}
+	p := c.rmaRing[c.rmaHead%calRing]
+	c.rmaHead++
+	if tc <= p.t0 {
+		return
+	}
+	prev := c.rmaLastDone
+	if tc > c.rmaLastDone {
+		c.rmaLastDone = tc
+	}
+	if p.t0 < prev && prev < tc {
+		c.bw.Observe(c.alpha, float64(p.bytes)*1e9/float64(tc-prev))
+		c.bwSamples.Add(1)
+		return
+	}
+	lat := int64(0)
+	if v, ok := c.lat.Min(); ok {
+		lat = int64(v)
+	}
+	if serial := tc - p.t0 - lat; serial > 0 {
+		c.bw.Observe(c.alpha, float64(p.bytes)*1e9/float64(serial))
+		c.bwSamples.Add(1)
+	}
+}
+
+// Domain returns the wrapped endpoint's resource domain when it
+// exposes one, implementing the optional Domained interface so
+// calibrated rails stay usable as registration targets.
+func (c *CalibratedEndpoint) Domain() Domain {
+	if d, ok := c.inner.(Domained); ok {
+		return d.Domain()
+	}
+	return nil
 }
 
 // Backlog reports the wrapped endpoint's completion-queue depth.

@@ -313,6 +313,65 @@ func TestCalibratorRingOverflowKeepsAttributionAligned(t *testing.T) {
 	}
 }
 
+// fakeRMAAsyncEndpoint extends the scripted provider with a no-op RMA
+// face, for exercising the read-attribution ring.
+type fakeRMAAsyncEndpoint struct {
+	fakeAsyncEndpoint
+}
+
+func (f *fakeRMAAsyncEndpoint) RMARead(key RKey, offset int, local []byte, ctx any) error {
+	return nil
+}
+
+// TestCalibratorRMARingOverflowKeepsAttributionAligned: the RMA-read
+// attribution ring must survive an overflow the same way the send ring
+// does — a ring-dropped read's completion is discarded by sequence
+// matching, not attributed to the next read's timestamps.
+func TestCalibratorRMARingOverflowKeepsAttributionAligned(t *testing.T) {
+	fake := &fakeRMAAsyncEndpoint{}
+	now := int64(0)
+	cal := Calibrate(fake, CalibratorConfig{Clock: func() int64 { return now }})
+	buf := make([]byte, 1_000_000)
+	t0 := func(seq int64) int64 { return seq * 10_000_000 }
+	const wire = 1_000_000 // ns per read: 1 MB in 1 ms = 1e9 B/s exactly
+	// Fill the ring completely, then one more read that must be dropped.
+	for seq := int64(0); seq < calRing; seq++ {
+		now = t0(seq)
+		if err := cal.RMARead(1, 0, buf, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = t0(calRing)
+	if err := cal.RMARead(1, 0, buf, nil); err != nil { // dropped
+		t.Fatal(err)
+	}
+	if cal.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", cal.Dropped())
+	}
+	// Complete the ring-resident reads: each spans exactly its own wire
+	// time, spaced so none queues behind its predecessor.
+	for seq := int64(0); seq < calRing; seq++ {
+		fake.cq = append(fake.cq, Event{Kind: EventRMADone, Stamp: t0(seq) + wire})
+	}
+	drain(cal)
+	// A live read posted after the dropped read's completion stamp: a
+	// misattributed (stale) completion would read as tc <= t0 and both
+	// eat this read's ring entry and lose its sample.
+	now = t0(calRing) + 2*wire
+	if err := cal.RMARead(1, 0, buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	fake.cq = append(fake.cq, Event{Kind: EventRMADone, Stamp: t0(calRing) + wire})          // dropped read's
+	fake.cq = append(fake.cq, Event{Kind: EventRMADone, Stamp: t0(calRing) + 2*wire + wire}) // live read's
+	drain(cal)
+	if _, bwN := cal.Samples(); bwN != calRing+1 {
+		t.Errorf("bandwidth samples = %d, want %d (dropped read unsampled, live read attributed)", bwN, calRing+1)
+	}
+	if bw := cal.Capabilities().Bandwidth; bw != 1e9 {
+		t.Errorf("bandwidth = %g, want exactly 1e9 (misattribution would skew it)", bw)
+	}
+}
+
 // TestCalibratorDisabledWithoutSendCompletions: wrapping an
 // asynchronous provider whose completions are off must not sample
 // clock jitter — calibration runs disabled on the Assume seed.

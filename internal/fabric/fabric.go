@@ -55,6 +55,13 @@ type Capabilities struct {
 	// RMA reports whether the provider supports remote memory access
 	// (RegisterMemory on its domain, RMARead on its endpoints).
 	RMA bool
+	// NoExt reports that the transport truncates immediate bytes to
+	// its own fixed header — frames must not carry protocol extensions
+	// (a rendezvous pull offer) beyond it. False (the default) means
+	// arbitrary imm bytes travel intact. A declared capability rather
+	// than wrapper type knowledge, so decorating an endpoint (e.g.
+	// calibration) cannot hide it.
+	NoExt bool
 }
 
 // NsPerByte returns the inverse bandwidth in nanoseconds per byte, or 0
@@ -135,7 +142,9 @@ type Event struct {
 }
 
 // RKey names a registered memory region for remote access — the
-// libfabric/verbs remote key a peer presents to RMARead.
+// libfabric/verbs remote key a peer presents to RMARead. Zero is never
+// a valid key: providers start numbering at 1, so protocols may use 0
+// as an "absent" marker in wire formats (the nmad pull offer does).
 type RKey uint64
 
 // MemoryRegion is a registered buffer remote endpoints may read until
@@ -197,8 +206,23 @@ type Endpoint interface {
 type RMAEndpoint interface {
 	Endpoint
 	// RMARead starts pulling len(local) bytes from the peer region
-	// named by key into local. ctx is echoed in the completion event.
-	RMARead(key RKey, local []byte, ctx any) error
+	// named by key, beginning offset bytes into it, into local — the
+	// verbs read of remote address base+offset. ctx is echoed in the
+	// completion event. Reads past the region's end fail with
+	// ErrNoRegion.
+	RMARead(key RKey, offset int, local []byte, ctx any) error
+}
+
+// Domained is the optional interface of endpoints that expose the
+// Domain they were opened on. Protocols that register user memory for
+// remote access (the nmad pull-mode rendezvous registers send buffers
+// so the receiver can RMA-read them) discover the registration target
+// through it; endpoints of providers without memory registration
+// simply do not implement it.
+type Domained interface {
+	// Domain returns the endpoint's resource domain, or nil when the
+	// endpoint is not backed by one.
+	Domain() Domain
 }
 
 // SendCompleter is the optional interface of providers that post

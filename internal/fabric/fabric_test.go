@@ -137,7 +137,7 @@ func TestExplicitRegisterAndRMARead(t *testing.T) {
 	}
 	local := make([]byte, len(src))
 	type ctxKey struct{ n int }
-	if err := ea.RMARead(mr.Key(), local, ctxKey{42}); err != nil {
+	if err := ea.RMARead(mr.Key(), 0, local, ctxKey{42}); err != nil {
 		t.Fatal(err)
 	}
 	ev := drainOne(t, ea) // completion lands on the reader's CQ
@@ -153,8 +153,47 @@ func TestExplicitRegisterAndRMARead(t *testing.T) {
 	if err := mr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := ea.RMARead(mr.Key(), local, nil); err != ErrNoRegion {
+	if err := ea.RMARead(mr.Key(), 0, local, nil); err != ErrNoRegion {
 		t.Errorf("read of deregistered region = %v, want ErrNoRegion", err)
+	}
+}
+
+func TestRMAReadAtOffset(t *testing.T) {
+	f, ea, eb := pair(t, testCaps())
+	src := make([]byte, 1000)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	mr, err := eb.Domain().RegisterMemory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint offset reads — the pull-mode chunk shape.
+	lo := make([]byte, 600)
+	hi := make([]byte, 400)
+	if err := ea.RMARead(mr.Key(), 0, lo, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ea.RMARead(mr.Key(), 600, hi, nil); err != nil {
+		t.Fatal(err)
+	}
+	drainOne(t, ea)
+	drainOne(t, ea)
+	if !bytes.Equal(lo, src[:600]) || !bytes.Equal(hi, src[600:]) {
+		t.Fatal("offset reads returned the wrong slices")
+	}
+	// Reads past the region's end fail like an unknown key.
+	if err := ea.RMARead(mr.Key(), 700, make([]byte, 400), nil); err != ErrNoRegion {
+		t.Errorf("past-the-end read = %v, want ErrNoRegion", err)
+	}
+	if st := f.Stats(); st.RMAReadBytes != 1000 || st.Registrations != 1 {
+		t.Errorf("fabric stats = %+v", st)
+	}
+	if err := mr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.LiveRegions != 0 || st.Deregistrations != 1 {
+		t.Errorf("fabric stats after deregister = %+v", st)
 	}
 }
 

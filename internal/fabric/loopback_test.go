@@ -58,6 +58,51 @@ func TestLoopbackClose(t *testing.T) {
 	}
 }
 
+func TestLoopbackRMARead(t *testing.T) {
+	a, b := NewLoopbackRMA()
+	if caps := a.Capabilities(); !caps.RMA {
+		t.Fatal("RMA pair must report the structural RMA bit")
+	}
+	src := []byte("zero copy across the pair")
+	mr, err := b.Domain().RegisterMemory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset read straight into the local buffer.
+	local := make([]byte, 4)
+	if err := a.RMARead(mr.Key(), 5, local, "ctx"); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok, err := a.Poll()
+	if !ok || err != nil {
+		t.Fatalf("poll = %v, %v", ok, err)
+	}
+	if ev.Kind != EventRMADone || ev.Context != "ctx" || string(local) != "copy" {
+		t.Fatalf("event = %+v, local = %q", ev, local)
+	}
+	// Out-of-range and deregistered reads fail.
+	if err := a.RMARead(mr.Key(), 23, local, nil); err != ErrNoRegion {
+		t.Errorf("past-the-end read = %v, want ErrNoRegion", err)
+	}
+	if a.Regions() != 1 {
+		t.Errorf("regions = %d, want 1", a.Regions())
+	}
+	if err := mr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RMARead(mr.Key(), 0, local, nil); err != ErrNoRegion {
+		t.Errorf("read of deregistered region = %v, want ErrNoRegion", err)
+	}
+	if a.Regions() != 0 {
+		t.Errorf("%d regions leaked", a.Regions())
+	}
+	// The plain pair refuses registration.
+	p, _ := NewLoopback()
+	if _, err := p.Domain().RegisterMemory(src); err == nil {
+		t.Error("RegisterMemory on a non-RMA loopback should fail")
+	}
+}
+
 func TestLoopbackConcurrentUnderRace(t *testing.T) {
 	a, b := NewLoopback()
 	const senders = 4

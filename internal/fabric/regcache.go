@@ -1,0 +1,201 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"unsafe"
+)
+
+// Registration cache: interned memory registrations by buffer identity.
+//
+// Registering memory is the expensive part of a zero-copy protocol —
+// on real hardware it pins pages and programs the NIC's translation
+// tables, and the HPX+LCI line of work (PAPERS.md) identifies cheap
+// registration as the gate to rendezvous throughput. Applications
+// overwhelmingly send from the same buffers repeatedly, so UCX keeps an
+// rcache that maps buffer identity to an existing registration and
+// skips the driver round-trip on a hit. RegCache is that idea on the
+// fabric layer: registrations are interned by the buffer's base address
+// and reference-counted by in-flight transfers, a released region stays
+// cached (refcount 0) for the next send of the same buffer, and an
+// entry is deregistered only when the buffer is re-registered at a
+// different length (the classic rcache invalidation), when it is
+// evicted to make room, or when the cache closes.
+//
+// The cache holds a reference to the cached slice, so the Go runtime
+// cannot recycle a cached buffer's memory for a new allocation — a hit
+// on the same base address is therefore always the same backing array,
+// never a lookalike at a reused address.
+
+// ErrCacheClosed is returned by RegCache.Get after the cache closed.
+var ErrCacheClosed = errors.New("fabric: registration cache closed")
+
+// DefaultRegCacheEntries is the entry capacity of a RegCache built with
+// capEntries <= 0. Eviction applies only to entries with no in-flight
+// references; a burst of distinct live buffers may exceed the cap.
+const DefaultRegCacheEntries = 64
+
+// RegCacheStats is a snapshot of a cache's counters.
+type RegCacheStats struct {
+	// Hits counts Gets served by an existing registration.
+	Hits uint64
+	// Misses counts Gets that had to register.
+	Misses uint64
+	// Invalidations counts entries dropped because their buffer was
+	// re-registered at a different length.
+	Invalidations uint64
+	// Evictions counts idle entries closed to make room under the
+	// entry cap.
+	Evictions uint64
+	// Entries is the current number of cached registrations.
+	Entries int
+	// LiveRefs is the total reference count across cached entries —
+	// transfers currently holding a region.
+	LiveRefs int
+}
+
+// RegCache interns MemoryRegions of one Domain by buffer identity.
+// All methods are safe for concurrent use.
+type RegCache struct {
+	dom Domain
+	cap int
+
+	mu      sync.Mutex
+	entries map[uintptr]*CachedRegion
+	hits    uint64
+	misses  uint64
+	invals  uint64
+	evicts  uint64
+	closed  bool
+}
+
+// CachedRegion is one interned registration handed out by Get. Callers
+// present Key to the remote peer and call Release when the transfer no
+// longer needs the region; the registration itself stays cached for
+// the next Get of the same buffer.
+type CachedRegion struct {
+	cache *RegCache
+	mr    MemoryRegion
+	buf   []byte // pins the backing array while cached
+	base  uintptr
+	refs  int
+	stale bool // dropped from the map; close on last Release
+}
+
+// NewRegCache builds a cache registering through dom. capEntries <= 0
+// selects DefaultRegCacheEntries.
+func NewRegCache(dom Domain, capEntries int) *RegCache {
+	if capEntries <= 0 {
+		capEntries = DefaultRegCacheEntries
+	}
+	return &RegCache{dom: dom, cap: capEntries, entries: make(map[uintptr]*CachedRegion)}
+}
+
+// Get returns a registration covering buf, reusing the cached one when
+// buf's base address and length match a previous registration. The
+// caller owns one reference and must Release it.
+func (c *RegCache) Get(buf []byte) (*CachedRegion, error) {
+	if len(buf) == 0 {
+		return nil, errors.New("fabric: cannot register an empty buffer")
+	}
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrCacheClosed
+	}
+	if e := c.entries[base]; e != nil {
+		if len(e.buf) == len(buf) {
+			c.hits++
+			e.refs++
+			return e, nil
+		}
+		// Same buffer, different length: the cached registration no
+		// longer describes what the caller wants pinned. Drop it (the
+		// rcache invalidation) and register afresh.
+		c.invals++
+		c.dropLocked(e)
+	}
+	if len(c.entries) >= c.cap {
+		for _, e := range c.entries {
+			if e.refs == 0 {
+				c.evicts++
+				c.dropLocked(e)
+				break
+			}
+		}
+	}
+	mr, err := c.dom.RegisterMemory(buf)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	e := &CachedRegion{cache: c, mr: mr, buf: buf, base: base, refs: 1}
+	c.entries[base] = e
+	return e, nil
+}
+
+// dropLocked removes e from the map, deregistering now when idle or on
+// its last Release otherwise. Called with c.mu held.
+func (c *RegCache) dropLocked(e *CachedRegion) {
+	delete(c.entries, e.base)
+	if e.refs == 0 {
+		_ = e.mr.Close()
+	} else {
+		e.stale = true
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *RegCache) Stats() RegCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := RegCacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Invalidations: c.invals, Evictions: c.evicts,
+		Entries: len(c.entries),
+	}
+	for _, e := range c.entries {
+		st.LiveRefs += e.refs
+	}
+	return st
+}
+
+// Close deregisters every cached entry, including ones still
+// referenced (the shutdown path: the domain is going away, so in-flight
+// transfers are already doomed). Get fails afterwards.
+func (c *RegCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var firstErr error
+	for _, e := range c.entries {
+		if err := e.mr.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.entries = nil
+	return firstErr
+}
+
+// Key returns the remote key peers present to RMARead.
+func (r *CachedRegion) Key() RKey { return r.mr.Key() }
+
+// Release returns the caller's reference. The registration stays
+// cached for future Gets unless it was invalidated or the cache
+// closed, in which case the last reference deregisters it.
+func (r *CachedRegion) Release() {
+	c := r.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.refs > 0 {
+		r.refs--
+	}
+	if r.stale && r.refs == 0 {
+		_ = r.mr.Close()
+		r.stale = false
+	}
+}

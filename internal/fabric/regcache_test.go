@@ -1,0 +1,170 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+)
+
+// rmaDomain builds one RMA-capable simulated domain for cache tests.
+func rmaDomain(t *testing.T) (*SimFabric, *SimDomain) {
+	t.Helper()
+	f := NewSimFabric(SimConfig{})
+	return f, f.OpenDomain(testCaps())
+}
+
+func TestRegCacheInternsByBufferIdentity(t *testing.T) {
+	f, d := rmaDomain(t)
+	c := NewRegCache(d, 0)
+	buf := make([]byte, 4096)
+
+	r1, err := c.Get(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Get(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || r1.Key() != r2.Key() {
+		t.Fatalf("same buffer produced distinct regions %v / %v", r1.Key(), r2.Key())
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.LiveRefs != 2 {
+		t.Fatalf("stats after two Gets = %+v", st)
+	}
+	if st := f.Stats(); st.Registrations != 1 {
+		t.Fatalf("registrations = %d, want 1 (second Get must reuse)", st.Registrations)
+	}
+
+	// Releases drop the references but keep the region cached.
+	r1.Release()
+	r2.Release()
+	if st := c.Stats(); st.LiveRefs != 0 || st.Entries != 1 {
+		t.Fatalf("stats after releases = %+v", st)
+	}
+	if st := f.Stats(); st.LiveRegions != 1 {
+		t.Fatalf("live regions = %d, want the cached registration kept", st.LiveRegions)
+	}
+	// A later Get of the same buffer is still a hit.
+	if r3, err := c.Get(buf); err != nil || r3 != r1 {
+		t.Fatalf("Get after release = %v, %v; want the cached entry", r3, err)
+	}
+}
+
+func TestRegCacheInvalidatesOnLengthChange(t *testing.T) {
+	f, d := rmaDomain(t)
+	c := NewRegCache(d, 0)
+	buf := make([]byte, 8192)
+
+	r1, err := c.Get(buf[:4096])
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldKey := r1.Key()
+	r1.Release()
+
+	// Same base, longer registration: the cached entry no longer
+	// covers the request and must be invalidated, not reused.
+	r2, err := c.Get(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Key() == oldKey {
+		t.Fatal("length change reused the stale registration")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 1 {
+		t.Fatalf("stats after invalidation = %+v", st)
+	}
+	if st := f.Stats(); st.LiveRegions != 1 || st.Deregistrations != 1 {
+		t.Fatalf("fabric stats after invalidation = %+v", st)
+	}
+	r2.Release()
+}
+
+func TestRegCacheInvalidationDefersCloseToLastRef(t *testing.T) {
+	f, d := rmaDomain(t)
+	c := NewRegCache(d, 0)
+	buf := make([]byte, 8192)
+
+	r1, err := c.Get(buf[:4096])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalidate while a transfer still holds the old region: it must
+	// stay registered until that reference releases.
+	if _, err := c.Get(buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.LiveRegions != 2 {
+		t.Fatalf("live regions = %d; in-use invalidated region deregistered early", st.LiveRegions)
+	}
+	r1.Release()
+	if st := f.Stats(); st.LiveRegions != 1 {
+		t.Fatalf("live regions = %d after last ref released, want 1", st.LiveRegions)
+	}
+}
+
+func TestRegCacheEvictsIdleEntriesAtCap(t *testing.T) {
+	f, d := rmaDomain(t)
+	c := NewRegCache(d, 2)
+	bufs := [][]byte{make([]byte, 64), make([]byte, 64), make([]byte, 64)}
+	for _, b := range bufs {
+		r, err := c.Get(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats after overflow = %+v, want 2 entries / 1 eviction", st)
+	}
+	if st := f.Stats(); st.LiveRegions != 2 {
+		t.Fatalf("live regions = %d, want 2 after eviction", st.LiveRegions)
+	}
+}
+
+func TestRegCacheCloseReleasesEverything(t *testing.T) {
+	f, d := rmaDomain(t)
+	c := NewRegCache(d, 0)
+	r, err := c.Get(make([]byte, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.LiveRegions != 0 {
+		t.Fatalf("%d regions leaked past Close", st.LiveRegions)
+	}
+	if _, err := c.Get(make([]byte, 128)); err != ErrCacheClosed {
+		t.Fatalf("Get after Close = %v, want ErrCacheClosed", err)
+	}
+	r.Release() // must be safe after Close
+}
+
+func TestRegCacheConcurrentGetReleaseUnderRace(t *testing.T) {
+	_, d := rmaDomain(t)
+	c := NewRegCache(d, 8)
+	bufs := make([][]byte, 4)
+	for i := range bufs {
+		bufs[i] = make([]byte, 256)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r, err := c.Get(bufs[(w+i)%len(bufs)])
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				r.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.LiveRefs != 0 || st.Entries != len(bufs) {
+		t.Fatalf("stats after concurrent churn = %+v", st)
+	}
+}

@@ -49,6 +49,48 @@ type SimFabric struct {
 	domains []*SimDomain
 	nextKey RKey
 	regions map[RKey][]byte
+
+	injectCopied uint64
+	stagedCopied uint64
+	rmaReadBytes uint64
+	regs, deregs uint64
+}
+
+// SimStats counts the data movement a simulated fabric performed, by
+// kind. The split matters to the zero-copy acceptance tests: inject
+// and staging copies are host memcpys (a CPU touched every byte),
+// while RMA-read bytes model NIC DMA — the receiver-driven rendezvous
+// exists precisely to convert the former into the latter.
+type SimStats struct {
+	// InjectCopiedBytes counts bytes (imm + payload) buffered by sends
+	// at post time — the host copy behind buffered-send semantics.
+	InjectCopiedBytes uint64
+	// StagedCopiedBytes counts payload bytes staged into registered
+	// regions by the provider's internal push-mode rendezvous — the
+	// sender-side host copy a pull protocol avoids.
+	StagedCopiedBytes uint64
+	// RMAReadBytes counts bytes delivered by RMA reads (modelled NIC
+	// DMA straight into the reader's buffer; no host copy).
+	RMAReadBytes uint64
+	// Registrations and Deregistrations count memory-region lifecycle
+	// events, internal staging included.
+	Registrations, Deregistrations uint64
+	// LiveRegions is the number of regions currently registered.
+	LiveRegions int
+}
+
+// Stats returns a snapshot of the fabric-wide data-movement counters.
+func (f *SimFabric) Stats() SimStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return SimStats{
+		InjectCopiedBytes: f.injectCopied,
+		StagedCopiedBytes: f.stagedCopied,
+		RMAReadBytes:      f.rmaReadBytes,
+		Registrations:     f.regs,
+		Deregistrations:   f.deregs,
+		LiveRegions:       len(f.regions),
+	}
 }
 
 // NewSimFabric creates an empty simulated fabric.
@@ -82,11 +124,21 @@ func (f *SimFabric) advanceLocked() {
 	f.sim.RunUntil(virtual)
 }
 
-// registerLocked pins buf under a fresh key.
+// registerLocked pins buf under a fresh key (never 0, per the RKey
+// contract).
 func (f *SimFabric) registerLocked(buf []byte) RKey {
 	f.nextKey++
 	f.regions[f.nextKey] = buf
+	f.regs++
 	return f.nextKey
+}
+
+// deregisterLocked drops a region, counting the event.
+func (f *SimFabric) deregisterLocked(key RKey) {
+	if _, ok := f.regions[key]; ok {
+		delete(f.regions, key)
+		f.deregs++
+	}
 }
 
 // OpenDomain opens one simulated NIC with the given capability
@@ -116,18 +168,23 @@ func (d *SimDomain) ID() int { return d.id }
 // Provider names the backend.
 func (d *SimDomain) Provider() string { return "simrdma" }
 
-// Capabilities returns the domain's performance envelope.
-func (d *SimDomain) Capabilities() Capabilities { return d.caps }
+// Capabilities returns the domain's performance envelope. Read under
+// the fabric lock: SetCapabilities may swap it concurrently.
+func (d *SimDomain) Capabilities() Capabilities {
+	d.fab.mu.Lock()
+	defer d.fab.mu.Unlock()
+	return d.caps
+}
 
 // RegisterMemory pins buf for remote access. The buffer must stay
 // valid until every RMA read of it has completed; Close deregisters.
 func (d *SimDomain) RegisterMemory(buf []byte) (MemoryRegion, error) {
-	if !d.caps.RMA {
-		return nil, ErrNoRegion
-	}
 	f := d.fab
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if !d.caps.RMA {
+		return nil, ErrNoRegion
+	}
 	if d.closed {
 		return nil, ErrClosed
 	}
@@ -175,7 +232,7 @@ func (m *simMR) Key() RKey { return m.key }
 func (m *simMR) Close() error {
 	m.fab.mu.Lock()
 	defer m.fab.mu.Unlock()
-	delete(m.fab.regions, m.key)
+	m.fab.deregisterLocked(m.key)
 	return nil
 }
 
@@ -213,7 +270,9 @@ type SimEndpoint struct {
 	peer *SimEndpoint
 	dir  *direction
 
-	cq          []Event
+	cq     []Event
+	cqHead int
+
 	outstanding int
 	closed      bool
 
@@ -223,8 +282,31 @@ type SimEndpoint struct {
 // Provider names the backend.
 func (ep *SimEndpoint) Provider() string { return "simrdma" }
 
-// Capabilities returns the rail's performance envelope.
-func (ep *SimEndpoint) Capabilities() Capabilities { return ep.dom.caps }
+// Capabilities returns the rail's performance envelope. Read under
+// the fabric lock: SetCapabilities may swap it concurrently.
+func (ep *SimEndpoint) Capabilities() Capabilities {
+	ep.fab.mu.Lock()
+	defer ep.fab.mu.Unlock()
+	return ep.dom.caps
+}
+
+// Domain returns the domain the endpoint was opened on, implementing
+// the optional Domained interface so protocols can register memory on
+// the endpoint's rail.
+func (ep *SimEndpoint) Domain() Domain { return ep.dom }
+
+// pushCQ appends one completion, reusing the queue's storage once the
+// previous burst has fully drained.
+func (ep *SimEndpoint) pushCQ(ev Event) {
+	if ep.cqHead > 0 && ep.cqHead == len(ep.cq) {
+		ep.cq = ep.cq[:0]
+		ep.cqHead = 0
+	}
+	ep.cq = append(ep.cq, ev)
+}
+
+// cqLen reports completions not yet polled.
+func (ep *SimEndpoint) cqLen() int { return len(ep.cq) - ep.cqHead }
 
 // Send transmits imm+payload to the peer endpoint. Payloads up to
 // MaxInject go as an eager inject: one wire crossing, buffered at post
@@ -245,9 +327,12 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 	}
 	f.advanceLocked()
 	caps := ep.dom.caps
-	// The wire owns its bytes, like a real DMA engine.
+	// The wire owns its bytes, like a real DMA engine. Buffering them
+	// is a host copy — counted, because eliminating exactly these
+	// copies is what the pull-mode rendezvous is for.
 	immCp := append([]byte(nil), imm...)
 	data := append([]byte(nil), payload...)
+	f.injectCopied += uint64(len(immCp))
 
 	now := f.sim.Now()
 	var deliver simtime.Time
@@ -255,6 +340,7 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 		// Rendezvous-by-RMA-read: stage the payload in a registered
 		// region, announce with a control flight, peer pulls it.
 		ep.rdvs++
+		f.stagedCopied += uint64(len(data))
 		key := f.registerLocked(data)
 		request := now + 2*caps.Latency // control out, read request back
 		start := request
@@ -269,18 +355,19 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 		peer := ep.peer
 		f.sim.At(deliver, func() {
 			ep.outstanding--
-			delete(f.regions, key)
+			f.deregisterLocked(key)
 			if !peer.closed {
-				peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
+				peer.pushCQ(Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
 			}
 			if f.cfg.SendCompletions && !ep.closed {
-				ep.cq = append(ep.cq, Event{Kind: EventSendDone, From: peer.dom.id, Stamp: int64(deliver)})
+				ep.pushCQ(Event{Kind: EventSendDone, From: peer.dom.id, Stamp: int64(deliver)})
 			}
 		})
 		return nil
 	}
 	// Eager inject: one serialized wire crossing.
 	ep.injects++
+	f.injectCopied += uint64(len(data))
 	start := now
 	if ep.dir.busyUntil > start {
 		start = ep.dir.busyUntil
@@ -294,21 +381,21 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 	f.sim.At(deliver, func() {
 		ep.outstanding--
 		if !peer.closed {
-			peer.cq = append(peer.cq, Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
+			peer.pushCQ(Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
 		}
 		if f.cfg.SendCompletions && !ep.closed {
-			ep.cq = append(ep.cq, Event{Kind: EventSendDone, From: peer.dom.id, Stamp: int64(deliver)})
+			ep.pushCQ(Event{Kind: EventSendDone, From: peer.dom.id, Stamp: int64(deliver)})
 		}
 	})
 	return nil
 }
 
-// RMARead starts pulling len(local) bytes from the region named by key
-// into local, without involving the peer's host CPU: the request
-// crosses the wire, the data flows back over the peer's direction of
-// the link, and an EventRMADone carrying ctx lands in the local
-// completion queue when the last byte arrives.
-func (ep *SimEndpoint) RMARead(key RKey, local []byte, ctx any) error {
+// RMARead starts pulling len(local) bytes from the region named by
+// key, starting offset bytes in, into local, without involving the
+// peer's host CPU: the request crosses the wire, the data flows back
+// over the peer's direction of the link, and an EventRMADone carrying
+// ctx lands in the local completion queue when the last byte arrives.
+func (ep *SimEndpoint) RMARead(key RKey, offset int, local []byte, ctx any) error {
 	f := ep.fab
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -316,10 +403,11 @@ func (ep *SimEndpoint) RMARead(key RKey, local []byte, ctx any) error {
 		return ErrClosed
 	}
 	f.advanceLocked()
-	src, ok := f.regions[key]
-	if !ok {
+	region, ok := f.regions[key]
+	if !ok || offset < 0 || offset+len(local) > len(region) {
 		return ErrNoRegion
 	}
+	src := region[offset : offset+len(local)]
 	ep.rmaReads++
 	// Request flight by our envelope, data flight over the peer's
 	// direction (the data flows peer -> us) by the peer's envelope.
@@ -338,7 +426,8 @@ func (ep *SimEndpoint) RMARead(key RKey, local []byte, ctx any) error {
 			return
 		}
 		n := copy(local, src)
-		ep.cq = append(ep.cq, Event{Kind: EventRMADone, Payload: local[:n], From: ep.peer.dom.id, Context: ctx, Stamp: int64(deliver)})
+		f.rmaReadBytes += uint64(n)
+		ep.pushCQ(Event{Kind: EventRMADone, Payload: local[:n], From: ep.peer.dom.id, Context: ctx, Stamp: int64(deliver)})
 	})
 	return nil
 }
@@ -358,14 +447,15 @@ func (ep *SimEndpoint) Poll() (Event, bool, error) {
 	ep.polls++
 	f.advanceLocked()
 	if f.cfg.TimeScale <= 0 {
-		for len(ep.cq) == 0 && f.sim.Step() {
+		for ep.cqLen() == 0 && f.sim.Step() {
 		}
 	}
-	if len(ep.cq) == 0 {
+	if ep.cqLen() == 0 {
 		return Event{}, false, nil
 	}
-	ev := ep.cq[0]
-	ep.cq = ep.cq[1:]
+	ev := ep.cq[ep.cqHead]
+	ep.cq[ep.cqHead] = Event{}
+	ep.cqHead++
 	return ev, true, nil
 }
 
@@ -376,7 +466,7 @@ func (ep *SimEndpoint) Backlog() int {
 	f := ep.fab
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return ep.outstanding + len(ep.cq)
+	return ep.outstanding + ep.cqLen()
 }
 
 // Close shuts the endpoint down. In-flight deliveries to it are

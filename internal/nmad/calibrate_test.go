@@ -3,8 +3,10 @@ package nmad
 import (
 	"bytes"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"pioman/internal/fabric"
 	"pioman/internal/simtime"
@@ -48,8 +50,12 @@ func newCalRig(t testing.TB, calibrate, even bool) *calRig {
 		r.doms[i] = [2]*fabric.SimDomain{a, b}
 		sEps[i], rEps[i] = ea, eb
 	}
+	// The receiver declines pull offers (NoRdvPull): these rigs measure
+	// the sender-driven striping and calibration path, which only runs
+	// when the receiver asks for a classic push. Receiver-side pull
+	// calibration has its own test (TestCalibratedPullConverges).
 	r.sender = NewEngine(Config{NoAutoProgress: true, Calibrate: calibrate, EvenStripe: even})
-	r.receiver = NewEngine(Config{NoAutoProgress: true})
+	r.receiver = NewEngine(Config{NoAutoProgress: true, NoRdvPull: true})
 	var err error
 	if r.ga, err = r.sender.NewGateEndpoints(sEps[0], sEps[1]); err != nil {
 		t.Fatal(err)
@@ -227,7 +233,7 @@ func TestCalibratedGateUnderRace(t *testing.T) {
 		_ = i
 	}
 	sender := NewEngine(Config{Calibrate: true})
-	receiver := NewEngine(Config{})
+	receiver := NewEngine(Config{NoRdvPull: true})
 	defer sender.Close()
 	defer receiver.Close()
 	ga, err := sender.NewGateEndpoints(sEps[0], sEps[1])
@@ -267,11 +273,25 @@ func TestCalibratedGateUnderRace(t *testing.T) {
 	}
 	wg.Wait()
 
-	// The calibrators were live on both rails.
-	for i, rs := range ga.RailStats() {
-		if rs.Caps.Bandwidth <= 0 {
-			t.Errorf("rail %d has no bandwidth estimate after traffic", i)
+	// The calibrators were live on both rails. Recv returning proves
+	// the bytes arrived, not that the sender has polled its own
+	// EventSendDone completions yet — give background progression a
+	// bounded window to drain them before judging.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		missing := -1
+		for i, rs := range ga.RailStats() {
+			if rs.Caps.Bandwidth <= 0 {
+				missing = i
+			}
 		}
+		if missing < 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rail %d has no bandwidth estimate after traffic", missing)
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -287,7 +307,7 @@ func benchCalibrated(b *testing.B, msgs, size int) {
 		sEps[i], rEps[i] = fabric.Connect(da, db)
 	}
 	sender := NewEngine(Config{Calibrate: true})
-	receiver := NewEngine(Config{})
+	receiver := NewEngine(Config{NoRdvPull: true})
 	defer sender.Close()
 	defer receiver.Close()
 	ga, err := sender.NewGateEndpoints(sEps[0], sEps[1])
@@ -373,6 +393,71 @@ func BenchmarkCalibratedStripeLoopback(b *testing.B) {
 	rails := ga.RailStats()
 	b.ReportMetric(rails[0].Caps.Bandwidth/1e9, "est-rail0-GB/s")
 	b.ReportMetric(rails[1].Caps.Bandwidth/1e9, "est-rail1-GB/s")
+}
+
+// TestCalibratedPullConverges: a calibrated RECEIVER over unknown
+// rails learns bandwidth from its own RMA-read completions — pull mode
+// has no bulk sends to sample, so the read attribution path is the
+// only way a receiver-driven gate can converge — and its pull striping
+// goes proportional.
+func TestCalibratedPullConverges(t *testing.T) {
+	f := fabric.NewSimFabric(fabric.SimConfig{})
+	var sEps, rEps [2]fabric.Endpoint
+	for i, caps := range []fabric.Capabilities{calFast, calSlow} {
+		a := f.OpenDomain(caps)
+		b := f.OpenDomain(caps)
+		sEps[i], rEps[i] = fabric.Connect(a, b)
+	}
+
+	sender := NewEngine(Config{NoAutoProgress: true})
+	receiver := NewEngine(Config{NoAutoProgress: true, Calibrate: true})
+	defer sender.Close()
+	defer receiver.Close()
+	ga, err := sender.NewGateEndpoints(sEps[0], sEps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := receiver.NewGateEndpoints(rEps[0], rEps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rs := range gb.RailStats() {
+		if rs.Caps.Bandwidth != 0 {
+			t.Fatalf("receiver rail %d starts with assumed bandwidth %v, want unknown", i, rs.Caps.Bandwidth)
+		}
+	}
+
+	payload := make([]byte, 256<<10)
+	for m := 0; m < 32; m++ {
+		tag := uint64(m)
+		rreq := gb.Irecv(tag)
+		sreq := ga.Isend(tag, payload)
+		for !(rreq.Test() && sreq.Test()) {
+			sender.Tasks().Schedule(0)
+			receiver.Tasks().Schedule(0)
+		}
+		if rreq.Err() != nil || sreq.Err() != nil {
+			t.Fatalf("transfer %d: recv %v / send %v", m, rreq.Err(), sreq.Err())
+		}
+	}
+
+	if st := receiver.Stats(); st.RdvPulls == 0 {
+		t.Fatalf("no pulls recorded; the calibrated path was not exercised: %+v", st)
+	}
+	truths := []fabric.Capabilities{calFast, calSlow}
+	rails := gb.RailStats()
+	for i, rs := range rails {
+		if off := relOff(rs.Caps.Bandwidth, truths[i].Bandwidth); off > 0.25 {
+			t.Errorf("receiver rail %d bandwidth estimate %.3g vs true %.3g: %.0f%% off, want ≤ 25%%",
+				i, rs.Caps.Bandwidth, truths[i].Bandwidth, 100*off)
+		}
+	}
+	// The pull split followed the estimates: the fast rail pulled the
+	// bulk of the bytes.
+	if rails[0].PullBytes < 3*rails[1].PullBytes {
+		t.Errorf("pull byte split %d/%d, want the fast rail pulling ≥ 3× the slow rail",
+			rails[0].PullBytes, rails[1].PullBytes)
+	}
 }
 
 // TestCalibrateDoesNotMutateCallerSlice: NewGateEndpoints must not

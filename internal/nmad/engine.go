@@ -61,6 +61,13 @@ type Config struct {
 	// the calibrator runs disabled on its Assume seed (see
 	// fabric.CalibratedEndpoint.Sampling).
 	Calibrate bool
+	// NoRdvPull disables the receiver-driven pull rendezvous: the
+	// engine neither offers remote keys in its RTS frames (sender
+	// side) nor pulls from offered keys (receiver side), falling back
+	// to the classic CTS/push protocol everywhere. The ablation knob
+	// for the zero-copy acceptance tests, and an escape hatch for
+	// providers whose RMA path misbehaves.
+	NoRdvPull bool
 	// AutoProgress starts a background progression goroutine (default
 	// on; disable when an external sched.Runtime drives the task
 	// engine). Zero value means on; set NoAutoProgress to disable.
@@ -72,16 +79,21 @@ type Config struct {
 
 // Stats are engine-wide counters.
 type Stats struct {
-	MsgsSent   uint64 // application messages sent
-	MsgsRecv   uint64 // application messages received
-	FramesSent uint64 // frames put on a wire
-	FramesRecv uint64 // frames taken off a wire
-	EagerSent  uint64 // messages sent eagerly
-	Aggregated uint64 // messages that travelled inside an aggregate
-	AggrFrames uint64 // aggregate frames sent
-	RdvStarted uint64 // rendezvous handshakes initiated
-	RdvData    uint64 // rendezvous data fragments sent
-	Restripes  uint64 // fragments re-routed onto a surviving rail
+	MsgsSent        uint64 // application messages sent
+	MsgsRecv        uint64 // application messages received
+	FramesSent      uint64 // frames put on a wire
+	FramesRecv      uint64 // frames taken off a wire
+	EagerSent       uint64 // messages sent eagerly
+	Aggregated      uint64 // messages that travelled inside an aggregate
+	AggrFrames      uint64 // aggregate frames sent
+	RdvStarted      uint64 // rendezvous handshakes initiated
+	RdvData         uint64 // rendezvous data fragments sent
+	Restripes       uint64 // fragments re-routed onto a surviving rail
+	RdvPulls        uint64 // RMA reads posted by pull-mode rendezvous
+	RdvPullBytes    uint64 // payload bytes landed by RMA reads
+	RdvPushRanges   uint64 // pull-mode byte ranges that fell back to push
+	RdvFins         uint64 // pull-mode rendezvous completed (FIN sent)
+	RecvCopiedBytes uint64 // payload bytes memcpy'd on the receive path
 }
 
 // Engine is one communication endpoint multiplexing any number of gates
@@ -93,10 +105,16 @@ type Engine struct {
 
 	mu         sync.Mutex
 	gates      []*Gate
-	recvQ      []*Request
-	unexpected []inbound
-	rdvRecv    map[rdvKey]*Request
+	recvQ      map[matchKey]*fifo[*Request]
+	unexpected map[matchKey]*fifo[inbound]
+	rdvRecv    map[rdvKey]*recvRdvState
 	sendRdv    map[rdvKey]*sendRdvState
+
+	reqPool     sync.Pool // *Request
+	sendRdvPool sync.Pool // *sendRdvState
+	recvRdvPool sync.Pool // *recvRdvState
+	reqFIFOPool sync.Pool // *fifo[*Request]
+	inbFIFOPool sync.Pool // *fifo[inbound]
 
 	stopped atomic.Bool
 	wg      sync.WaitGroup
@@ -104,6 +122,8 @@ type Engine struct {
 	msgsSent, msgsRecv, framesSent, framesRecv atomic.Uint64
 	eagerSent, aggregated, aggrFrames          atomic.Uint64
 	rdvStarted, rdvData, restripes             atomic.Uint64
+	rdvPulls, rdvPullBytes, rdvPushRanges      atomic.Uint64
+	rdvFins, recvCopied                        atomic.Uint64
 }
 
 type rdvKey struct {
@@ -111,16 +131,126 @@ type rdvKey struct {
 	msgID uint64
 }
 
+// matchKey indexes posted receives and unexpected arrivals: O(1)
+// matching by (gate, tag) instead of a linear scan, with FIFO order
+// preserved per key.
+type matchKey struct {
+	gate *Gate
+	tag  uint64
+}
+
+// fifo is one (gate, tag) queue of posted receives or unexpected
+// arrivals. The backing slice is reused across drain cycles, so
+// steady-state post/match traffic allocates nothing.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) pop() (T, bool) {
+	var zero T
+	if q.head == len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.items) {
+		// Compact once the dead prefix dominates: a queue that never
+		// fully drains (receives always re-posted before the current
+		// one matches) must not grow its backing slice without bound.
+		// Amortized O(1) per pop; the vacated tail is zeroed so moved
+		// entries are not pinned twice.
+		n := copy(q.items, q.items[q.head:])
+		tail := q.items[n:]
+		for i := range tail {
+			tail[i] = zero
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+func (q *fifo[T]) empty() bool { return q.head == len(q.items) }
+
+// FIFO pooling: a (gate, tag) queue lives in the matching map only
+// while it holds entries; a drained queue goes back to the pool and
+// its map slot is deleted, so engines seeing ever-fresh tags do not
+// grow their maps without bound — and steady-state matching allocates
+// nothing either way. Callers hold e.mu.
+
+func getFIFO[T any](pool *sync.Pool) *fifo[T] {
+	q, _ := pool.Get().(*fifo[T])
+	if q == nil {
+		q = &fifo[T]{}
+	}
+	return q
+}
+
+// dropFIFOIfEmpty retires a drained queue from its matching map.
+func dropFIFOIfEmpty[T any](m map[matchKey]*fifo[T], pool *sync.Pool, key matchKey, q *fifo[T]) {
+	if q.empty() {
+		delete(m, key)
+		pool.Put(q)
+	}
+}
+
 type inbound struct {
 	gate    *Gate
 	hdr     Header
 	payload []byte
+	ext     []byte // RTS pull offer (copied when stashed)
 }
 
 type sendRdvState struct {
 	data      []byte
 	req       *Request
 	remaining atomic.Int32
+
+	// Pull-mode fields: the interned registrations backing the RTS
+	// offer, and the offer bytes themselves (rides the RTS imm
+	// extension; storage reused across rendezvous).
+	regs  []*fabric.CachedRegion
+	offer []byte
+}
+
+// releaseRegs returns the state's interned registrations to their
+// caches. Idempotent: every removal path calls it.
+func (st *sendRdvState) releaseRegs() {
+	for i, r := range st.regs {
+		if r != nil {
+			r.Release()
+			st.regs[i] = nil
+		}
+	}
+	st.regs = st.regs[:0]
+}
+
+// getSendRdv takes a send-rendezvous state from the pool.
+func (e *Engine) getSendRdv() *sendRdvState {
+	st, _ := e.sendRdvPool.Get().(*sendRdvState)
+	if st == nil {
+		st = &sendRdvState{}
+	}
+	return st
+}
+
+// putSendRdv recycles a send-rendezvous state. Only clean completion
+// paths recycle; failure sweeps leave the state to the garbage
+// collector, because in-flight packets may still reference its offer.
+func (e *Engine) putSendRdv(st *sendRdvState) {
+	st.data = nil
+	st.req = nil
+	st.remaining.Store(0)
+	st.releaseRegs()
+	st.offer = st.offer[:0]
+	e.sendRdvPool.Put(st)
 }
 
 // NewEngine builds an engine and starts its progression.
@@ -150,7 +280,9 @@ func NewEngine(cfg Config) *Engine {
 		cfg:         cfg,
 		tasks:       cfg.Tasks,
 		progressCPU: 1 % cfg.Tasks.Topology().NCPUs,
-		rdvRecv:     make(map[rdvKey]*Request),
+		recvQ:       make(map[matchKey]*fifo[*Request]),
+		unexpected:  make(map[matchKey]*fifo[inbound]),
+		rdvRecv:     make(map[rdvKey]*recvRdvState),
 		sendRdv:     make(map[rdvKey]*sendRdvState),
 	}
 	if !cfg.NoAutoProgress {
@@ -194,25 +326,48 @@ func (e *Engine) progressLoop() {
 	}
 }
 
-// Close stops progression, completes outstanding receives with an error
-// and closes every rail of every gate.
+// Close stops progression, completes outstanding requests (posted
+// receives, in-flight rendezvous on both sides) with an error,
+// releases the gates' registration caches and closes every rail of
+// every gate.
 func (e *Engine) Close() error {
 	if !e.stopped.CompareAndSwap(false, true) {
 		return nil
 	}
 	e.mu.Lock()
-	pending := append([]*Request(nil), e.recvQ...)
-	for _, r := range e.rdvRecv {
-		pending = append(pending, r)
+	var pending []*Request
+	for _, q := range e.recvQ {
+		for {
+			r, ok := q.pop()
+			if !ok {
+				break
+			}
+			pending = append(pending, r)
+		}
+	}
+	for _, st := range e.rdvRecv {
+		st.markFailed()
+		pending = append(pending, st.req)
+	}
+	for _, st := range e.sendRdv {
+		st.releaseRegs()
+		pending = append(pending, st.req)
 	}
 	gates := append([]*Gate(nil), e.gates...)
-	e.recvQ = nil
+	e.recvQ = map[matchKey]*fifo[*Request]{}
+	e.rdvRecv = map[rdvKey]*recvRdvState{}
+	e.sendRdv = map[rdvKey]*sendRdvState{}
 	e.mu.Unlock()
 	for _, r := range pending {
 		r.complete(ErrClosed)
 	}
 	var firstErr error
 	for _, g := range gates {
+		for _, c := range g.regCaches {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		for _, r := range g.rails {
 			if err := r.ep.Close(); err != nil && firstErr == nil {
 				firstErr = err
@@ -236,6 +391,12 @@ func (e *Engine) Stats() Stats {
 		RdvStarted: e.rdvStarted.Load(),
 		RdvData:    e.rdvData.Load(),
 		Restripes:  e.restripes.Load(),
+
+		RdvPulls:        e.rdvPulls.Load(),
+		RdvPullBytes:    e.rdvPullBytes.Load(),
+		RdvPushRanges:   e.rdvPushRanges.Load(),
+		RdvFins:         e.rdvFins.Load(),
+		RecvCopiedBytes: e.recvCopied.Load(),
 	}
 }
 
@@ -243,11 +404,59 @@ func (e *Engine) Stats() Stats {
 // transfer accounting. The mutex serializes Sends on the endpoint;
 // the counters feed RailStats and the Σ per-rail bytes invariant.
 type rail struct {
-	ep     fabric.Endpoint
-	mu     sync.Mutex
-	dead   atomic.Bool
-	frames atomic.Uint64
-	bytes  atomic.Uint64
+	ep fabric.Endpoint
+	// rma is the endpoint's RMA face when the rail can serve pull-mode
+	// rendezvous reads; nil otherwise.
+	rma fabric.RMAEndpoint
+	// cache interns sender-side registrations on the rail's domain
+	// (shared between rails of one gate that share a domain); nil when
+	// the rail cannot register memory.
+	cache *fabric.RegCache
+	// canExt reports that the endpoint carries immediate-byte
+	// extensions (the generic byte path); classic frame drivers do
+	// not, so pull offers never route onto them.
+	canExt    bool
+	mu        sync.Mutex
+	dead      atomic.Bool
+	frames    atomic.Uint64
+	bytes     atomic.Uint64
+	pullBytes atomic.Uint64
+}
+
+// bpLimit returns the rail's backpressure threshold: the number of
+// in-flight frames that fill the measured bandwidth-delay product
+// (BDP / average frame size, clamped to [8, 512]). Rails with an
+// unknown bandwidth or latency fall back to the fixed default — there
+// is no product to compute. The average frame size comes from the
+// rail's own accounting, seeded with a nominal 4 KiB before traffic.
+// The envelope is passed in rather than re-fetched: Capabilities may
+// take a provider lock (SimFabric) or fold estimator state
+// (CalibratedEndpoint), and every caller has already fetched it.
+func (r *rail) bpLimit(caps fabric.Capabilities) int {
+	if caps.Bandwidth <= 0 || caps.Latency <= 0 {
+		return defaultBackpressureLimit
+	}
+	avg := uint64(4 << 10)
+	if frames := r.frames.Load(); frames > 0 {
+		if a := r.bytes.Load() / frames; a > 0 {
+			avg = a
+		}
+	}
+	bdp := caps.Bandwidth * float64(caps.Latency) / 1e9
+	lim := int(bdp / float64(avg))
+	if lim < minBackpressureLimit {
+		return minBackpressureLimit
+	}
+	if lim > maxBackpressureLimit {
+		return maxBackpressureLimit
+	}
+	return lim
+}
+
+// backpressured reports whether the rail's completion queue exceeds
+// its threshold.
+func (r *rail) backpressured(caps fabric.Capabilities) bool {
+	return r.ep.Backlog() > r.bpLimit(caps)
 }
 
 // RailStat is one rail's liveness, accounting and capability envelope,
@@ -261,8 +470,15 @@ type RailStat struct {
 	Frames uint64
 	// Bytes counts payload bytes sent on the rail.
 	Bytes uint64
+	// PullBytes counts payload bytes this side RMA-read in over the
+	// rail (receiver-driven rendezvous).
+	PullBytes uint64
 	// Backlog is the rail's current completion-queue depth.
 	Backlog int
+	// BackpressureLimit is the rail's current backpressure threshold
+	// (bandwidth-delay product over average frame size, or the default
+	// for unknown rails).
+	BackpressureLimit int
 	// Dead reports whether the rail has failed.
 	Dead bool
 }
@@ -279,11 +495,18 @@ type Gate struct {
 	alive     atomic.Int32
 	nextMsgID atomic.Uint64
 
+	// regCaches interns sender-side registrations per rail domain, so
+	// rails sharing a domain share one cache (and repeated sends of
+	// one buffer share one registration).
+	regCaches map[fabric.Domain]*fabric.RegCache
+
 	aggMu       sync.Mutex
 	aggPending  []pendingSend
 	aggFlushing bool
+	aggBufs     [][]byte // pooled aggregate payload buffers
 
-	pktPool sync.Pool
+	pktPool    sync.Pool
+	stripePool sync.Pool // *stripeScratch
 }
 
 type pendingSend struct {
@@ -329,7 +552,30 @@ func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 	}
 	g := &Gate{eng: e}
 	for _, ep := range eps {
-		g.rails = append(g.rails, &rail{ep: ep})
+		r := &rail{ep: ep}
+		// Ext capability is declared by the transport's envelope, not
+		// inferred from wrapper types: a calibrated (or otherwise
+		// decorated) driver rail still drops imm bytes beyond the
+		// fixed header, and routing the RTS pull offer onto it would
+		// silently strip the offer and disable pull for the gate.
+		r.canExt = !ep.Capabilities().NoExt
+		if rma, ok := ep.(fabric.RMAEndpoint); ok && ep.Capabilities().RMA {
+			r.rma = rma
+			if dd, ok := ep.(fabric.Domained); ok {
+				if dom := dd.Domain(); dom != nil {
+					if g.regCaches == nil {
+						g.regCaches = make(map[fabric.Domain]*fabric.RegCache)
+					}
+					cache := g.regCaches[dom]
+					if cache == nil {
+						cache = fabric.NewRegCache(dom, 0)
+						g.regCaches[dom] = cache
+					}
+					r.cache = cache
+				}
+			}
+		}
+		g.rails = append(g.rails, r)
 	}
 	g.alive.Store(int32(len(eps)))
 	g.pktPool.New = func() any { return new(Packet) }
@@ -355,7 +601,7 @@ func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 			CPUSet:  cpuset.Set{},
 			Fn: func(any) bool {
 				var hdr Header
-				var payload []byte
+				var payload, ext []byte
 				var got bool
 				var err error
 				if fe != nil {
@@ -366,15 +612,23 @@ func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 					var ev fabric.Event
 					ev, got, err = r.ep.Poll()
 					if err == nil && got {
-						if ev.Kind != fabric.EventRecv {
+						switch ev.Kind {
+						case fabric.EventRMADone:
+							// A pull-mode rendezvous chunk landed.
+							e.pullDone(g, idx, ev)
 							got = false
-						} else {
+						case fabric.EventRecv:
 							payload = ev.Payload
 							// A frame we cannot parse means the rail
 							// is delivering garbage: treat it like a
 							// poll error rather than dropping frames
 							// silently.
 							hdr, err = decodeHeader(ev.Imm)
+							if err == nil && len(ev.Imm) > headerBytes {
+								ext = ev.Imm[headerBytes:]
+							}
+						default:
+							got = false
 						}
 					}
 				}
@@ -384,7 +638,7 @@ func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 				}
 				if got {
 					e.framesRecv.Add(1)
-					e.handleFrame(g, Frame{Hdr: hdr, Payload: payload})
+					e.handleFrame(g, Frame{Hdr: hdr, Payload: payload, Ext: ext})
 				}
 				return e.stopped.Load()
 			},
@@ -407,16 +661,20 @@ func (g *Gate) railDown(i int) int {
 
 // railFailed handles a receiver-observed rail death. The rail stops
 // being polled; when no rail survives the whole gate fails. When some
-// do, the gate's in-flight rendezvous state is failed — inbound
-// frames already in flight on the dead rail (a data fragment toward a
-// reassembly, a CTS toward a waiting sender) are lost and never
-// retransmitted, so waiting for them would hang forever — while
-// posted receives and future traffic continue over the survivors.
+// do, the gate's in-flight rendezvous state is handled per protocol
+// mode:
 //
-// The sweep is deliberately conservative: nothing records which rails
-// a given rendezvous' remaining fragments ride (the sender decides),
-// so a transfer that never touched the dead rail may be failed
-// spuriously. A prompt, retriable error beats an unbounded wait.
+//   - Pull-mode receives know exactly which chunks ride which rails
+//     (this side posted the reads), so chunks outstanding on the dead
+//     rail are re-issued on the survivors — pulled again over another
+//     offered key, or requested as a push — and the transfer survives.
+//   - Push-mode state is failed conservatively: inbound frames already
+//     in flight on the dead rail (a data fragment toward a reassembly,
+//     a CTS toward a waiting sender, a FIN toward a pull-mode sender)
+//     are lost and never retransmitted, and nothing records which
+//     rails the sender chose, so waiting would hang forever. A prompt,
+//     retriable error beats an unbounded wait — at the cost of
+//     spuriously failing a transfer that never touched the dead rail.
 //
 // The dead endpoint is also closed, which is how the peer finds out:
 // its next send into the closed transport fails, its own rail-death
@@ -431,14 +689,22 @@ func (e *Engine) railFailed(g *Gate, idx int, err error) {
 	_ = g.rails[idx].ep.Close()
 	e.mu.Lock()
 	var victims []*Request
-	for key, r := range e.rdvRecv {
-		if key.gate == g {
-			victims = append(victims, r)
-			delete(e.rdvRecv, key)
+	var repull []*recvRdvState
+	for key, st := range e.rdvRecv {
+		if key.gate != g {
+			continue
 		}
+		if st.beginSweep() {
+			repull = append(repull, st)
+			continue
+		}
+		st.markFailed()
+		victims = append(victims, st.req)
+		delete(e.rdvRecv, key)
 	}
 	for key, st := range e.sendRdv {
 		if key.gate == g {
+			st.releaseRegs()
 			victims = append(victims, st.req)
 			delete(e.sendRdv, key)
 		}
@@ -447,31 +713,40 @@ func (e *Engine) railFailed(g *Gate, idx int, err error) {
 	for _, r := range victims {
 		r.complete(err)
 	}
+	for _, st := range repull {
+		e.reissueDeadRailChunks(g, st, idx)
+	}
 }
 
 // failGate completes every outstanding request bound to the gate with
-// the given error: posted receives, in-flight rendezvous reassemblies,
-// and sends waiting for a CTS.
+// the given error: posted receives, in-flight rendezvous reassemblies
+// (pull or push), and sends waiting for a CTS or FIN.
 func (e *Engine) failGate(g *Gate, err error) {
 	e.mu.Lock()
 	var victims []*Request
-	kept := e.recvQ[:0]
-	for _, r := range e.recvQ {
-		if r.gate == g {
-			victims = append(victims, r)
-		} else {
-			kept = append(kept, r)
+	for key, q := range e.recvQ {
+		if key.gate != g {
+			continue
 		}
-	}
-	e.recvQ = kept
-	for key, r := range e.rdvRecv {
-		if key.gate == g {
+		for {
+			r, ok := q.pop()
+			if !ok {
+				break
+			}
 			victims = append(victims, r)
+		}
+		delete(e.recvQ, key)
+	}
+	for key, st := range e.rdvRecv {
+		if key.gate == g {
+			st.markFailed()
+			victims = append(victims, st.req)
 			delete(e.rdvRecv, key)
 		}
 	}
 	for key, st := range e.sendRdv {
 		if key.gate == g {
+			st.releaseRegs()
 			victims = append(victims, st.req)
 			delete(e.sendRdv, key)
 		}
@@ -496,36 +771,52 @@ func (g *Gate) Rails() int { return len(g.rails) }
 func (g *Gate) RailStats() []RailStat {
 	out := make([]RailStat, len(g.rails))
 	for i, r := range g.rails {
+		caps := r.ep.Capabilities()
 		out[i] = RailStat{
-			Provider: r.ep.Provider(),
-			Caps:     r.ep.Capabilities(),
-			Frames:   r.frames.Load(),
-			Bytes:    r.bytes.Load(),
-			Backlog:  r.ep.Backlog(),
-			Dead:     r.dead.Load(),
+			Provider:          r.ep.Provider(),
+			Caps:              caps,
+			Frames:            r.frames.Load(),
+			Bytes:             r.bytes.Load(),
+			PullBytes:         r.pullBytes.Load(),
+			Backlog:           r.ep.Backlog(),
+			BackpressureLimit: r.bpLimit(caps),
+			Dead:              r.dead.Load(),
 		}
 	}
 	return out
 }
 
-// backpressureLimit is the completion-queue depth beyond which a rail
-// is deprioritized by both eager routing and rendezvous striping, as
-// long as a less congested rail exists.
-const backpressureLimit = 64
+// Backpressure thresholds: a rail whose completion-queue depth exceeds
+// its bandwidth-delay product (in frames) is deprioritized by eager
+// routing and rendezvous striping as long as a less congested rail
+// exists. Rails with unknown envelopes use the fixed default; measured
+// rails derive their own limit, clamped to [min, max] (see
+// rail.bpLimit).
+const (
+	defaultBackpressureLimit = 64
+	minBackpressureLimit     = 8
+	maxBackpressureLimit     = 512
+)
 
 // pickEager returns the alive rail with the lowest latency, preferring
-// rails whose completion queue is under the backpressure limit; -1
+// rails whose completion queue is under their backpressure limit; -1
 // when every rail is dead. Small messages ride this rail, so they
 // never queue behind a bulk transfer on a congested or slow rail.
-func (g *Gate) pickEager() int {
+func (g *Gate) pickEager() int { return g.pickControl(false) }
+
+// pickControl is pickEager with an optional restriction to rails that
+// carry immediate-byte extensions — the rails a pull-offering RTS may
+// ride without losing its offer.
+func (g *Gate) pickControl(needExt bool) int {
 	best, bestCongested := -1, -1
 	var bestLat, bestCLat int64
 	for i, r := range g.rails {
-		if r.dead.Load() {
+		if r.dead.Load() || (needExt && !r.canExt) {
 			continue
 		}
-		lat := int64(r.ep.Capabilities().Latency)
-		if r.ep.Backlog() > backpressureLimit {
+		caps := r.ep.Capabilities()
+		lat := int64(caps.Latency)
+		if r.backpressured(caps) {
 			if bestCongested < 0 || lat < bestCLat {
 				bestCongested, bestCLat = i, lat
 			}
@@ -591,15 +882,22 @@ func sendPacketTask(arg any) bool {
 			err = errAllRailsDead
 		} else if fe, ok := r.ep.(frameEndpoint); ok {
 			// Classic driver fast path: the decoded Header moves
-			// straight through, no codec round-trip.
+			// straight through, no codec round-trip. Frame drivers
+			// carry no imm extension; a re-routed pull offer is simply
+			// dropped and the receiver falls back to push.
 			r.mu.Lock()
 			err = fe.SendFrame(p.Hdr, p.Payload)
 			r.mu.Unlock()
 		} else {
-			var imm [headerBytes]byte
-			p.Hdr.encode(imm[:])
+			// Assemble header + extension in the packet's own buffer:
+			// the send path allocates nothing.
+			imm := p.immBuf[:headerBytes]
+			p.Hdr.encode(imm)
+			if len(p.ext) > 0 {
+				imm = append(imm, p.ext...)
+			}
 			r.mu.Lock()
-			err = r.ep.Send(imm[:], p.Payload)
+			err = r.ep.Send(imm, p.Payload)
 			r.mu.Unlock()
 		}
 		if err == nil {
@@ -617,12 +915,14 @@ func sendPacketTask(arg any) bool {
 			// Transient rail-full condition; the rail stays alive
 			// either way. A rendezvous frame has remote state waiting
 			// on it (a CTS-waiting sender, a reassembling receiver
-			// counting bytes), so it requeues itself and retries while
-			// the ring drains, up to a budget; past the budget — or
-			// for an eager/aggregate frame, whose buffered-send
-			// contract is to fail fast — the outcome surfaces locally.
+			// counting bytes, a FIN-waiting pull-mode sender, a
+			// NACK's hanging target), so it requeues itself and
+			// retries while the ring drains, up to a budget; past the
+			// budget — or for an eager/aggregate frame, whose
+			// buffered-send contract is to fail fast — the outcome
+			// surfaces locally.
 			switch p.Hdr.Kind {
-			case KindRTS, KindCTS, KindData:
+			case KindRTS, KindCTS, KindData, KindFin, KindRdvPush, KindRdvNack:
 				if p.retries < maxSendRetries {
 					p.retries++
 					return false
@@ -671,21 +971,25 @@ func (p *Packet) completeAll(err error) {
 }
 
 // failRendezvous completes the rendezvous state attached to a failed
-// control frame: the sender's CTS-waiting entry for an RTS, the
-// receiver's reassembly for a CTS.
+// control frame: the sender's waiting entry for an RTS or pull-mode
+// data frame, the receiver's reassembly for a CTS or push request. A
+// failed FIN or NACK has no local state left to fail — the peer's half
+// is handled by the rail-death sweeps.
 func (e *Engine) failRendezvous(g *Gate, hdr Header, err error) {
 	key := rdvKey{gate: g, msgID: hdr.MsgID}
 	var victim *Request
 	e.mu.Lock()
 	switch hdr.Kind {
-	case KindRTS:
+	case KindRTS, KindData:
 		if st := e.sendRdv[key]; st != nil {
+			st.releaseRegs()
 			victim = st.req
 			delete(e.sendRdv, key)
 		}
-	case KindCTS:
-		if r := e.rdvRecv[key]; r != nil {
-			victim = r
+	case KindCTS, KindRdvPush:
+		if st := e.rdvRecv[key]; st != nil {
+			st.markFailed()
+			victim = st.req
 			delete(e.rdvRecv, key)
 		}
 	}
@@ -695,12 +999,16 @@ func (e *Engine) failRendezvous(g *Gate, hdr Header, err error) {
 	}
 }
 
-// recyclePacket returns the wrapper to its gate's pool. It runs as the
-// task's OnDone hook — the final touch of the task lifecycle — so the
-// reset cannot race with the engine's completion bookkeeping.
+// recyclePacket returns the wrapper to its gate's pool, handing any
+// pooled aggregate payload buffer back first. It runs as the task's
+// OnDone hook — the final touch of the task lifecycle — so the reset
+// cannot race with the engine's completion bookkeeping.
 func recyclePacket(t *core.Task) {
 	p := t.Arg.(*Packet)
-	pool := &p.gate.pktPool
+	g := p.gate
+	if p.scratch != nil {
+		g.putAggBuf(p.scratch)
+	}
 	p.reset()
-	pool.Put(p)
+	g.pktPool.Put(p)
 }

@@ -31,8 +31,11 @@ func capsForDriver(d Driver) fabric.Capabilities {
 
 // WrapDriver adapts a classic frame Driver into a fabric.Endpoint with
 // the given capability envelope, for mixing classic rails with fabric
-// rails in one gate.
+// rails in one gate. Driver frames carry exactly one decoded header —
+// imm bytes past it are dropped — so the envelope always declares
+// NoExt regardless of what the caller passed.
 func WrapDriver(d Driver, caps fabric.Capabilities) fabric.Endpoint {
+	caps.NoExt = true
 	return &driverEndpoint{d: d, caps: caps}
 }
 

@@ -436,7 +436,7 @@ func TestAggrPackUnpackRoundTrip(t *testing.T) {
 		{hdr: Header{Tag: 2, MsgID: 11}, payload: []byte("")},
 		{hdr: Header{Tag: 3, MsgID: 12}, payload: []byte("gamma-longer-payload")},
 	}
-	frames := unpackAggr(packAggr(batch))
+	frames := unpackAggr(packAggr(batch, nil))
 	if len(frames) != 3 {
 		t.Fatalf("unpacked %d frames, want 3", len(frames))
 	}
@@ -449,7 +449,7 @@ func TestAggrPackUnpackRoundTrip(t *testing.T) {
 
 func TestUnpackAggrTruncated(t *testing.T) {
 	batch := []pendingSend{{hdr: Header{Tag: 1}, payload: []byte("full")}}
-	raw := packAggr(batch)
+	raw := packAggr(batch, nil)
 	if got := unpackAggr(raw[:len(raw)-2]); len(got) != 0 {
 		t.Errorf("truncated aggregate should yield no frames, got %d", len(got))
 	}
@@ -471,5 +471,67 @@ func TestStatsProgression(t *testing.T) {
 	}
 	if sb.MsgsRecv != 5 || sb.FramesRecv < 5 {
 		t.Errorf("receiver stats = %+v", sb)
+	}
+}
+
+// TestFIFOCompactsWithoutFullDrain: a (gate, tag) queue that never
+// fully drains — the standard double-buffered receive pattern — must
+// not grow its backing slice behind an ever-longer dead prefix.
+func TestFIFOCompactsWithoutFullDrain(t *testing.T) {
+	q := &fifo[int]{}
+	q.push(0)
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		q.push(i)
+		v, ok := q.pop()
+		if !ok || v != i-1 {
+			t.Fatalf("pop = %d,%v at step %d, want %d", v, ok, i, i-1)
+		}
+	}
+	if q.empty() {
+		t.Fatal("queue should still hold one entry")
+	}
+	if c := cap(q.items); c > 256 {
+		t.Errorf("backing slice grew to %d slots for a depth-1 queue; compaction is not working", c)
+	}
+}
+
+// TestNackDirectionSelectsVictim: a gate's send and receive directions
+// share the msgID keyspace, so the NACK's direction field must decide
+// which half fails — guessing would kill an unrelated healthy transfer
+// carrying the same id.
+func TestNackDirectionSelectsVictim(t *testing.T) {
+	e := NewEngine(Config{NoAutoProgress: true})
+	defer e.Close()
+	da, db := MemPair()
+	defer db.Close()
+	g, err := e.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgID = 7
+	key := rdvKey{gate: g, msgID: msgID}
+	sst := e.getSendRdv()
+	sst.req = newRequest(e)
+	rst := e.getRecvRdv()
+	rst.req = newRequest(e)
+	rst.gate = g
+	rst.msgID = msgID
+	e.mu.Lock()
+	e.sendRdv[key] = sst
+	e.rdvRecv[key] = rst
+	e.mu.Unlock()
+
+	e.failRendezvousNack(g, Header{Kind: KindRdvNack, MsgID: msgID, Offset: nackRecv})
+	if !rst.req.Test() {
+		t.Error("nackRecv must fail the receive half")
+	}
+	if sst.req.Test() {
+		t.Error("nackRecv must not touch the healthy send sharing the msgID")
+	}
+
+	e.failRendezvousNack(g, Header{Kind: KindRdvNack, MsgID: msgID, Offset: nackSend})
+	if !sst.req.Test() {
+		t.Error("nackSend must fail the send half")
 	}
 }

@@ -28,11 +28,39 @@ const (
 	// KindAggr carries several small messages packed into one frame.
 	KindAggr
 	// KindRTS announces a large message (rendezvous request-to-send).
+	// Its imm extension may carry a pull offer: per-rail remote keys
+	// the receiver can RMA-read the payload through.
 	KindRTS
-	// KindCTS grants a rendezvous (clear-to-send).
+	// KindCTS grants a rendezvous (clear-to-send): the receiver
+	// declines (or cannot use) the pull offer and asks the sender to
+	// push the whole payload as KindData frames.
 	KindCTS
 	// KindData carries one fragment of a rendezvous payload.
 	KindData
+	// KindFin ends a pull-mode rendezvous: the receiver has every byte
+	// (RMA-read or pushed), so the sender may release its registered
+	// regions and complete its request.
+	KindFin
+	// KindRdvPush asks the sender to push one byte range of a pull-mode
+	// rendezvous as KindData frames — the per-chunk fallback when a
+	// receiver rail cannot (or can no longer) pull it. Offset is the
+	// range start and Total its length.
+	KindRdvPush
+	// KindRdvNack reports an unknown rendezvous id back to the peer, so
+	// the other side fails its half promptly instead of waiting on a
+	// handshake that lost its state. Offset names the side to fail —
+	// nackSend or nackRecv: the two directions of one gate share the
+	// msgID keyspace (each engine numbers its own sends), so without it
+	// a NACK aimed at the peer's receive could kill an unrelated
+	// healthy send that happens to carry the same id.
+	KindRdvNack
+)
+
+// KindRdvNack Offset values: which half of the rendezvous the NACKed
+// peer should fail.
+const (
+	nackSend uint32 = iota // your send lost its other half
+	nackRecv               // your receive lost its other half
 )
 
 // String names the frame kind.
@@ -48,6 +76,12 @@ func (k Kind) String() string {
 		return "cts"
 	case KindData:
 		return "data"
+	case KindFin:
+		return "fin"
+	case KindRdvPush:
+		return "rdv-push"
+	case KindRdvNack:
+		return "rdv-nack"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -94,10 +128,46 @@ func decodeHeader(buf []byte) (Header, error) {
 	}, nil
 }
 
-// Frame is one unit on the wire: a header plus payload.
+// Frame is one unit on the wire: a header plus payload, plus the
+// optional immediate-byte extension that follows the encoded header
+// (the RTS pull offer rides there, so control frames stay payload-free
+// and the fabric providers never buffer rendezvous metadata as data).
 type Frame struct {
 	Hdr     Header
 	Payload []byte
+	Ext     []byte
+}
+
+// maxOfferRails caps how many per-rail keys an RTS pull offer carries,
+// so the offer always fits the imm extension budget of every provider
+// (offerEntryBytes each after the fixed header).
+const maxOfferRails = 7
+
+// offerEntryBytes is the wire size of one pull-offer entry:
+// rail index (u32) + remote key (u64).
+const offerEntryBytes = 12
+
+// immBufBytes sizes the packet's immediate-byte assembly buffer:
+// header plus the largest pull offer.
+const immBufBytes = headerBytes + maxOfferRails*offerEntryBytes
+
+// appendOfferEntry appends one (rail, key) pull-offer entry to an imm
+// extension under assembly.
+func appendOfferEntry(ext []byte, rail uint32, key uint64) []byte {
+	var e [offerEntryBytes]byte
+	binary.LittleEndian.PutUint32(e[0:], rail)
+	binary.LittleEndian.PutUint64(e[4:], key)
+	return append(ext, e[:]...)
+}
+
+// offerEntry decodes entry i of a pull offer; ok is false past the end
+// or on a truncated extension.
+func offerEntry(ext []byte, i int) (rail uint32, key uint64, ok bool) {
+	off := i * offerEntryBytes
+	if off+offerEntryBytes > len(ext) {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint32(ext[off:]), binary.LittleEndian.Uint64(ext[off+4:]), true
 }
 
 // Packet is the send-side packet wrapper. The PIOMan task is embedded in
@@ -116,6 +186,10 @@ type Packet struct {
 	retries int        // backpressure requeues consumed (sendPacketTask)
 	req     *Request   // request to complete once the frame is on the wire
 	reqs    []*Request // per-message requests of an aggregate frame
+	ext     []byte     // imm extension appended after the encoded header
+	scratch []byte     // pooled aggregate payload buffer, returned on recycle
+
+	immBuf [immBufBytes]byte // header+ext assembly space, so sends allocate nothing
 }
 
 // reset prepares a pooled packet for reuse.
@@ -131,4 +205,6 @@ func (p *Packet) reset() {
 		p.reqs[i] = nil
 	}
 	p.reqs = p.reqs[:0]
+	p.ext = nil
+	p.scratch = nil
 }

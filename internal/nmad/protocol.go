@@ -43,20 +43,54 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 		return req
 	}
 
-	// Rendezvous: register the payload, announce with an RTS, wait for
-	// the CTS to arrive (handled by a polling task) before moving data.
-	rail := g.pickEager()
-	if rail < 0 {
-		req.complete(errAllRailsDead)
-		return req
+	// Rendezvous: announce with an RTS and wait for the receiver's
+	// verdict (handled by a polling task) before anything moves. When
+	// pull-capable rails exist, the user payload is registered once
+	// per rail domain through the gate's registration cache — no
+	// staging copy; repeated sends of one buffer skip re-registration
+	// entirely — and the RTS imm extension offers the remote keys, so
+	// an RMA-capable receiver pulls the bytes straight out of the user
+	// buffer and answers with a FIN. Otherwise (or when the receiver
+	// declines), the classic CTS/push path runs unchanged.
+	st := e.getSendRdv()
+	st.data, st.req = data, req
+	rail := -1
+	if !e.cfg.NoRdvPull {
+		if extRail := g.pickControl(true); extRail >= 0 {
+			offered := 0
+			for i, r := range g.rails {
+				if r.rma == nil || r.cache == nil || r.dead.Load() {
+					continue
+				}
+				reg, err := r.cache.Get(data)
+				if err != nil {
+					continue
+				}
+				st.regs = append(st.regs, reg)
+				st.offer = appendOfferEntry(st.offer, uint32(i), uint64(reg.Key()))
+				if offered++; offered == maxOfferRails {
+					break
+				}
+			}
+			if offered > 0 {
+				rail = extRail
+			}
+		}
 	}
-	e.rdvStarted.Add(1)
-	st := &sendRdvState{data: data, req: req}
+	if rail < 0 {
+		if rail = g.pickEager(); rail < 0 {
+			e.putSendRdv(st)
+			req.complete(errAllRailsDead)
+			return req
+		}
+	}
+	e.rdvStarted.Add(1) // counted only once a handshake actually leaves
 	e.mu.Lock()
 	e.sendRdv[rdvKey{gate: g, msgID: msgID}] = st
 	e.mu.Unlock()
 	p := g.packet()
 	p.Hdr = Header{Kind: KindRTS, Tag: tag, MsgID: msgID, Total: uint32(len(data))}
+	p.ext = st.offer
 	p.rail = rail
 	g.sendPacket(p)
 	return req
@@ -70,25 +104,46 @@ func (g *Gate) Send(tag uint64, data []byte) error {
 // Irecv posts a non-blocking receive for the next message on (gate,
 // tag). On completion the payload is in Request.Data.
 func (g *Gate) Irecv(tag uint64) *Request {
+	return g.irecv(tag, nil)
+}
+
+// IrecvInto posts a non-blocking receive that lands in the caller's
+// buffer: rendezvous payloads are pulled or reassembled directly into
+// buf (true zero-copy on pull-capable rails) and eager payloads are
+// copied into it. The matched message must fit in buf or the request
+// fails with a short-buffer error. On completion Request.Data aliases
+// buf's filled prefix.
+func (g *Gate) IrecvInto(tag uint64, buf []byte) *Request {
+	return g.irecv(tag, buf)
+}
+
+func (g *Gate) irecv(tag uint64, buf []byte) *Request {
 	e := g.eng
 	req := newRequest(e)
 	req.gate = g
 	req.tag = tag
+	req.userBuf = buf
 	if e.stopped.Load() {
 		req.complete(ErrClosed)
 		return req
 	}
+	key := matchKey{gate: g, tag: tag}
 	e.mu.Lock()
 	// A matching message may already have arrived unexpectedly.
-	for i, u := range e.unexpected {
-		if u.gate == g && u.hdr.Tag == tag {
-			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+	if q := e.unexpected[key]; q != nil {
+		if u, ok := q.pop(); ok {
+			dropFIFOIfEmpty(e.unexpected, &e.inbFIFOPool, key, q)
 			e.mu.Unlock()
 			e.deliverLocked(req, u)
 			return req
 		}
 	}
-	e.recvQ = append(e.recvQ, req)
+	q := e.recvQ[key]
+	if q == nil {
+		q = getFIFO[*Request](&e.reqFIFOPool)
+		e.recvQ[key] = q
+	}
+	q.push(req)
 	e.mu.Unlock()
 	return req
 }
@@ -108,12 +163,8 @@ func (g *Gate) Unexpected(tag uint64) bool {
 	e := g.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, u := range e.unexpected {
-		if u.gate == g && u.hdr.Tag == tag {
-			return true
-		}
-	}
-	return false
+	q := e.unexpected[matchKey{gate: g, tag: tag}]
+	return q != nil && !q.empty()
 }
 
 // deliverLocked routes a matched inbound control frame to its receive
@@ -122,18 +173,43 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 	switch u.hdr.Kind {
 	case KindEager:
 		e.msgsRecv.Add(1)
-		req.Data = u.payload
+		if req.userBuf != nil {
+			if len(u.payload) > len(req.userBuf) {
+				req.complete(errShortRecvBuffer)
+				return
+			}
+			n := copy(req.userBuf, u.payload)
+			e.recvCopied.Add(uint64(n))
+			req.Data = req.userBuf[:n]
+		} else {
+			req.Data = u.payload
+		}
 		req.complete(nil)
 	case KindRTS:
-		// Set up reassembly and grant the sender a CTS.
+		g := u.gate
 		req.total = u.hdr.Total
-		req.Data = make([]byte, u.hdr.Total)
-		key := rdvKey{gate: u.gate, msgID: u.hdr.MsgID}
+		if req.userBuf != nil {
+			if int(u.hdr.Total) > len(req.userBuf) {
+				// The sender is waiting on us; tell it the handshake is
+				// off before failing locally.
+				g.sendControl(KindRdvNack, u.hdr.Tag, u.hdr.MsgID, nackSend, 0)
+				req.complete(errShortRecvBuffer)
+				return
+			}
+			req.Data = req.userBuf[:u.hdr.Total]
+		} else {
+			req.Data = make([]byte, u.hdr.Total)
+		}
+		st := e.getRecvRdv()
+		st.req = req
+		st.gate = g
+		st.msgID = u.hdr.MsgID
+		st.tag = u.hdr.Tag
+		key := rdvKey{gate: g, msgID: u.hdr.MsgID}
 		e.mu.Lock()
-		e.rdvRecv[key] = req
+		e.rdvRecv[key] = st
 		e.mu.Unlock()
-		rail := u.gate.pickEager()
-		if rail < 0 || u.gate.alive.Load() <= 0 {
+		if g.pickEager() < 0 || g.alive.Load() <= 0 {
 			// Every rail died around this handshake. The failGate
 			// sweep may have run before the entry above was inserted,
 			// so clean it up here rather than leaving the receive
@@ -141,13 +217,16 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 			e.mu.Lock()
 			delete(e.rdvRecv, key)
 			e.mu.Unlock()
+			st.markFailed()
 			req.complete(errAllRailsDead)
 			return
 		}
-		p := u.gate.packet()
-		p.Hdr = Header{Kind: KindCTS, Tag: u.hdr.Tag, MsgID: u.hdr.MsgID, Total: u.hdr.Total}
-		p.rail = rail
-		u.gate.sendPacket(p)
+		// Receiver-driven pull when the RTS offers keys we can use;
+		// classic clear-to-send push otherwise.
+		if !e.cfg.NoRdvPull && len(u.ext) > 0 && e.startPull(g, st, u.ext) {
+			return
+		}
+		g.sendControl(KindCTS, u.hdr.Tag, u.hdr.MsgID, 0, u.hdr.Total)
 	default:
 		req.complete(fmt.Errorf("nmad: unexpected frame kind %v matched a receive", u.hdr.Kind))
 	}
@@ -166,9 +245,49 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		}
 
 	case KindRTS:
-		e.matchOrStash(inbound{gate: g, hdr: f.Hdr, payload: nil})
+		e.matchOrStash(inbound{gate: g, hdr: f.Hdr, payload: nil, ext: f.Ext})
 
 	case KindCTS:
+		// The receiver asked for (or fell back to) the classic push:
+		// any pull offer is moot, so the registrations can go now.
+		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
+		e.mu.Lock()
+		st := e.sendRdv[key]
+		delete(e.sendRdv, key)
+		e.mu.Unlock()
+		if st == nil {
+			// The CTS came from a receive waiting for data.
+			g.sendControl(KindRdvNack, f.Hdr.Tag, f.Hdr.MsgID, nackRecv, 0)
+			return
+		}
+		st.releaseRegs()
+		g.sendRdvData(st, f.Hdr)
+
+	case KindData:
+		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
+		e.mu.Lock()
+		st := e.rdvRecv[key]
+		var req *Request
+		if st != nil {
+			// Capture under the engine lock: the last fragment's
+			// handler recycles the state, so st is off limits after
+			// our Add unless we are that handler.
+			req = st.req
+		}
+		e.mu.Unlock()
+		if st == nil {
+			return
+		}
+		n := copy(req.Data[f.Hdr.Offset:], f.Payload)
+		e.recvCopied.Add(uint64(n))
+		if req.got.Add(uint32(n)) >= req.total {
+			e.finishRecvRdv(st)
+		}
+
+	case KindFin:
+		// Pull-mode rendezvous complete: the receiver has every byte,
+		// straight out of our user buffer. Release the interned
+		// registrations and finish the send.
 		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
 		e.mu.Lock()
 		st := e.sendRdv[key]
@@ -177,71 +296,153 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		if st == nil {
 			return
 		}
-		g.sendRdvData(st, f.Hdr)
+		st.releaseRegs()
+		req := st.req
+		e.putSendRdv(st)
+		req.complete(nil)
 
-	case KindData:
+	case KindRdvPush:
+		// The receiver cannot pull the byte range [Offset,
+		// Offset+Total); push it as ordinary data frames. The
+		// rendezvous stays open — other chunks may still be pulling,
+		// and the FIN settles everything.
 		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
 		e.mu.Lock()
-		req := e.rdvRecv[key]
+		st := e.sendRdv[key]
 		e.mu.Unlock()
-		if req == nil {
+		if st == nil {
+			// The push request came from a receive waiting for data.
+			g.sendControl(KindRdvNack, f.Hdr.Tag, f.Hdr.MsgID, nackRecv, 0)
 			return
 		}
-		copy(req.Data[f.Hdr.Offset:], f.Payload)
-		if req.got.Add(uint32(len(f.Payload))) >= req.total {
-			e.mu.Lock()
-			delete(e.rdvRecv, key)
-			e.mu.Unlock()
-			e.msgsRecv.Add(1)
-			req.complete(nil)
+		g.pushRange(st, f.Hdr)
+
+	case KindRdvNack:
+		// The peer lost (or never had) its half of a rendezvous this
+		// engine is party to: fail whichever side is waiting.
+		e.failRendezvousNack(g, f.Hdr)
+	}
+}
+
+// failRendezvousNack fails the local half of a NACKed rendezvous —
+// the send waiting for a FIN/CTS, or the receive waiting for data,
+// per the NACK's direction field. The two halves must not be guessed
+// between: a gate's send and receive directions share the msgID
+// keyspace, so the wrong guess would kill an unrelated healthy
+// transfer carrying the same id.
+func (e *Engine) failRendezvousNack(g *Gate, hdr Header) {
+	key := rdvKey{gate: g, msgID: hdr.MsgID}
+	var victim *Request
+	e.mu.Lock()
+	if hdr.Offset == nackSend {
+		if st := e.sendRdv[key]; st != nil {
+			st.releaseRegs()
+			victim = st.req
+			delete(e.sendRdv, key)
 		}
+	} else {
+		if st := e.rdvRecv[key]; st != nil {
+			st.markFailed()
+			victim = st.req
+			delete(e.rdvRecv, key)
+		}
+	}
+	e.mu.Unlock()
+	if victim != nil {
+		victim.complete(errPullRejected)
 	}
 }
 
 // matchOrStash matches an inbound frame against posted receives, or
-// stores it in the unexpected queue.
+// stores it in the unexpected queue — O(1) either way, keyed by
+// (gate, tag) with FIFO order per key.
 func (e *Engine) matchOrStash(u inbound) {
+	key := matchKey{gate: u.gate, tag: u.hdr.Tag}
 	e.mu.Lock()
-	for i, req := range e.recvQ {
-		if req.gate == u.gate && req.tag == u.hdr.Tag {
-			e.recvQ = append(e.recvQ[:i], e.recvQ[i+1:]...)
+	if q := e.recvQ[key]; q != nil {
+		if req, ok := q.pop(); ok {
+			dropFIFOIfEmpty(e.recvQ, &e.reqFIFOPool, key, q)
 			e.mu.Unlock()
 			e.deliverLocked(req, u)
 			return
 		}
 	}
-	e.unexpected = append(e.unexpected, u)
+	if u.hdr.Kind == KindRTS && len(u.ext) > 0 {
+		// The pull offer rides provider scratch storage that is only
+		// valid for this poll; stashing means keeping it.
+		u.ext = append([]byte(nil), u.ext...)
+	}
+	q := e.unexpected[key]
+	if q == nil {
+		q = getFIFO[inbound](&e.inbFIFOPool)
+		e.unexpected[key] = q
+	}
+	q.push(u)
 	e.mu.Unlock()
 }
 
 // sendRdvData stripes the rendezvous payload across the gate's alive
 // rails (multirail distribution, sized by Gate.stripe) and ships each
 // fragment as its own packet task, executed in parallel when idle
-// cores exist.
+// cores exist. The state is recycled: the packets carry the request.
 func (g *Gate) sendRdvData(st *sendRdvState, cts Header) {
-	chunks := g.stripe(len(st.data))
+	req, data := st.req, st.data
+	g.eng.putSendRdv(st)
+	sc := g.stripeScratch()
+	chunks := g.stripeInto(sc, len(data), nil)
 	if len(chunks) == 0 {
-		st.req.complete(errAllRailsDead)
+		g.putStripeScratch(sc)
+		req.complete(errAllRailsDead)
 		return
 	}
-	st.req.remaining.Add(int32(len(chunks))) // plus the initial 1 consumed below
+	req.remaining.Add(int32(len(chunks))) // plus the initial 1 consumed below
 	for i, c := range chunks {
 		p := g.packet()
 		p.Hdr = Header{
 			Kind: KindData, Tag: cts.Tag, MsgID: cts.MsgID,
 			FragIdx: uint32(i), FragCnt: uint32(len(chunks)),
-			Offset: uint32(c.lo), Total: uint32(len(st.data)),
+			Offset: uint32(c.lo), Total: uint32(len(data)),
 		}
-		p.Payload = st.data[c.lo:c.hi]
+		p.Payload = data[c.lo:c.hi]
 		p.rail = c.rail
-		p.req = st.req
+		p.req = req
 		g.eng.rdvData.Add(1)
 		g.sendPacket(p)
 	}
+	g.putStripeScratch(sc)
 	// Consume the placeholder count from newRequest.
-	if st.req.decRemaining() {
-		st.req.complete(nil)
+	if req.decRemaining() {
+		req.complete(nil)
 	}
+}
+
+// pushRange answers a KindRdvPush: stripe the requested byte range of
+// a pull-mode rendezvous across the alive rails and ship it as
+// ordinary data frames. The frames carry no request — the transfer
+// completes through the receiver's FIN — so a frame failure routes to
+// the rendezvous state via failRendezvous instead.
+func (g *Gate) pushRange(st *sendRdvState, push Header) {
+	lo := int(push.Offset)
+	n := int(push.Total)
+	if lo < 0 || n <= 0 || lo+n > len(st.data) {
+		return // malformed request; ignore
+	}
+	g.eng.rdvPushRanges.Add(1)
+	sc := g.stripeScratch()
+	chunks := g.stripeInto(sc, n, nil)
+	for i, c := range chunks {
+		p := g.packet()
+		p.Hdr = Header{
+			Kind: KindData, Tag: push.Tag, MsgID: push.MsgID,
+			FragIdx: uint32(i), FragCnt: uint32(len(chunks)),
+			Offset: uint32(lo + c.lo), Total: uint32(len(st.data)),
+		}
+		p.Payload = st.data[lo+c.lo : lo+c.hi]
+		p.rail = c.rail
+		g.eng.rdvData.Add(1)
+		g.sendPacket(p)
+	}
+	g.putStripeScratch(sc)
 }
 
 // ---- Aggregation strategy ----
@@ -308,9 +509,10 @@ func (g *Gate) aggFlush() {
 				p.Payload = batch[0].payload
 				p.req = batch[0].req
 			} else {
-				payload := packAggr(batch)
+				payload := packAggr(batch, g.getAggBuf())
 				p.Hdr = Header{Kind: KindAggr, Total: uint32(len(payload))}
 				p.Payload = payload
+				p.scratch = payload // returned to the gate pool on recycle
 				for _, m := range batch {
 					p.reqs = append(p.reqs, m.req)
 				}
@@ -321,14 +523,12 @@ func (g *Gate) aggFlush() {
 	}
 }
 
-// packAggr serializes a batch of eager messages into one frame payload:
-// repeated [tag u64 | msgID u64 | size u32 | bytes].
-func packAggr(batch []pendingSend) []byte {
-	size := 0
-	for _, m := range batch {
-		size += 20 + len(m.payload)
-	}
-	out := make([]byte, 0, size)
+// packAggr serializes a batch of eager messages into one frame payload
+// — repeated [tag u64 | msgID u64 | size u32 | bytes] — appended onto
+// buf's empty prefix. Callers pass a pooled buffer (Gate.getAggBuf);
+// nil works and simply allocates.
+func packAggr(batch []pendingSend, buf []byte) []byte {
+	out := buf[:0]
 	var scratch [20]byte
 	for _, m := range batch {
 		binary.LittleEndian.PutUint64(scratch[0:], m.hdr.Tag)
@@ -339,6 +539,33 @@ func packAggr(batch []pendingSend) []byte {
 	}
 	return out
 }
+
+// getAggBuf takes an aggregate payload buffer from the gate's pool.
+// Buffers come back through recyclePacket once their frame is on the
+// wire, so a steady aggregation flow reuses a handful of buffers
+// instead of allocating one per frame.
+func (g *Gate) getAggBuf() []byte {
+	g.aggMu.Lock()
+	defer g.aggMu.Unlock()
+	if n := len(g.aggBufs); n > 0 {
+		buf := g.aggBufs[n-1]
+		g.aggBufs[n-1] = nil
+		g.aggBufs = g.aggBufs[:n-1]
+		return buf
+	}
+	return make([]byte, 0, g.eng.cfg.MaxAggr+maxAggrSlack)
+}
+
+// putAggBuf returns an aggregate payload buffer to the gate's pool.
+func (g *Gate) putAggBuf(buf []byte) {
+	g.aggMu.Lock()
+	g.aggBufs = append(g.aggBufs, buf[:0])
+	g.aggMu.Unlock()
+}
+
+// maxAggrSlack covers the per-message sub-headers of a packed frame,
+// so a pooled buffer sized for MaxAggr payload bytes rarely regrows.
+const maxAggrSlack = 64 * 20
 
 // unpackAggr splits an aggregate frame back into eager sub-frames.
 func unpackAggr(payload []byte) []Frame {

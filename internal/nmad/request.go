@@ -6,15 +6,31 @@ import (
 )
 
 // Request is the completion handle for a non-blocking send or receive.
+//
+// Requests are pooled by the engine: the steady-state protocol hands
+// out recycled handles, and a caller that is done with a successfully
+// completed request may return it with Free (the MPI_Request_free
+// idiom). The completion channel behind Done is created lazily, so
+// Wait-based callers never pay its allocation.
 type Request struct {
 	eng *Engine
 
-	done      chan struct{}
-	completed atomic.Bool
-	err       error
+	// done is the lazily created completion channel; doneClosed guards
+	// its single close between complete() and a racing Done().
+	done       atomic.Pointer[chan struct{}]
+	doneClosed atomic.Bool
+	// completing is taken exactly once by the winning completer;
+	// completed publishes err (written between the two).
+	completing atomic.Bool
+	completed  atomic.Bool
+	err        error
 
 	// Data holds the received payload once a receive completes.
 	Data []byte
+
+	// userBuf is the caller-supplied receive buffer (IrecvInto);
+	// rendezvous pulls land in it directly, eager payloads are copied.
+	userBuf []byte
 
 	// remaining counts outstanding wire operations (rendezvous fragments
 	// striped over rails); the request completes when it reaches zero.
@@ -28,7 +44,11 @@ type Request struct {
 }
 
 func newRequest(e *Engine) *Request {
-	r := &Request{eng: e, done: make(chan struct{})}
+	r, _ := e.reqPool.Get().(*Request)
+	if r == nil {
+		r = &Request{}
+	}
+	r.eng = e
 	r.remaining.Store(1)
 	return r
 }
@@ -38,28 +58,53 @@ func (r *Request) decRemaining() bool { return r.remaining.Add(-1) == 0 }
 
 // complete finishes the request exactly once.
 func (r *Request) complete(err error) {
-	if r.completed.CompareAndSwap(false, true) {
-		r.err = err
-		close(r.done)
+	if !r.completing.CompareAndSwap(false, true) {
+		return
+	}
+	r.err = err
+	r.completed.Store(true)
+	if chp := r.done.Load(); chp != nil {
+		r.closeDone(*chp)
+	}
+}
+
+// closeDone closes the completion channel exactly once; both complete
+// and a racing lazy Done may try.
+func (r *Request) closeDone(ch chan struct{}) {
+	if r.doneClosed.CompareAndSwap(false, true) {
+		close(ch)
 	}
 }
 
 // Test reports whether the request has completed, without blocking.
 func (r *Request) Test() bool { return r.completed.Load() }
 
-// Err returns the completion error (nil before completion). The read is
-// synchronized through the done channel.
+// Err returns the completion error (nil before completion). The read
+// is synchronized through the completed flag's release/acquire pair.
 func (r *Request) Err() error {
-	select {
-	case <-r.done:
+	if r.completed.Load() {
 		return r.err
-	default:
-		return nil
 	}
+	return nil
 }
 
-// Done returns a channel closed at completion, for select-based waiting.
-func (r *Request) Done() <-chan struct{} { return r.done }
+// Done returns a channel closed at completion, for select-based
+// waiting. The channel is created on first use.
+func (r *Request) Done() <-chan struct{} {
+	if chp := r.done.Load(); chp != nil {
+		return *chp
+	}
+	ch := make(chan struct{})
+	if r.done.CompareAndSwap(nil, &ch) {
+		if r.completed.Load() {
+			// complete may have run between our Load and the swap and
+			// missed the channel; close it ourselves.
+			r.closeDone(ch)
+		}
+		return ch
+	}
+	return *r.done.Load()
+}
 
 // Wait blocks until the request completes, actively executing pending
 // PIOMan tasks meanwhile — the paper's task_wait: a thread blocked on
@@ -72,15 +117,40 @@ func (r *Request) Wait() error {
 		// starve the peer's goroutines on oversubscribed hosts.
 		runtime.Gosched()
 	}
-	// The channel close happens after the err write in complete();
-	// receiving from it makes reading err safe.
-	<-r.done
 	return r.err
 }
 
 // WaitBlocking parks the goroutine until completion without helping
 // progression (requires background progression to be running).
 func (r *Request) WaitBlocking() error {
-	<-r.done
+	<-r.Done()
 	return r.err
+}
+
+// Free returns a successfully completed request to the engine's pool;
+// the caller must not touch it afterwards. Calling Free before
+// completion, or after a completion with an error, is a no-op: failure
+// paths may still hold references to the handle (a re-striped fragment
+// completing late, a conservative failure sweep), so only the clean
+// path recycles. Free is optional — unfreed requests are simply
+// garbage collected.
+func (r *Request) Free() {
+	if !r.completed.Load() || r.err != nil {
+		return
+	}
+	e := r.eng
+	r.eng = nil
+	r.done.Store(nil)
+	r.doneClosed.Store(false)
+	r.completing.Store(false)
+	r.completed.Store(false)
+	r.err = nil
+	r.Data = nil
+	r.userBuf = nil
+	r.remaining.Store(0)
+	r.gate = nil
+	r.tag = 0
+	r.total = 0
+	r.got.Store(0)
+	e.reqPool.Put(r)
 }

@@ -7,10 +7,17 @@ package nmad
 // heterogeneous — the paper's BORDERLINE machines carry both Myri-10G
 // and ConnectX IB — so the optimal split finishes every rail at the
 // same instant: chunk sizes proportional to per-rail bandwidth. Rails
-// whose completion queue is backed up are deprioritized (their
-// effective bandwidth is already spoken for), and rails that have died
-// are excluded entirely; Config.EvenStripe restores the seed split for
-// ablation benchmarks.
+// whose completion queue exceeds their bandwidth-delay product are
+// deprioritized (their effective bandwidth is already spoken for),
+// and rails that have died are excluded entirely; Config.EvenStripe
+// restores the seed split for ablation benchmarks.
+//
+// Both directions stripe: the sender for push-mode data frames, the
+// receiver for pull-mode RMA reads (it sees its own side's live
+// capability estimates, which is exactly what a receiver-driven
+// protocol wants). The arithmetic is shared; eligibility differs — a
+// pull additionally needs the rail to be RMA-capable and covered by
+// the sender's key offer.
 
 // chunk is one rendezvous fragment assignment: payload[lo:hi] rides
 // the given rail.
@@ -24,30 +31,73 @@ type chunk struct {
 // an extra rail, so sub-minimum shares fold into the fastest rail.
 const minStripeChunk = 4 << 10
 
+// stripeCand is one candidate rail of a split under construction.
+type stripeCand struct {
+	rail int
+	w    float64
+}
+
+// stripeScratchT holds the working storage of one striping pass, so
+// the hot paths (every rendezvous, both directions) allocate nothing.
+type stripeScratchT struct {
+	ready     []stripeCand
+	congested []stripeCand
+	sizes     []int
+	chunks    []chunk
+}
+
+// stripeScratch takes a scratch from the gate's pool.
+func (g *Gate) stripeScratch() *stripeScratchT {
+	sc, _ := g.stripePool.Get().(*stripeScratchT)
+	if sc == nil {
+		sc = &stripeScratchT{}
+	}
+	return sc
+}
+
+// putStripeScratch recycles a scratch. The chunks it returned from
+// stripeInto become invalid — callers copy them out first when they
+// outlive the pass.
+func (g *Gate) putStripeScratch(sc *stripeScratchT) {
+	sc.ready = sc.ready[:0]
+	sc.congested = sc.congested[:0]
+	sc.sizes = sc.sizes[:0]
+	sc.chunks = sc.chunks[:0]
+	g.stripePool.Put(sc)
+}
+
 // stripe splits a payload of the given size across the gate's alive
 // rails in proportion to their capability bandwidth (equal shares
 // under Config.EvenStripe). Backpressured rails are skipped while an
 // uncongested rail exists; shares below minStripeChunk fold into the
-// fastest rail. Returns nil when every rail is dead.
+// fastest rail. Returns nil when every rail is dead. This convenience
+// wrapper allocates its result; the protocol paths use stripeInto
+// with a pooled scratch.
 func (g *Gate) stripe(total int) []chunk {
-	type cand struct {
-		rail int
-		w    float64
-	}
-	var ready, congested []cand
+	sc := g.stripeScratch()
+	defer g.putStripeScratch(sc)
+	return append([]chunk(nil), g.stripeInto(sc, total, nil)...)
+}
+
+// stripeInto computes the split into sc's storage, considering only
+// alive rails accepted by eligible (nil accepts all). The returned
+// slice aliases sc and dies with it.
+func (g *Gate) stripeInto(sc *stripeScratchT, total int, eligible func(int) bool) []chunk {
 	for i, r := range g.rails {
-		if r.dead.Load() {
+		if r.dead.Load() || (eligible != nil && !eligible(i)) {
 			continue
 		}
-		w := r.ep.Capabilities().Bandwidth
-		if r.ep.Backlog() > backpressureLimit {
-			congested = append(congested, cand{rail: i, w: w})
+		caps := r.ep.Capabilities()
+		w := caps.Bandwidth
+		if r.backpressured(caps) {
+			sc.congested = append(sc.congested, stripeCand{rail: i, w: w})
 		} else {
-			ready = append(ready, cand{rail: i, w: w})
+			sc.ready = append(sc.ready, stripeCand{rail: i, w: w})
 		}
 	}
+	ready := sc.ready
 	if len(ready) == 0 {
-		ready = congested
+		ready = sc.congested
 	}
 	if len(ready) == 0 {
 		return nil
@@ -77,11 +127,12 @@ func (g *Gate) stripe(total int) []chunk {
 			fastest = i
 		}
 	}
-	sizes := make([]int, len(ready))
+	sizes := sc.sizes[:0]
 	assigned := 0
-	for i, c := range ready {
-		sizes[i] = int(float64(total) * c.w / sumW)
-		assigned += sizes[i]
+	for _, c := range ready {
+		s := int(float64(total) * c.w / sumW)
+		sizes = append(sizes, s)
+		assigned += s
 	}
 	sizes[fastest] += total - assigned // rounding remainder
 	for i := range sizes {
@@ -90,8 +141,9 @@ func (g *Gate) stripe(total int) []chunk {
 			sizes[i] = 0
 		}
 	}
+	sc.sizes = sizes
 
-	var out []chunk
+	out := sc.chunks[:0]
 	lo := 0
 	for i, c := range ready {
 		if sizes[i] == 0 {
@@ -100,5 +152,28 @@ func (g *Gate) stripe(total int) []chunk {
 		out = append(out, chunk{rail: c.rail, lo: lo, hi: lo + sizes[i]})
 		lo += sizes[i]
 	}
+	sc.chunks = out
 	return out
+}
+
+// stripePullChunks stripes a pull-mode transfer across the rails the
+// sender's offer covers and this side can read through, materializing
+// the result as the state's chunk table (pooled storage). Reports
+// false when no rail qualifies — the caller falls back to CTS/push.
+func (g *Gate) stripePullChunks(st *recvRdvState, total int) bool {
+	sc := g.stripeScratch()
+	defer g.putStripeScratch(sc)
+	chunks := g.stripeInto(sc, total, func(i int) bool {
+		return st.keys[i] != 0 && g.rails[i].rma != nil
+	})
+	if len(chunks) == 0 {
+		return false
+	}
+	st.mu.Lock()
+	st.chunks = st.chunks[:0]
+	for _, c := range chunks {
+		st.chunks = append(st.chunks, pullChunk{st: st, rail: c.rail, lo: c.lo, hi: c.hi})
+	}
+	st.mu.Unlock()
+	return true
 }

@@ -77,8 +77,10 @@ func TestStripeEvenAblation(t *testing.T) {
 }
 
 func TestStripeSkipsBackpressuredRail(t *testing.T) {
+	// The fakes report no latency, so their backpressure threshold is
+	// the unknown-rail default.
 	g := stripeGate(false,
-		&fakeEndpoint{caps: fabric.Capabilities{Bandwidth: 8e9}, backlog: backpressureLimit + 1},
+		&fakeEndpoint{caps: fabric.Capabilities{Bandwidth: 8e9}, backlog: defaultBackpressureLimit + 1},
 		&fakeEndpoint{caps: fabric.Capabilities{Bandwidth: 2e9}},
 	)
 	chunks := g.stripe(1 << 20)
@@ -86,9 +88,38 @@ func TestStripeSkipsBackpressuredRail(t *testing.T) {
 		t.Fatalf("chunks = %+v, want everything on the uncongested rail 1", chunks)
 	}
 	// When every rail is backpressured, congestion stops mattering.
-	g.rails[1].ep.(*fakeEndpoint).backlog = backpressureLimit + 5
+	g.rails[1].ep.(*fakeEndpoint).backlog = defaultBackpressureLimit + 5
 	if chunks := g.stripe(1 << 20); len(chunks) != 2 {
 		t.Fatalf("all-congested stripe = %+v, want both rails used", chunks)
+	}
+}
+
+func TestBackpressureLimitTracksBDP(t *testing.T) {
+	// 8 GB/s × 50 µs = 400 KB in flight; at the measured 4 KiB average
+	// frame size that is ~97 frames of headroom.
+	fast := &fakeEndpoint{caps: fabric.Capabilities{Bandwidth: 8e9, Latency: 50 * simtime.Microsecond}}
+	g := stripeGate(false, fast)
+	r := g.rails[0]
+	r.frames.Store(10)
+	r.bytes.Store(10 * 4096)
+	if got, want := r.bpLimit(fast.caps), 97; got != want {
+		t.Errorf("bpLimit = %d, want %d (BDP / avg frame)", got, want)
+	}
+	// A deep-BDP rail clamps at the ceiling...
+	fast.caps.Latency = 10 * simtime.Millisecond
+	if got := r.bpLimit(fast.caps); got != maxBackpressureLimit {
+		t.Errorf("deep-BDP limit = %d, want clamp at %d", got, maxBackpressureLimit)
+	}
+	// ...a shallow one at the floor...
+	fast.caps.Latency = simtime.Microsecond
+	fast.caps.Bandwidth = 1e9
+	if got := r.bpLimit(fast.caps); got != minBackpressureLimit {
+		t.Errorf("shallow-BDP limit = %d, want clamp at %d", got, minBackpressureLimit)
+	}
+	// ...and an unknown envelope falls back to the fixed default.
+	fast.caps = fabric.Capabilities{Bandwidth: 8e9}
+	if got := r.bpLimit(fast.caps); got != defaultBackpressureLimit {
+		t.Errorf("unknown-rail limit = %d, want default %d", got, defaultBackpressureLimit)
 	}
 }
 
@@ -192,14 +223,22 @@ func TestGateOverSimRDMARendezvousUnderRace(t *testing.T) {
 	}
 	wg.Wait()
 
-	// The provider actually used its RMA path.
-	rdvs := uint64(0)
-	for _, ep := range []fabric.Endpoint{ea0, ea1} {
-		_, r, _, _ := ep.(*fabric.SimEndpoint).Stats()
-		rdvs += r
+	// The transfers actually rode the RMA path: the receiver pulled
+	// chunks with RMA reads on its rails and sent FINs back.
+	st := receiver.Stats()
+	if st.RdvPulls == 0 || st.RdvPullBytes == 0 {
+		t.Errorf("no pull-mode RMA reads recorded: %+v", st)
 	}
-	if rdvs == 0 {
-		t.Error("no rendezvous-by-RMA-read sends recorded on the sim rails")
+	if st.RdvFins == 0 {
+		t.Error("no pull-mode FIN recorded")
+	}
+	reads := uint64(0)
+	for _, ep := range []fabric.Endpoint{eb0, eb1} {
+		_, _, r, _ := ep.(*fabric.SimEndpoint).Stats()
+		reads += r
+	}
+	if reads == 0 {
+		t.Error("no RMA reads recorded on the receiver's sim rails")
 	}
 }
 
@@ -213,8 +252,10 @@ func heterogeneousTransferTime(t *testing.T, even bool, payload []byte) simtime.
 	ea0, eb0 := simPair(f, fast)
 	ea1, eb1 := simPair(f, slow)
 
+	// Pull-mode rendezvous stripes on the receiver, so the ablation
+	// knob applies there too.
 	sender := NewEngine(Config{EvenStripe: even})
-	receiver := NewEngine(Config{})
+	receiver := NewEngine(Config{EvenStripe: even})
 	defer sender.Close()
 	defer receiver.Close()
 	ga, err := sender.NewGateEndpoints(ea0, ea1)
@@ -407,7 +448,7 @@ func benchStripe(b *testing.B, even bool) {
 	ea0, eb0 := simPair(f, fast)
 	ea1, eb1 := simPair(f, slow)
 	sender := NewEngine(Config{EvenStripe: even})
-	receiver := NewEngine(Config{})
+	receiver := NewEngine(Config{EvenStripe: even})
 	defer sender.Close()
 	defer receiver.Close()
 	ga, err := sender.NewGateEndpoints(ea0, ea1)
