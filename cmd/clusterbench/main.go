@@ -1,0 +1,96 @@
+// Command clusterbench runs the deterministic cluster chaos suite
+// (internal/cluster) and emits one BENCH trajectory as JSON. The same
+// seed produces byte-identical output, so the file doubles as a
+// regression fixture: any diff under a fixed seed is a behaviour
+// change, not noise.
+//
+// Usage:
+//
+//	clusterbench                      # full suite, seed 1, BENCH_cluster.json
+//	clusterbench -seed 7              # another replayable universe
+//	clusterbench -run incast          # scenarios whose name contains "incast"
+//	clusterbench -list                # show the suite
+//	clusterbench -out trajectory.json # write elsewhere ("-" = stdout only)
+//
+// Exit status: 0 when every scenario honors its invariant contract,
+// 1 when any violates it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pioman/internal/cluster"
+)
+
+// trajectory is the emitted BENCH document.
+type trajectory struct {
+	Bench     string           `json:"bench"`
+	Seed      int64            `json:"seed"`
+	Scenarios []cluster.Result `json:"scenarios"`
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "fault/traffic seed; same seed → byte-identical JSON")
+	out := flag.String("out", "BENCH_cluster.json", "output file (\"-\" = stdout only)")
+	run := flag.String("run", "", "only scenarios whose name contains this substring")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available scenarios:")
+		for _, sc := range cluster.Scenarios() {
+			fmt.Printf("  %-20s %s\n", sc.Name, sc.Desc)
+		}
+		return
+	}
+
+	var filter func(string) bool
+	if *run != "" {
+		filter = func(name string) bool { return strings.Contains(name, *run) }
+	}
+	results := cluster.Run(*seed, filter)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "no scenario matches %q; try -list\n", *run)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-20s %6s %6s %7s %5s %5s %5s %5s %10s %10s  %s\n",
+		"scenario", "nodes", "gates", "xfers", "ok", "fail", "hung", "retry", "p50(µs)", "p99(µs)", "verdict")
+	violated := false
+	for _, r := range results {
+		verdict := "pass"
+		if !r.Passed() {
+			verdict = "FAIL: " + strings.Join(r.Violations, "; ")
+			violated = true
+		} else if r.ExpectHang {
+			verdict = "pass (hang caught)"
+		}
+		fmt.Printf("%-20s %6d %6d %7d %5d %5d %5d %5d %10.1f %10.1f  %s\n",
+			r.Scenario, r.Nodes, r.GateEndpoints, r.Transfers, r.Completed,
+			r.FailedVisibly+r.Canceled, r.Hung, r.RdvRetries,
+			float64(r.LatencyP50Ns)/1e3, float64(r.LatencyP99Ns)/1e3, verdict)
+	}
+
+	doc, err := json.MarshalIndent(trajectory{Bench: "cluster-chaos", Seed: *seed, Scenarios: results}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(doc)
+	} else {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "write:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d scenarios, seed %d)\n", *out, len(results), *seed)
+	}
+	if violated {
+		os.Exit(1)
+	}
+}

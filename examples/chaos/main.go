@@ -1,0 +1,70 @@
+// Command chaos demonstrates the deterministic cluster chaos harness
+// (internal/cluster): tens of nmad engines on one seeded virtual
+// clock, scripted traffic storms, seeded fault injection, and hard
+// post-quiesce invariants — no hung requests, no leaked state, no
+// pinned registrations, byte-exact delivery.
+//
+// The run is deterministic: the same seed replays the same universe —
+// the same frames drop, the same retries fire, the same virtual-time
+// percentiles come out. Change the seed and a different (but equally
+// replayable) universe unfolds.
+//
+// Run with: go run ./examples/chaos [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"pioman/internal/cluster"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "chaos seed (same seed → same universe)")
+	flag.Parse()
+
+	fmt.Printf("=== cluster chaos harness, seed %d ===\n\n", *seed)
+	fmt.Println("Scenario 1: incast — 32 senders storm one shared ingress port.")
+	fmt.Println("Scenario 2: partition-and-heal — an all-to-all shuffle cut in half")
+	fmt.Println("            mid-flight, then healed and re-run on the same gates.")
+	fmt.Println("Scenario 3: chaos-soup — 10% drop, 5% dup, jitter; the handshake")
+	fmt.Println("            timeout retransmits until transfers complete or fail visibly.")
+	fmt.Println("Scenario 4: broken-control — same loss, timeout DISABLED: the harness")
+	fmt.Println("            must catch the hang the timeout exists to prevent.")
+	fmt.Println()
+
+	picks := map[string]bool{
+		"incast": true, "partition-and-heal": true,
+		"chaos-soup": true, "broken-control": true,
+	}
+	results := cluster.Run(*seed, func(name string) bool { return picks[name] })
+
+	for _, r := range results {
+		fmt.Printf("--- %s (%s)\n", r.Scenario, r.Description)
+		fmt.Printf("    %d nodes, %d gate endpoints, %d transfers over %.2f ms of virtual time\n",
+			r.Nodes, r.GateEndpoints, r.Transfers, float64(r.VirtualNs)/1e6)
+		fmt.Printf("    outcome: %d completed byte-exact, %d failed visibly, %d canceled, %d hung\n",
+			r.Completed, r.FailedVisibly, r.Canceled, r.Hung)
+		if r.DroppedFrames+r.DupFrames+r.DroppedReads > 0 {
+			fmt.Printf("    chaos:   %d frames dropped, %d duplicated, %d reads blackholed → %d retransmissions, %d timeouts\n",
+				r.DroppedFrames, r.DupFrames, r.DroppedReads, r.RdvRetries, r.RdvTimeouts)
+		}
+		if r.Completed > 0 {
+			fmt.Printf("    latency: p50 %.1f µs, p99 %.1f µs (virtual)\n",
+				float64(r.LatencyP50Ns)/1e3, float64(r.LatencyP99Ns)/1e3)
+		}
+		switch {
+		case r.Passed() && r.ExpectHang:
+			fmt.Printf("    verdict: PASS — the hang invariant caught %d stuck requests,\n", r.Hung)
+			fmt.Println("             which is exactly what this ablation must prove.")
+		case r.Passed():
+			fmt.Println("    verdict: PASS — every invariant held (no hangs, no leaks, byte-exact).")
+		default:
+			fmt.Printf("    verdict: FAIL — %s\n", strings.Join(r.Violations, "; "))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Re-run with the same -seed: every number above replays identically.")
+	fmt.Println("The full suite (9 scenarios) ships as `go run ./cmd/clusterbench`.")
+}

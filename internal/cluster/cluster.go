@@ -1,0 +1,322 @@
+// Package cluster is the deterministic cluster chaos harness: it runs
+// tens of nmad engines — one per simulated node — over a single seeded
+// fabric.SimFabric and virtual clock, drives scripted traffic mixes
+// (RPC fan-out, all-to-all shuffle, incast, stragglers) through seeded
+// fault injection (frame drop/duplication/jitter, flapping NICs,
+// partitions), and checks hard invariants after every scenario
+// quiesces: no hung requests, no leaked protocol state or pinned
+// registrations, byte-exact delivery, and bounded virtual-time latency
+// percentiles.
+//
+// Everything is deterministic by construction: the fabric's fault RNG
+// is seeded, all engines share one virtual clock and one task engine
+// driven from a single goroutine, and every retransmission path in
+// nmad orders its wire actions. The same seed therefore produces the
+// same BENCH trajectory byte for byte — which is what makes a chaos
+// run a regression test instead of a dice roll.
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"pioman/internal/core"
+	"pioman/internal/fabric"
+	"pioman/internal/nmad"
+	"pioman/internal/simtime"
+	"pioman/internal/stats"
+	"pioman/internal/topology"
+)
+
+// Virtual-time constants every scenario shares: the rendezvous
+// handshake timeout and the clock step the driver uses to expire it
+// when the wire goes quiet.
+const (
+	rdvTimeout = 2 * simtime.Millisecond
+	driveTick  = rdvTimeout / 4
+)
+
+// defaultCaps is the per-node NIC envelope: a microsecond-scale
+// RDMA-capable rail, eager up to 8 KiB.
+func defaultCaps() fabric.Capabilities {
+	return fabric.Capabilities{
+		Latency:   2 * simtime.Microsecond,
+		Bandwidth: 4e9,
+		MaxInject: 8 << 10,
+		RMA:       true,
+	}
+}
+
+// Options parameterizes a harness build.
+type Options struct {
+	// Nodes is the cluster size (≥ 2).
+	Nodes int
+	// Faults is the fabric-wide seeded fault configuration.
+	Faults fabric.FaultConfig
+	// SharedIngress serializes each node's inbound frames through one
+	// ingress port — the incast model.
+	SharedIngress bool
+	// NoRdvTimeout disables the rendezvous handshake timeout on every
+	// engine: the broken-control ablation.
+	NoRdvTimeout bool
+	// Caps overrides the per-node NIC envelope (zero value → default).
+	Caps fabric.Capabilities
+}
+
+// node is one simulated cluster member: an nmad engine with one NIC
+// domain; links to peers materialize on demand.
+type node struct {
+	id     int
+	dom    *fabric.SimDomain
+	eng    *nmad.Engine
+	gateTo map[int]*nmad.Gate
+}
+
+// xfer is one tracked transfer with its deterministic payload.
+type xfer struct {
+	src, dst int
+	tag      uint64
+	payload  []byte
+	sreq     *nmad.Request
+	rreq     *nmad.Request
+	postedAt simtime.Time
+	settled  bool
+	doneAt   simtime.Time
+}
+
+// harness owns one scenario's cluster: fabric, nodes, traffic ledger.
+type harness struct {
+	fab    *fabric.SimFabric
+	tasks  *core.Engine
+	ncpu   int
+	nodes  []*node
+	ngates int
+	xfers  []*xfer
+	hist   stats.Histogram // completed-transfer latency, virtual ns
+	closed bool
+}
+
+// newHarness builds the cluster: one fabric, one shared task engine
+// (stealing off — the driver is single-threaded and scheduling order
+// must replay), one engine per node on the fabric's clock.
+func newHarness(opt Options) *harness {
+	caps := opt.Caps
+	if caps == (fabric.Capabilities{}) {
+		caps = defaultCaps()
+	}
+	topo, err := topology.Build(topology.Spec{
+		Name:            "cluster-driver",
+		NUMANodes:       1,
+		PackagesPerNUMA: 1,
+		CoresPerPackage: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	h := &harness{
+		fab: fabric.NewSimFabric(fabric.SimConfig{
+			Faults:        opt.Faults,
+			SharedIngress: opt.SharedIngress,
+		}),
+		tasks: core.New(core.Config{
+			Topology:     topo,
+			LatencyStats: true,
+		}),
+		ncpu: topo.NCPUs,
+	}
+	clock := func() int64 { return int64(h.fab.Now()) }
+	for i := 0; i < opt.Nodes; i++ {
+		h.nodes = append(h.nodes, &node{
+			id:  i,
+			dom: h.fab.OpenDomain(caps),
+			eng: nmad.NewEngine(nmad.Config{
+				Tasks:          h.tasks,
+				NoAutoProgress: true,
+				Clock:          clock,
+				RdvTimeout:     int64(rdvTimeout),
+				RdvRetries:     4,
+				NoRdvTimeout:   opt.NoRdvTimeout,
+			}),
+			gateTo: make(map[int]*nmad.Gate),
+		})
+	}
+	return h
+}
+
+// link ensures a connection between two nodes exists and returns src's
+// gate toward dst.
+func (h *harness) link(src, dst int) *nmad.Gate {
+	a, b := h.nodes[src], h.nodes[dst]
+	if g := a.gateTo[dst]; g != nil {
+		return g
+	}
+	ea, eb := fabric.Connect(a.dom, b.dom)
+	ga, err := a.eng.NewGateEndpoints(ea)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: gate %d→%d: %v", src, dst, err))
+	}
+	gb, err := b.eng.NewGateEndpoints(eb)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: gate %d→%d: %v", dst, src, err))
+	}
+	a.gateTo[dst] = ga
+	b.gateTo[src] = gb
+	h.ngates += 2
+	return ga
+}
+
+// pattern fills one transfer's payload deterministically from its
+// (src, dst, tag) identity, so the receiver can verify byte-exact
+// delivery without any side channel.
+func pattern(src, dst int, tag uint64, size int) []byte {
+	p := make([]byte, size)
+	seed := byte(src*7 + dst*13 + int(tag)*31)
+	for i := range p {
+		p[i] = seed + byte(i*131+i>>9)
+	}
+	return p
+}
+
+// transfer posts one tracked src→dst message: the receive first, then
+// the send, both on the same link.
+func (h *harness) transfer(src, dst int, tag uint64, size int) *xfer {
+	gs := h.link(src, dst)
+	gr := h.nodes[dst].gateTo[src]
+	x := &xfer{
+		src: src, dst: dst, tag: tag,
+		payload:  pattern(src, dst, tag, size),
+		postedAt: h.fab.Now(),
+	}
+	x.rreq = gr.Irecv(tag)
+	x.sreq = gs.Isend(tag, x.payload)
+	h.xfers = append(h.xfers, x)
+	return x
+}
+
+// step runs a few scheduling passes over every driver CPU, collecting
+// settled transfers between passes so completion stamps track the
+// virtual clock as finely as the drive loop can see it.
+func (h *harness) step() int {
+	n := 0
+	for pass := 0; pass < 4; pass++ {
+		for cpu := 0; cpu < h.ncpu; cpu++ {
+			h.tasks.Schedule(cpu)
+		}
+		n += h.collect()
+	}
+	return n
+}
+
+// collect records transfers that settled since the last pass and
+// returns how many did.
+func (h *harness) collect() int {
+	n := 0
+	for _, x := range h.xfers {
+		if x.settled || !x.sreq.Test() || !x.rreq.Test() {
+			continue
+		}
+		x.settled = true
+		x.doneAt = h.fab.Now()
+		n++
+		if x.sreq.Err() == nil && x.rreq.Err() == nil {
+			h.hist.Record(int64(x.doneAt - x.postedAt))
+		}
+	}
+	return n
+}
+
+// settledAll reports whether every posted transfer has resolved.
+func (h *harness) settledAll() bool {
+	for _, x := range h.xfers {
+		if !x.settled {
+			return false
+		}
+	}
+	return true
+}
+
+// drive progresses the cluster until every transfer resolves or the
+// virtual-time budget runs out. The clock only jumps when a full
+// scheduling pass moved nothing — while traffic flows, time advances
+// through the fabric's own event horizon.
+func (h *harness) drive(budget simtime.Duration) {
+	limit := h.fab.Now() + simtime.Time(budget)
+	for !h.settledAll() && h.fab.Now() <= limit {
+		before := h.fab.Now()
+		if h.step() == 0 && h.fab.Now() == before {
+			h.fab.Advance(driveTick)
+		}
+	}
+}
+
+// cancelUnmatched withdraws receives whose sender gave up (or never
+// reached them); matched receives are left to resolve on their own.
+func (h *harness) cancelUnmatched() {
+	for _, x := range h.xfers {
+		if !x.rreq.Test() {
+			x.rreq.Cancel()
+		}
+	}
+}
+
+// close shuts every engine down. Safe to call once.
+func (h *harness) close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, n := range h.nodes {
+		n.eng.Close()
+	}
+}
+
+// audit fills the outcome and leak sections of a Result from the
+// settled cluster. Must run before close (gate state is live) — the
+// caller adds the post-close live-region count afterwards.
+func (h *harness) audit(res *Result) {
+	for _, x := range h.xfers {
+		res.Transfers++
+		switch {
+		case !x.sreq.Test() || !x.rreq.Test():
+			res.Hung++
+		case x.sreq.Err() == nil && x.rreq.Err() == nil:
+			if bytes.Equal(x.rreq.Data, x.payload) {
+				res.Completed++
+				res.BytesDelivered += int64(len(x.payload))
+			} else {
+				res.Corrupt++
+			}
+		case x.rreq.Err() == nmad.ErrCanceled:
+			res.Canceled++
+		default:
+			res.FailedVisibly++
+		}
+	}
+	for _, n := range h.nodes {
+		peers := make([]int, 0, len(n.gateTo))
+		for p := range n.gateTo {
+			peers = append(peers, p)
+		}
+		sort.Ints(peers)
+		for _, p := range peers {
+			rep := n.gateTo[p].CheckIdle()
+			res.LeakedStates += rep.SendRendezvous + rep.RecvRendezvous +
+				rep.PostedRecvs + rep.UnexpectedMsgs + rep.PendingAggr
+			res.LeakedRegs += rep.RegInFlight
+		}
+		st := n.eng.Stats()
+		res.RdvRetries += st.RdvRetries
+		res.RdvTimeouts += st.RdvTimeouts
+	}
+	fst := h.fab.Stats()
+	res.DroppedFrames = fst.DroppedFrames
+	res.DupFrames = fst.DuplicatedFrames
+	res.DroppedReads = fst.DroppedReads
+	res.GateEndpoints = h.ngates
+	res.Nodes = len(h.nodes)
+	res.LatencyP50Ns = h.hist.Quantile(0.5)
+	res.LatencyP99Ns = h.hist.Quantile(0.99)
+	res.LatencyMaxNs = h.hist.Max()
+	res.VirtualNs = int64(h.fab.Now())
+}

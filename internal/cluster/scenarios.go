@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pioman/internal/fabric"
+	"pioman/internal/simtime"
+)
+
+// Result is one scenario's BENCH record. Every field is an integer
+// derived from the virtual clock, seeded RNG draws, or deterministic
+// counters, so two runs with the same seed marshal byte-identically.
+type Result struct {
+	Scenario      string `json:"scenario"`
+	Description   string `json:"description"`
+	Seed          int64  `json:"seed"`
+	Nodes         int    `json:"nodes"`
+	GateEndpoints int    `json:"gate_endpoints"`
+
+	Transfers      int   `json:"transfers"`
+	Completed      int   `json:"completed"`
+	FailedVisibly  int   `json:"failed_visibly"`
+	Canceled       int   `json:"canceled"`
+	Hung           int   `json:"hung"`
+	Corrupt        int   `json:"corrupt"`
+	BytesDelivered int64 `json:"bytes_delivered"`
+
+	LeakedStates int `json:"leaked_states"`
+	LeakedRegs   int `json:"leaked_regs"`
+	LiveRegions  int `json:"live_regions_after_close"`
+
+	DroppedFrames uint64 `json:"dropped_frames"`
+	DupFrames     uint64 `json:"duplicated_frames"`
+	DroppedReads  uint64 `json:"dropped_reads"`
+	RdvRetries    uint64 `json:"rdv_retries"`
+	RdvTimeouts   uint64 `json:"rdv_timeouts"`
+
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+	LatencyMaxNs int64 `json:"latency_max_ns"`
+	VirtualNs    int64 `json:"virtual_ns"`
+
+	ExpectHang bool     `json:"expect_hang"`
+	Violations []string `json:"violations"`
+}
+
+// Passed reports whether every invariant held.
+func (r Result) Passed() bool { return len(r.Violations) == 0 }
+
+// expect is one scenario's invariant contract, checked after quiesce.
+type expect struct {
+	// allComplete requires every transfer to finish byte-exact.
+	allComplete bool
+	// minVisibleFailures requires at least this many transfers to fail
+	// with a visible error (chaos scenarios must prove the cut bit).
+	minVisibleFailures int
+	// minRetries requires the retransmission machinery to have fired.
+	minRetries uint64
+	// maxP99 bounds the completed-transfer p99 latency in virtual time
+	// (0 = unbounded).
+	maxP99 simtime.Duration
+	// expectHang inverts the hang invariant: the scenario exists to
+	// prove the harness catches hangs, so zero hung requests is the
+	// violation. Leak checks are skipped (a hang leaks by definition).
+	expectHang bool
+}
+
+// check appends every violated invariant to res.Violations.
+func check(res *Result, ex expect) {
+	res.ExpectHang = ex.expectHang
+	fail := func(f string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(f, args...))
+	}
+	if ex.expectHang {
+		if res.Hung == 0 {
+			fail("broken control completed cleanly: the hang invariant caught nothing")
+		}
+		return
+	}
+	if res.Hung > 0 {
+		fail("%d requests hung past the virtual-time budget", res.Hung)
+	}
+	if res.Corrupt > 0 {
+		fail("%d transfers delivered corrupted payloads", res.Corrupt)
+	}
+	if res.LeakedStates > 0 {
+		fail("%d protocol states leaked after quiesce", res.LeakedStates)
+	}
+	if res.LeakedRegs > 0 {
+		fail("%d registrations still pinned after quiesce", res.LeakedRegs)
+	}
+	if res.LiveRegions > 0 {
+		fail("%d fabric regions alive after engine close", res.LiveRegions)
+	}
+	if ex.allComplete && res.Completed != res.Transfers {
+		fail("%d of %d transfers did not complete", res.Transfers-res.Completed, res.Transfers)
+	}
+	if res.FailedVisibly+res.Canceled < ex.minVisibleFailures {
+		fail("only %d visible failures, scenario requires ≥ %d",
+			res.FailedVisibly+res.Canceled, ex.minVisibleFailures)
+	}
+	if res.RdvRetries < ex.minRetries {
+		fail("only %d rendezvous retries, scenario requires ≥ %d", res.RdvRetries, ex.minRetries)
+	}
+	if ex.maxP99 > 0 && res.LatencyP99Ns > int64(ex.maxP99) {
+		fail("p99 latency %d ns exceeds the %d ns bound", res.LatencyP99Ns, int64(ex.maxP99))
+	}
+}
+
+// Scenario is one named chaos experiment.
+type Scenario struct {
+	Name string
+	Desc string
+	run  func(seed int64) Result
+}
+
+// finish is the shared scenario epilogue: resolve stragglers, audit,
+// close, count surviving regions, check the contract.
+func finish(h *harness, res *Result, ex expect) Result {
+	h.cancelUnmatched()
+	h.drive(32 * rdvTimeout)
+	h.audit(res)
+	h.close()
+	res.LiveRegions = h.fab.Stats().LiveRegions
+	check(res, ex)
+	return *res
+}
+
+// mixSeed derives a scenario-local fault seed so scenarios draw
+// independent fault streams from one user seed.
+func mixSeed(seed int64, idx int64) int64 {
+	return seed*1_000_003 + idx
+}
+
+// eagerSize is under the engines' eager threshold; rdvSize is above it
+// and rides the rendezvous protocol, which is the only path with
+// retransmission — chaos scenarios that drop frames use rdvSize only.
+const (
+	eagerSize = 2 << 10
+	rdvSize   = 24 << 10
+)
+
+// runFanout: one root scatters an eager request to every leaf and each
+// leaf answers with a rendezvous-sized response — the RPC pattern.
+func runFanout(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 17})
+	for leaf := 1; leaf < 17; leaf++ {
+		h.transfer(0, leaf, 1, eagerSize)
+		h.transfer(leaf, 0, 2, rdvSize)
+	}
+	h.drive(200 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, maxP99: 100 * rdvTimeout})
+}
+
+// runShuffle: every node sends one rendezvous block to every other —
+// the all-to-all exchange phase of a distributed sort.
+func runShuffle(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 8})
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s != d {
+				h.transfer(s, d, uint64(s), rdvSize)
+			}
+		}
+	}
+	h.drive(200 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, maxP99: 100 * rdvTimeout})
+}
+
+// runIncast: 32 senders converge on one sink whose ingress port
+// serializes — the storage-fan-in storm. 64 gate endpoints on one
+// fabric.
+func runIncast(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 33, SharedIngress: true})
+	for s := 1; s < 33; s++ {
+		h.transfer(s, 0, uint64(s), rdvSize)
+	}
+	h.drive(400 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, maxP99: 200 * rdvTimeout})
+}
+
+// runStraggler: an all-to-all shuffle where one node's NIC runs an
+// order of magnitude slower — the slow-disk/hot-VM straggler.
+func runStraggler(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 8})
+	h.nodes[3].dom.SetCapabilities(fabric.Capabilities{
+		Latency:   20 * simtime.Microsecond,
+		Bandwidth: 4e8,
+		MaxInject: 8 << 10,
+		RMA:       true,
+	})
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s != d {
+				h.transfer(s, d, uint64(s), rdvSize)
+			}
+		}
+	}
+	h.drive(400 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, maxP99: 200 * rdvTimeout})
+}
+
+// runFlappingRail: fan-out traffic while the root's NIC flaps — every
+// outbound frame lost during the down windows. The handshake timeout
+// must carry every transfer across the flaps.
+func runFlappingRail(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 9})
+	for wave := 0; wave < 3; wave++ {
+		for leaf := 1; leaf < 9; leaf++ {
+			h.transfer(0, leaf, uint64(wave), rdvSize)
+		}
+		h.nodes[0].dom.SetFaults(&fabric.FaultConfig{DropProb: 1})
+		h.drive(4 * rdvTimeout) // the flap window: everything outbound dies
+		h.nodes[0].dom.SetFaults(nil)
+		h.drive(100 * rdvTimeout)
+	}
+	return finish(h, &res, expect{allComplete: true, minRetries: 1})
+}
+
+// runPartitionHeal: an all-to-all shuffle cut in half mid-flight; the
+// in-flight cross-partition transfers must fail visibly, and after the
+// heal a second wave must run clean over the very same gates.
+func runPartitionHeal(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 8})
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s != d {
+				h.transfer(s, d, 1, rdvSize)
+			}
+		}
+	}
+	for i := 4; i < 8; i++ {
+		h.nodes[i].dom.SetPartition(1)
+	}
+	h.drive(300 * rdvTimeout) // cross-partition halves burn their retry budget
+	h.cancelUnmatched()       // receives whose RTS (and NACK) died in the cut
+	h.drive(32 * rdvTimeout)
+	wave1 := len(h.xfers)
+	crossFailed := 0
+	for _, x := range h.xfers {
+		if (x.src < 4) != (x.dst < 4) && x.settled &&
+			(x.sreq.Err() != nil || x.rreq.Err() != nil) {
+			crossFailed++
+		}
+	}
+	if crossFailed == 0 {
+		res.Violations = append(res.Violations, "partition cut no transfer visibly")
+	}
+
+	h.fab.Heal()
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s != d {
+				h.transfer(s, d, 2, rdvSize)
+			}
+		}
+	}
+	h.drive(300 * rdvTimeout)
+	out := finish(h, &res, expect{minVisibleFailures: crossFailed})
+	// Wave 2 ran entirely after the heal: every one of its transfers
+	// must have completed on the same gates the partition poisoned.
+	if out.Completed < out.Transfers-wave1 {
+		out.Violations = append(out.Violations, "healed gates did not carry a clean second wave")
+	}
+	return out
+}
+
+// runChaosSoup: all-to-all rendezvous traffic through a fabric that
+// drops, duplicates, and delays at random. Transfers may fail — but
+// only visibly, only without leaks, and retransmission must save most.
+func runChaosSoup(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 6, Faults: fabric.FaultConfig{
+		Seed:        mixSeed(seed, 7),
+		DropProb:    0.1,
+		DupProb:     0.05,
+		DelayJitter: 30 * simtime.Microsecond,
+	}})
+	for s := 0; s < 6; s++ {
+		for d := 0; d < 6; d++ {
+			if s != d {
+				h.transfer(s, d, uint64(s*7+d), rdvSize)
+			}
+		}
+	}
+	h.drive(600 * rdvTimeout)
+	out := finish(h, &res, expect{minRetries: 1})
+	if out.Completed < out.Transfers/2 {
+		out.Violations = append(out.Violations,
+			fmt.Sprintf("only %d/%d transfers survived 10%% loss", out.Completed, out.Transfers))
+	}
+	return out
+}
+
+// runMixedJitter: interleaved eager and rendezvous traffic under heavy
+// delay jitter — no loss, so ordering chaos alone must not corrupt
+// matching on either path.
+func runMixedJitter(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 8, Faults: fabric.FaultConfig{
+		Seed:        mixSeed(seed, 11),
+		DelayJitter: 200 * simtime.Microsecond,
+	}})
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			h.transfer(s, d, uint64(s), eagerSize)
+			h.transfer(s, d, uint64(8+s), rdvSize)
+		}
+	}
+	h.drive(400 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, maxP99: 200 * rdvTimeout})
+}
+
+// runBrokenControl is the harness proving itself: rendezvous traffic
+// into a permanent partition with the handshake timeout DISABLED. The
+// scenario passes only if the hang invariant trips — if this scenario
+// ever "succeeds", the harness has stopped catching hangs.
+func runBrokenControl(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{Nodes: 4, NoRdvTimeout: true})
+	for d := 1; d < 4; d++ {
+		h.nodes[d].dom.SetPartition(1)
+	}
+	for d := 1; d < 4; d++ {
+		h.transfer(0, d, 1, rdvSize)
+	}
+	h.drive(100 * rdvTimeout)
+	return finish(h, &res, expect{expectHang: true})
+}
+
+// Scenarios returns the full suite in its canonical order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{"rpc-fanout", "1→16 eager requests, 16 rendezvous replies", runFanout},
+		{"shuffle", "8-node all-to-all rendezvous exchange", runShuffle},
+		{"incast", "32→1 rendezvous storm through one shared ingress port", runIncast},
+		{"straggler", "8-node shuffle with one 10×-degraded NIC", runStraggler},
+		{"flapping-rail", "fan-out across three full-loss flap windows", runFlappingRail},
+		{"partition-and-heal", "shuffle cut in half mid-flight, healed, re-run", runPartitionHeal},
+		{"chaos-soup", "all-to-all under 10% drop + 5% dup + jitter", runChaosSoup},
+		{"mixed-jitter", "eager+rendezvous mix under heavy reordering jitter", runMixedJitter},
+		{"broken-control", "no handshake timeout vs a permanent partition (must hang)", runBrokenControl},
+	}
+}
+
+// Run executes every scenario whose name passes the filter (empty =
+// all) with the given seed and returns their results in suite order.
+func Run(seed int64, filter func(name string) bool) []Result {
+	var out []Result
+	for _, sc := range Scenarios() {
+		if filter != nil && !filter(sc.Name) {
+			continue
+		}
+		r := sc.run(seed)
+		r.Scenario = sc.Name
+		r.Description = sc.Desc
+		out = append(out, r)
+	}
+	return out
+}

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"pioman/internal/adapt"
 	"pioman/internal/cpuset"
 	"pioman/internal/spinlock"
+	"pioman/internal/stats"
 	"pioman/internal/topology"
 )
 
@@ -48,6 +50,11 @@ type Config struct {
 	// Steal configures work stealing across sibling leaf queues (see
 	// steal.go). The zero value disables stealing.
 	Steal StealConfig
+	// LatencyStats records per-CPU latency histograms (stats.Histogram)
+	// of drain passes and steal attempts, read back via DrainLatency and
+	// StealLatency. Off by default: the record path is cheap (one clock
+	// read and one bucket increment per pass) but not free.
+	LatencyStats bool
 }
 
 // normalized returns the config with every out-of-range knob replaced
@@ -220,6 +227,31 @@ type Engine struct {
 	// shards holds the engine-wide execution-side counters sharded per
 	// CPU; each scheduling core only ever touches its own cache line.
 	shards []counterShard
+
+	// latShards holds per-CPU drain/steal latency histograms
+	// (Config.LatencyStats; nil otherwise). Sharded like the counters so
+	// the record path stays core-local; the small lock exists because the
+	// engine allows concurrent Schedule calls on behalf of one CPU.
+	latShards []latShard
+}
+
+// latShard is one CPU's latency instrumentation: histograms of how long
+// its drain passes and steal attempts took, in nanoseconds.
+type latShard struct {
+	mu    spinlock.SpinLock
+	drain stats.Histogram
+	steal stats.Histogram
+}
+
+// record adds one sample to the shard's drain or steal histogram.
+func (s *latShard) record(steal bool, d time.Duration) {
+	s.mu.Lock()
+	if steal {
+		s.steal.Record(int64(d))
+	} else {
+		s.drain.Record(int64(d))
+	}
+	s.mu.Unlock()
 }
 
 // New builds an engine for the configured topology. Out-of-range
@@ -253,6 +285,9 @@ func New(cfg Config) *Engine {
 		// (1 → 0.75 → …) instead of collapsing the window to one task.
 		e.stealRate = adapt.NewSharded(cfg.Topology.NCPUs, 0)
 		e.stealRate.Prime(1)
+	}
+	if cfg.LatencyStats {
+		e.latShards = make([]latShard, cfg.Topology.NCPUs)
 	}
 	e.rootQ = e.byID[e.topo.Root.ID]
 	e.leaf = make([]*Queue, e.topo.NCPUs)
@@ -466,7 +501,13 @@ func (e *Engine) schedule(cpu int, max int) int {
 		if max > 0 {
 			budget = max - ran
 		}
-		ran += e.drainQueue(q, cpu, budget, nil)
+		if e.latShards != nil {
+			start := time.Now()
+			ran += e.drainQueue(q, cpu, budget, nil)
+			e.latShards[cpu].record(false, time.Since(start))
+		} else {
+			ran += e.drainQueue(q, cpu, budget, nil)
+		}
 		if max > 0 && ran >= max {
 			return ran
 		}
@@ -475,7 +516,13 @@ func (e *Engine) schedule(cpu int, max int) int {
 	// nothing does the CPU reach outward and steal (steal.go). A CPU with
 	// local work never pays the victim-selection walk.
 	if ran == 0 && e.cfg.Steal.Policy != StealOff {
-		ran = e.steal(cpu, max)
+		if e.latShards != nil {
+			start := time.Now()
+			ran = e.steal(cpu, max)
+			e.latShards[cpu].record(true, time.Since(start))
+		} else {
+			ran = e.steal(cpu, max)
+		}
 	}
 	return ran
 }
@@ -729,6 +776,30 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
+// DrainLatency returns the merged drain-pass latency histogram across
+// every CPU shard, in nanoseconds. Empty unless Config.LatencyStats.
+func (e *Engine) DrainLatency() stats.Histogram { return e.mergeLatency(false) }
+
+// StealLatency returns the merged steal-attempt latency histogram
+// across every CPU shard, in nanoseconds. Empty unless
+// Config.LatencyStats (and a steal policy is enabled).
+func (e *Engine) StealLatency() stats.Histogram { return e.mergeLatency(true) }
+
+func (e *Engine) mergeLatency(steal bool) stats.Histogram {
+	var out stats.Histogram
+	for i := range e.latShards {
+		sh := &e.latShards[i]
+		sh.mu.Lock()
+		if steal {
+			out.Merge(&sh.steal)
+		} else {
+			out.Merge(&sh.drain)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // ResetStats zeroes the engine counters and every queue's
 // instrumentation — spinlock, mutex and lock-free alike, the urgent
 // queue included — so ablation runs start from clean counters. Tasks
@@ -750,5 +821,12 @@ func (e *Engine) ResetStats() {
 	}
 	if uq := e.urgentQ.Load(); uq != nil {
 		uq.resetStats()
+	}
+	for i := range e.latShards {
+		sh := &e.latShards[i]
+		sh.mu.Lock()
+		sh.drain.Reset()
+		sh.steal.Reset()
+		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pioman/internal/cpuset"
+	"pioman/internal/topology"
+)
+
+// TestLatencyStatsRecords checks the opt-in drain/steal histograms: a
+// drain pass over real work is sampled, a steal attempt from an
+// out-of-work CPU is sampled separately, and both merge across shards.
+func TestLatencyStatsRecords(t *testing.T) {
+	e := New(Config{
+		Topology:     topology.Borderline(),
+		Steal:        StealConfig{Policy: StealSiblings},
+		LatencyStats: true,
+	})
+	var ran atomic.Int64
+	for i := 0; i < 16; i++ {
+		task := anyTask(&ran)
+		task.CPUSet = cpuset.New(0)
+		e.MustSubmit(task)
+	}
+	if n := e.Schedule(0); n != 16 {
+		t.Fatalf("Schedule(0) ran %d, want 16", n)
+	}
+	drain := e.DrainLatency()
+	if drain.Count() == 0 {
+		t.Fatal("drain pass left no latency samples")
+	}
+	if drain.Quantile(0.99) < drain.Quantile(0.5) {
+		t.Errorf("p99 %d < p50 %d", drain.Quantile(0.99), drain.Quantile(0.5))
+	}
+
+	// CPU 1 has no local work: its Schedule is a steal attempt.
+	sl0 := e.StealLatency()
+	before := sl0.Count()
+	e.Schedule(1)
+	if sl := e.StealLatency(); sl.Count() <= before {
+		t.Error("steal attempt left no latency samples")
+	}
+
+	e.ResetStats()
+	if d, s := e.DrainLatency(), e.StealLatency(); d.Count() != 0 || s.Count() != 0 {
+		t.Error("ResetStats kept latency samples")
+	}
+}
+
+// TestLatencyStatsOffIsEmpty checks the default: no samples, no cost.
+func TestLatencyStatsOffIsEmpty(t *testing.T) {
+	e := New(Config{Topology: topology.Borderline()})
+	var ran atomic.Int64
+	e.MustSubmit(anyTask(&ran))
+	e.Schedule(0)
+	if d := e.DrainLatency(); d.Count() != 0 {
+		t.Error("LatencyStats off but drain samples recorded")
+	}
+}

@@ -1,0 +1,161 @@
+package fabric
+
+import (
+	"math/rand"
+
+	"pioman/internal/simtime"
+)
+
+// Seeded chaos injection for the simulated fabric.
+//
+// Every number this repo produced before the cluster harness existed
+// was measured on clean links. Real fabrics drop frames, deliver them
+// twice, jitter their arrival, and partition — and a scheduling system
+// for communication libraries earns its keep precisely by surviving
+// that. FaultConfig is the knob set the chaos harness turns: faults are
+// drawn from one seeded generator owned by the fabric, so a scenario
+// replays bit-identically from its seed, and per-domain overrides let a
+// script flap a single rail (DropProb 1 for a window) while the rest of
+// the cluster stays healthy.
+//
+// Fault semantics follow the hardware they model:
+//
+//   - a dropped frame still occupies the sender's wire and still posts
+//     its EventSendDone (the NIC finished the send; the network ate the
+//     frame) — the sender cannot tell, which is exactly what makes
+//     loss hard;
+//   - a duplicated frame crosses the wire twice and is delivered twice;
+//   - delay jitter shifts only the arrival instant (network queueing),
+//     not the serialization occupancy;
+//   - a partition silently blackholes traffic between domains in
+//     different partition groups, including frames already in flight
+//     and RMA reads — nothing errors, which is what forces protocol
+//     timeouts to exist.
+//
+// RMA reads are subject to drop and partition (the read never
+// completes; the issuer must re-post) but not duplication: a verbs
+// read completes at most once per post by construction.
+
+// FaultConfig parameterizes seeded fault injection on a simulated
+// fabric (SimConfig.Faults) or on one domain's outbound traffic
+// (SimDomain.SetFaults). The zero value injects nothing and draws
+// nothing from the generator, so fault-free fabrics behave
+// bit-identically to fabrics built before this knob existed.
+type FaultConfig struct {
+	// Seed seeds the fabric-wide fault generator. Only the fabric-level
+	// config's seed is used; per-domain overrides share the fabric
+	// generator so the whole run replays from one number.
+	Seed int64
+	// DropProb is the probability a frame (or RMA read) is lost after
+	// transmission.
+	DropProb float64
+	// DupProb is the probability a frame is delivered twice.
+	DupProb float64
+	// DelayJitter adds a uniform random extra delay in [0, DelayJitter)
+	// to each frame's arrival.
+	DelayJitter simtime.Duration
+}
+
+// active reports whether any fault can fire — inactive configs draw
+// nothing from the generator, keeping fault-free runs bit-identical.
+func (fc FaultConfig) active() bool {
+	return fc.DropProb > 0 || fc.DupProb > 0 || fc.DelayJitter > 0
+}
+
+// faultDraw is one frame's drawn fate.
+type faultDraw struct {
+	drop   bool
+	dup    bool
+	jitter simtime.Duration
+}
+
+// newFaultRNG builds the fabric's seeded fault generator.
+func newFaultRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// drawFaultsLocked rolls one frame's fate from the sending domain's
+// effective fault config. Called with the fabric lock held (the
+// generator is fabric-wide state). allowDup is false for RMA reads.
+func (f *SimFabric) drawFaultsLocked(d *SimDomain, allowDup bool) faultDraw {
+	fc := f.cfg.Faults
+	if d.faults != nil {
+		fc = *d.faults
+	}
+	if !fc.active() {
+		return faultDraw{}
+	}
+	var fd faultDraw
+	if fc.DropProb > 0 && f.rng.Float64() < fc.DropProb {
+		fd.drop = true
+	}
+	if allowDup && fc.DupProb > 0 && f.rng.Float64() < fc.DupProb {
+		fd.dup = true
+	}
+	if fc.DelayJitter > 0 {
+		fd.jitter = simtime.Duration(f.rng.Int63n(int64(fc.DelayJitter)))
+	}
+	return fd
+}
+
+// SetFaults overrides the fault config applied to this domain's
+// outbound traffic (frames it sends, reads it serves are unaffected —
+// faults ride the sender's side of a link). nil restores the
+// fabric-wide default. The override's Seed field is ignored: all draws
+// come from the fabric's one seeded generator. This is the flapping-
+// rail primitive — a script sets DropProb 1 for the flap window and
+// restores nil afterwards.
+func (d *SimDomain) SetFaults(fc *FaultConfig) {
+	f := d.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fc == nil {
+		d.faults = nil
+		return
+	}
+	cp := *fc
+	d.faults = &cp
+}
+
+// SetPartition assigns the domain to a partition group. Domains in
+// different groups cannot reach each other: frames and RMA reads
+// between them — including ones already in flight — are silently
+// blackholed, exactly like a cut cable. Group 0 is the default; Heal
+// returns every domain to it.
+func (d *SimDomain) SetPartition(group int) {
+	f := d.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d.part = group
+}
+
+// Heal removes every partition: all domains rejoin group 0.
+func (f *SimFabric) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, d := range f.domains {
+		d.part = 0
+	}
+}
+
+// partitionedLocked reports whether two domains are currently separated.
+func partitionedLocked(a, b *SimDomain) bool { return a.part != b.part }
+
+// Advance moves the virtual clock forward by d, delivering every
+// completion that falls due. Free-running harness drivers call it when
+// the fabric has gone quiet but protocol state is waiting on a timeout:
+// empty completion queues stop fast-forwarding the clock on their own
+// (there is no next event to jump to), so deadlines would never expire
+// without somebody asserting that time passes. Returns the new virtual
+// time. Real-time fabrics (TimeScale > 0) ignore manual advancement —
+// their clock is the wall.
+func (f *SimFabric) Advance(d simtime.Duration) simtime.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.TimeScale > 0 {
+		f.advanceLocked()
+		return f.sim.Now()
+	}
+	f.sim.RunUntil(f.sim.Now() + d)
+	return f.sim.Now()
+}

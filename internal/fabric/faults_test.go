@@ -1,0 +1,324 @@
+package fabric
+
+import (
+	"testing"
+
+	"pioman/internal/simtime"
+)
+
+// faultCaps is the envelope the fault tests run on: microsecond rail,
+// eager up to 4 KiB, RMA on.
+func faultCaps() Capabilities {
+	return Capabilities{
+		Latency:   simtime.Microsecond,
+		Bandwidth: 4e9,
+		MaxInject: 4 << 10,
+		RMA:       true,
+	}
+}
+
+// tryDrain polls for one event. On a free-running fabric an empty poll
+// already fast-forwarded the clock past every pending completion, so
+// two empty polls mean the fabric is dry.
+func tryDrain(t *testing.T, ep *SimEndpoint) (Event, bool) {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		ev, ok, err := ep.Poll()
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if ok {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+// runDropTrial sends n eager frames across a lossy fabric and returns
+// how many arrive plus the drop counter.
+func runDropTrial(t *testing.T, seed int64, n int) (delivered int, dropped uint64) {
+	t.Helper()
+	f := NewSimFabric(SimConfig{Faults: FaultConfig{Seed: seed, DropProb: 0.5}})
+	a := f.OpenDomain(faultCaps())
+	b := f.OpenDomain(faultCaps())
+	ea, eb := Connect(a, b)
+	for i := 0; i < n; i++ {
+		if err := ea.Send([]byte{byte(i)}, nil); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	for {
+		if _, ok := tryDrain(t, eb); !ok {
+			break
+		}
+		delivered++
+	}
+	return delivered, f.Stats().DroppedFrames
+}
+
+// TestFaultDropDeterministic checks that seeded drops lose some — but
+// not all — frames, and that the same seed loses exactly the same ones.
+func TestFaultDropDeterministic(t *testing.T) {
+	const n = 200
+	d1, drop1 := runDropTrial(t, 42, n)
+	d2, drop2 := runDropTrial(t, 42, n)
+	if d1 != d2 || drop1 != drop2 {
+		t.Fatalf("same seed diverged: %d/%d delivered, %d/%d dropped", d1, d2, drop1, drop2)
+	}
+	if d1 == 0 || d1 == n {
+		t.Fatalf("DropProb 0.5 delivered %d of %d", d1, n)
+	}
+	if int(drop1)+d1 != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", d1, drop1, n)
+	}
+	d3, _ := runDropTrial(t, 43, n)
+	if d3 == d1 {
+		t.Logf("seeds 42 and 43 delivered the same count %d (possible, suspicious)", d1)
+	}
+}
+
+// TestFaultDuplication checks DupProb 1 delivers every frame twice and
+// counts the phantoms.
+func TestFaultDuplication(t *testing.T) {
+	f := NewSimFabric(SimConfig{Faults: FaultConfig{Seed: 1, DupProb: 1}})
+	a := f.OpenDomain(faultCaps())
+	b := f.OpenDomain(faultCaps())
+	ea, eb := Connect(a, b)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := ea.Send([]byte{byte(i)}, nil); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	got := 0
+	for {
+		if _, ok := tryDrain(t, eb); !ok {
+			break
+		}
+		got++
+	}
+	if got != 2*n {
+		t.Fatalf("delivered %d frames, want %d (each duplicated)", got, 2*n)
+	}
+	if st := f.Stats(); st.DuplicatedFrames != n {
+		t.Fatalf("DuplicatedFrames = %d, want %d", st.DuplicatedFrames, n)
+	}
+}
+
+// TestFaultJitterDeterministic checks jitter shifts arrival stamps and
+// that two same-seed fabrics produce identical stamps.
+func TestFaultJitterDeterministic(t *testing.T) {
+	run := func(seed int64) []int64 {
+		f := NewSimFabric(SimConfig{Faults: FaultConfig{Seed: seed, DelayJitter: 50 * simtime.Microsecond}})
+		a := f.OpenDomain(faultCaps())
+		b := f.OpenDomain(faultCaps())
+		ea, eb := Connect(a, b)
+		var stamps []int64
+		for i := 0; i < 20; i++ {
+			if err := ea.Send([]byte{byte(i)}, nil); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			ev, ok := tryDrain(t, eb)
+			if !ok {
+				t.Fatal("jitter must not lose frames")
+			}
+			stamps = append(stamps, ev.Stamp)
+		}
+		return stamps
+	}
+	s1, s2 := run(7), run(7)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("stamp %d diverged: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestPartitionAndHeal checks a partition blackholes frames in both
+// directions — including one already in flight — and that Heal restores
+// delivery on the same endpoints.
+func TestPartitionAndHeal(t *testing.T) {
+	f := NewSimFabric(SimConfig{})
+	a := f.OpenDomain(faultCaps())
+	b := f.OpenDomain(faultCaps())
+	ea, eb := Connect(a, b)
+
+	// A frame posted before the cut but still in flight when it lands:
+	// the partition eats it.
+	if err := ea.Send([]byte{1}, nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	b.SetPartition(1)
+	if _, ok := tryDrain(t, eb); ok {
+		t.Fatal("in-flight frame crossed a partition")
+	}
+
+	// Frames posted during the cut die too, both directions.
+	if err := ea.Send([]byte{2}, nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := eb.Send([]byte{3}, nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, ok := tryDrain(t, eb); ok {
+		t.Fatal("frame crossed a live partition")
+	}
+	if _, ok := tryDrain(t, ea); ok {
+		t.Fatal("reverse frame crossed a live partition")
+	}
+	if st := f.Stats(); st.DroppedFrames != 3 {
+		t.Fatalf("DroppedFrames = %d, want 3", st.DroppedFrames)
+	}
+
+	// Heal: the same endpoints carry traffic again, nothing replays.
+	f.Heal()
+	if err := ea.Send([]byte{4}, nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	ev, ok := tryDrain(t, eb)
+	if !ok {
+		t.Fatal("healed link did not deliver")
+	}
+	if len(ev.Imm) != 1 || ev.Imm[0] != 4 {
+		t.Fatalf("healed link delivered stale frame %v", ev.Imm)
+	}
+	if _, ok := tryDrain(t, eb); ok {
+		t.Fatal("dropped frame replayed after heal")
+	}
+}
+
+// TestPartitionBlackholesRMARead checks reads across a partition never
+// complete and are counted, and that reads work again after Heal.
+func TestPartitionBlackholesRMARead(t *testing.T) {
+	f := NewSimFabric(SimConfig{})
+	a := f.OpenDomain(faultCaps())
+	b := f.OpenDomain(faultCaps())
+	ea, _ := Connect(a, b)
+	src := []byte("pinned region contents")
+	mr, err := b.RegisterMemory(src)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	defer mr.Close()
+
+	b.SetPartition(1)
+	buf := make([]byte, len(src))
+	if err := ea.RMARead(mr.Key(), 0, buf, nil); err != nil {
+		t.Fatalf("read post: %v", err)
+	}
+	if _, ok := tryDrain(t, ea); ok {
+		t.Fatal("read completed across a partition")
+	}
+	if st := f.Stats(); st.DroppedReads != 1 {
+		t.Fatalf("DroppedReads = %d, want 1", st.DroppedReads)
+	}
+
+	f.Heal()
+	if err := ea.RMARead(mr.Key(), 0, buf, "ctx"); err != nil {
+		t.Fatalf("read post: %v", err)
+	}
+	ev, ok := tryDrain(t, ea)
+	if !ok {
+		t.Fatal("healed read did not complete")
+	}
+	if ev.Kind != EventRMADone || string(buf) != string(src) {
+		t.Fatalf("healed read delivered %v / %q", ev.Kind, buf)
+	}
+}
+
+// TestDomainFaultOverride checks SetFaults scopes loss to one domain's
+// outbound traffic and that nil restores the fabric default — the
+// flapping-rail primitive.
+func TestDomainFaultOverride(t *testing.T) {
+	f := NewSimFabric(SimConfig{})
+	a := f.OpenDomain(faultCaps())
+	b := f.OpenDomain(faultCaps())
+	ea, eb := Connect(a, b)
+
+	a.SetFaults(&FaultConfig{DropProb: 1})
+	if err := ea.Send([]byte{1}, nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, ok := tryDrain(t, eb); ok {
+		t.Fatal("flapped domain delivered")
+	}
+	// The other direction is untouched: faults ride the sender's side.
+	if err := eb.Send([]byte{2}, nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, ok := tryDrain(t, ea); !ok {
+		t.Fatal("healthy direction lost a frame")
+	}
+
+	a.SetFaults(nil)
+	if err := ea.Send([]byte{3}, nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, ok := tryDrain(t, eb); !ok {
+		t.Fatal("restored domain still losing frames")
+	}
+}
+
+// TestSharedIngressSerializes checks the incast model: many senders
+// converging on one domain queue behind each other at its ingress
+// port, so the last arrival lands far later than any single flow —
+// while a lone flow's timing is identical to a fabric without the knob.
+func TestSharedIngressSerializes(t *testing.T) {
+	lastStamp := func(shared bool, senders int) int64 {
+		f := NewSimFabric(SimConfig{SharedIngress: shared})
+		sink := f.OpenDomain(faultCaps())
+		var eps []*SimEndpoint
+		for i := 0; i < senders; i++ {
+			d := f.OpenDomain(faultCaps())
+			ed, _ := Connect(d, sink)
+			eps = append(eps, ed)
+		}
+		payload := make([]byte, 4<<10) // 4 KiB: 1 µs of wire at 4 GB/s
+		for _, ep := range eps {
+			if err := ep.Send([]byte{9}, payload); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		var last int64
+		// Each sender has its own sink-side endpoint; drain them all.
+		for _, ep := range eps {
+			ev, ok := tryDrain(t, ep.peer)
+			if !ok {
+				t.Fatal("incast frame lost")
+			}
+			if ev.Stamp > last {
+				last = ev.Stamp
+			}
+		}
+		return last
+	}
+	solo := lastStamp(true, 1)
+	soloOff := lastStamp(false, 1)
+	if solo != soloOff {
+		t.Fatalf("lone flow timing changed by SharedIngress: %d vs %d", solo, soloOff)
+	}
+	incast := lastStamp(true, 8)
+	incastOff := lastStamp(false, 8)
+	if incast <= incastOff {
+		t.Fatalf("shared ingress did not queue the incast: %d <= %d", incast, incastOff)
+	}
+	// 8 frames × ~1 µs serialization each: the queued tail should sit
+	// at least 4 frame-times past the unqueued one.
+	if incast-incastOff < int64(4*simtime.Microsecond) {
+		t.Fatalf("incast queueing too small: %d ns", incast-incastOff)
+	}
+}
+
+// TestAdvance checks manual clock advancement on an idle free-running
+// fabric — the primitive harness drivers use to expire timeouts.
+func TestAdvance(t *testing.T) {
+	f := NewSimFabric(SimConfig{})
+	before := f.Now()
+	after := f.Advance(5 * simtime.Millisecond)
+	if after-before != 5*simtime.Millisecond {
+		t.Fatalf("Advance moved %d ns, want 5 ms", after-before)
+	}
+	if f.Now() != after {
+		t.Fatalf("Now %d != advanced %d", f.Now(), after)
+	}
+}

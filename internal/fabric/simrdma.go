@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"math/rand"
 	"sync"
 	"time"
 
@@ -27,6 +28,19 @@ type SimConfig struct {
 	// rely on it; plain traffic tests leave it off and keep their
 	// completion queues free of bookkeeping entries.
 	SendCompletions bool
+
+	// Faults is the fabric-wide fault-injection config (see FaultConfig).
+	// The zero value injects nothing; SimDomain.SetFaults overrides it
+	// per sending domain.
+	Faults FaultConfig
+
+	// SharedIngress serializes deliveries through each receiving
+	// domain's ingress port, so many senders targeting one node queue
+	// behind each other — the incast congestion the chaos harness
+	// models. A lone flow is cut-through (its ingress window coincides
+	// with its wire window), so single-stream timing is unchanged;
+	// default off keeps multi-flow timing identical to earlier fabrics.
+	SharedIngress bool
 }
 
 // SimFabric is the RDMA-style simulated provider: queue pairs,
@@ -49,11 +63,15 @@ type SimFabric struct {
 	domains []*SimDomain
 	nextKey RKey
 	regions map[RKey][]byte
+	rng     *rand.Rand
 
-	injectCopied uint64
-	stagedCopied uint64
-	rmaReadBytes uint64
-	regs, deregs uint64
+	injectCopied  uint64
+	stagedCopied  uint64
+	rmaReadBytes  uint64
+	regs, deregs  uint64
+	droppedFrames uint64
+	dupFrames     uint64
+	droppedReads  uint64
 }
 
 // SimStats counts the data movement a simulated fabric performed, by
@@ -77,6 +95,15 @@ type SimStats struct {
 	Registrations, Deregistrations uint64
 	// LiveRegions is the number of regions currently registered.
 	LiveRegions int
+	// DroppedFrames counts frames lost to injected drops and partitions
+	// (the sender's wire still carried them; the receiver never saw
+	// them).
+	DroppedFrames uint64
+	// DuplicatedFrames counts injected duplicate deliveries.
+	DuplicatedFrames uint64
+	// DroppedReads counts RMA reads blackholed by drops or partitions —
+	// posted, never completed.
+	DroppedReads uint64
 }
 
 // Stats returns a snapshot of the fabric-wide data-movement counters.
@@ -90,6 +117,9 @@ func (f *SimFabric) Stats() SimStats {
 		Registrations:     f.regs,
 		Deregistrations:   f.deregs,
 		LiveRegions:       len(f.regions),
+		DroppedFrames:     f.droppedFrames,
+		DuplicatedFrames:  f.dupFrames,
+		DroppedReads:      f.droppedReads,
 	}
 }
 
@@ -100,6 +130,7 @@ func NewSimFabric(cfg SimConfig) *SimFabric {
 		epoch:   time.Now(),
 		sim:     simtime.New(),
 		regions: make(map[RKey][]byte),
+		rng:     newFaultRNG(cfg.Faults.Seed),
 	}
 }
 
@@ -159,6 +190,12 @@ type SimDomain struct {
 	caps   Capabilities
 	eps    []*SimEndpoint
 	closed bool
+
+	// Chaos state: partition group (0 = healthy), per-domain outbound
+	// fault override, and the shared-ingress occupancy horizon.
+	part        int
+	faults      *FaultConfig
+	ingressBusy simtime.Time
 }
 
 // ID returns the domain's fabric-assigned id (the From field of
@@ -342,6 +379,7 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 		ep.rdvs++
 		f.stagedCopied += uint64(len(data))
 		key := f.registerLocked(data)
+		fd := f.drawFaultsLocked(ep.dom, false)
 		request := now + 2*caps.Latency // control out, read request back
 		start := request
 		if ep.dir.busyUntil > start {
@@ -349,14 +387,16 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 		}
 		end := start + simtime.Duration(float64(len(data))*caps.NsPerByte())
 		ep.dir.busyUntil = end
-		deliver = end + caps.Latency
+		deliver = f.arriveLocked(ep.peer.dom, start, end, caps.Latency) + fd.jitter
 		ep.outstanding++
 		from := ep.dom.id
 		peer := ep.peer
 		f.sim.At(deliver, func() {
 			ep.outstanding--
 			f.deregisterLocked(key)
-			if !peer.closed {
+			if fd.drop || partitionedLocked(ep.dom, peer.dom) {
+				f.droppedFrames++
+			} else if !peer.closed {
 				peer.pushCQ(Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
 			}
 			if f.cfg.SendCompletions && !ep.closed {
@@ -368,26 +408,70 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 	// Eager inject: one serialized wire crossing.
 	ep.injects++
 	f.injectCopied += uint64(len(data))
+	fd := f.drawFaultsLocked(ep.dom, true)
 	start := now
 	if ep.dir.busyUntil > start {
 		start = ep.dir.busyUntil
 	}
 	end := start + simtime.Duration(float64(len(data))*caps.NsPerByte())
 	ep.dir.busyUntil = end
-	deliver = end + caps.Latency
+	deliver = f.arriveLocked(ep.peer.dom, start, end, caps.Latency) + fd.jitter
 	ep.outstanding++
 	from := ep.dom.id
 	peer := ep.peer
 	f.sim.At(deliver, func() {
 		ep.outstanding--
-		if !peer.closed {
+		if fd.drop || partitionedLocked(ep.dom, peer.dom) {
+			// The network ate the frame after it left our NIC: the
+			// send completion below still posts — the sender cannot
+			// tell a lost frame from a delivered one.
+			f.droppedFrames++
+		} else if !peer.closed {
 			peer.pushCQ(Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver)})
 		}
 		if f.cfg.SendCompletions && !ep.closed {
 			ep.pushCQ(Event{Kind: EventSendDone, From: peer.dom.id, Stamp: int64(deliver)})
 		}
 	})
+	if fd.dup && !fd.drop {
+		// Duplicate delivery: the frame crosses the wire a second time.
+		f.dupFrames++
+		start2 := ep.dir.busyUntil
+		end2 := start2 + simtime.Duration(float64(len(data))*caps.NsPerByte())
+		ep.dir.busyUntil = end2
+		deliver2 := f.arriveLocked(ep.peer.dom, start2, end2, caps.Latency) + fd.jitter
+		f.sim.At(deliver2, func() {
+			if partitionedLocked(ep.dom, peer.dom) {
+				f.droppedFrames++
+				return
+			}
+			if !peer.closed {
+				peer.pushCQ(Event{Kind: EventRecv, Imm: immCp, Payload: data, From: from, Stamp: int64(deliver2)})
+			}
+		})
+	}
 	return nil
+}
+
+// arriveLocked turns a frame's wire occupancy [start, end) into its
+// arrival instant at domain to. Without SharedIngress that is simply
+// end + latency. With it, the frame must also clear to's ingress port:
+// the port serves one frame at a time at the frame's own wire rate, so
+// a lone flow is cut-through (ingress window == wire window, timing
+// unchanged) while an incast queues — each frame's arrival pushed out
+// behind every earlier frame converging on the same node.
+func (f *SimFabric) arriveLocked(to *SimDomain, start, end simtime.Time, lat simtime.Duration) simtime.Time {
+	if !f.cfg.SharedIngress {
+		return end + lat
+	}
+	ser := end - start
+	ist := start
+	if to.ingressBusy > ist {
+		ist = to.ingressBusy
+	}
+	iend := ist + ser
+	to.ingressBusy = iend
+	return iend + lat
 }
 
 // RMARead starts pulling len(local) bytes from the region named by
@@ -411,6 +495,10 @@ func (ep *SimEndpoint) RMARead(key RKey, offset int, local []byte, ctx any) erro
 	ep.rmaReads++
 	// Request flight by our envelope, data flight over the peer's
 	// direction (the data flows peer -> us) by the peer's envelope.
+	// Faults are drawn from the serving (peer) domain's config — the
+	// data frames ride its side of the link. Duplication does not
+	// apply: a read completes at most once per post.
+	fd := f.drawFaultsLocked(ep.peer.dom, false)
 	pd := ep.peer.dir
 	start := f.sim.Now() + ep.dom.caps.Latency
 	if pd.busyUntil > start {
@@ -418,10 +506,16 @@ func (ep *SimEndpoint) RMARead(key RKey, offset int, local []byte, ctx any) erro
 	}
 	end := start + simtime.Duration(float64(len(local))*pd.caps.NsPerByte())
 	pd.busyUntil = end
-	deliver := end + pd.caps.Latency
+	deliver := end + pd.caps.Latency + fd.jitter
 	ep.outstanding++
 	f.sim.At(deliver, func() {
 		ep.outstanding--
+		if fd.drop || partitionedLocked(ep.dom, ep.peer.dom) {
+			// Blackholed: the read never completes and no error
+			// surfaces — the issuer's only recourse is a timeout.
+			f.droppedReads++
+			return
+		}
 		if ep.closed {
 			return
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +76,26 @@ type Config struct {
 	// ProgressIdle is how long the background progression goroutine
 	// sleeps when no task ran (default 20 µs).
 	ProgressIdle time.Duration
+	// Clock returns the engine's notion of time in nanoseconds, used by
+	// the rendezvous handshake timeout. Default: the wall clock. A
+	// deterministic harness passes the simulated fabric's virtual clock
+	// so timeouts fire at exact modelled instants.
+	Clock func() int64
+	// RdvTimeout is the rendezvous handshake deadline in Clock
+	// nanoseconds (default 500 ms): how long either half waits on the
+	// peer's next protocol step before retransmitting. Each retry
+	// doubles it.
+	RdvTimeout int64
+	// RdvRetries is how many retransmissions a stalled rendezvous half
+	// attempts before failing with ErrRdvTimeout (default 3).
+	RdvRetries int
+	// NoRdvTimeout disables the handshake timeout entirely — the
+	// pre-timeout behaviour, where a lost control frame on a live rail
+	// hangs both peers forever. Kept as the chaos harness's
+	// deliberately-broken control: a scenario that fails its no-hung-
+	// requests invariant under this knob proves the invariant detects
+	// what the timeout exists to fix.
+	NoRdvTimeout bool
 }
 
 // Stats are engine-wide counters.
@@ -94,6 +115,8 @@ type Stats struct {
 	RdvPushRanges   uint64 // pull-mode byte ranges that fell back to push
 	RdvFins         uint64 // pull-mode rendezvous completed (FIN sent)
 	RecvCopiedBytes uint64 // payload bytes memcpy'd on the receive path
+	RdvRetries      uint64 // rendezvous steps retransmitted after a timeout
+	RdvTimeouts     uint64 // rendezvous halves failed with ErrRdvTimeout
 }
 
 // Engine is one communication endpoint multiplexing any number of gates
@@ -103,12 +126,16 @@ type Engine struct {
 	tasks       *core.Engine
 	progressCPU int
 
-	mu         sync.Mutex
-	gates      []*Gate
-	recvQ      map[matchKey]*fifo[*Request]
-	unexpected map[matchKey]*fifo[inbound]
-	rdvRecv    map[rdvKey]*recvRdvState
-	sendRdv    map[rdvKey]*sendRdvState
+	clock func() int64
+
+	mu          sync.Mutex
+	gates       []*Gate
+	recvQ       map[matchKey]*fifo[*Request]
+	unexpected  map[matchKey]*fifo[inbound]
+	rdvRecv     map[rdvKey]*recvRdvState
+	sendRdv     map[rdvKey]*sendRdvState
+	settledSend settledLog
+	settledRecv settledLog
 
 	reqPool     sync.Pool // *Request
 	sendRdvPool sync.Pool // *sendRdvState
@@ -119,11 +146,14 @@ type Engine struct {
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
+	nextSweep atomic.Int64
+
 	msgsSent, msgsRecv, framesSent, framesRecv atomic.Uint64
 	eagerSent, aggregated, aggrFrames          atomic.Uint64
 	rdvStarted, rdvData, restripes             atomic.Uint64
 	rdvPulls, rdvPullBytes, rdvPushRanges      atomic.Uint64
 	rdvFins, recvCopied                        atomic.Uint64
+	rdvRetries, rdvTimeouts                    atomic.Uint64
 }
 
 type rdvKey struct {
@@ -218,6 +248,14 @@ type sendRdvState struct {
 	// extension; storage reused across rendezvous).
 	regs  []*fabric.CachedRegion
 	offer []byte
+
+	// Handshake-timeout fields (guarded by Engine.mu): what a
+	// retransmitted RTS must carry, the deadline on the engine clock,
+	// and the retries already burned.
+	tag      uint64
+	total    uint32
+	deadline int64
+	retries  int
 }
 
 // releaseRegs returns the state's interned registrations to their
@@ -250,6 +288,10 @@ func (e *Engine) putSendRdv(st *sendRdvState) {
 	st.remaining.Store(0)
 	st.releaseRegs()
 	st.offer = st.offer[:0]
+	st.tag = 0
+	st.total = 0
+	st.deadline = 0
+	st.retries = 0
 	e.sendRdvPool.Put(st)
 }
 
@@ -276,14 +318,27 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.ProgressIdle <= 0 {
 		cfg.ProgressIdle = 20 * time.Microsecond
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	if cfg.RdvTimeout <= 0 {
+		cfg.RdvTimeout = int64(500 * time.Millisecond)
+	}
+	if cfg.RdvRetries <= 0 {
+		cfg.RdvRetries = 3
+	}
 	e := &Engine{
 		cfg:         cfg,
 		tasks:       cfg.Tasks,
 		progressCPU: 1 % cfg.Tasks.Topology().NCPUs,
+		clock:       cfg.Clock,
 		recvQ:       make(map[matchKey]*fifo[*Request]),
 		unexpected:  make(map[matchKey]*fifo[inbound]),
 		rdvRecv:     make(map[rdvKey]*recvRdvState),
 		sendRdv:     make(map[rdvKey]*sendRdvState),
+	}
+	if !cfg.NoRdvTimeout {
+		e.startSweeper()
 	}
 	if !cfg.NoAutoProgress {
 		e.wg.Add(1)
@@ -397,6 +452,8 @@ func (e *Engine) Stats() Stats {
 		RdvPushRanges:   e.rdvPushRanges.Load(),
 		RdvFins:         e.rdvFins.Load(),
 		RecvCopiedBytes: e.recvCopied.Load(),
+		RdvRetries:      e.rdvRetries.Load(),
+		RdvTimeouts:     e.rdvTimeouts.Load(),
 	}
 }
 
@@ -701,18 +758,24 @@ func (e *Engine) railFailed(g *Gate, idx int, err error) {
 		st.markFailed()
 		victims = append(victims, st.req)
 		delete(e.rdvRecv, key)
+		e.settleRecvLocked(key)
 	}
 	for key, st := range e.sendRdv {
 		if key.gate == g {
 			st.releaseRegs()
 			victims = append(victims, st.req)
 			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
 		}
 	}
 	e.mu.Unlock()
 	for _, r := range victims {
 		r.complete(err)
 	}
+	// Re-issue in msgID order: map iteration order is randomized, and
+	// the re-posted reads must hit a simulated fabric in a reproducible
+	// order for seeded chaos runs to replay exactly.
+	sort.Slice(repull, func(i, j int) bool { return repull[i].msgID < repull[j].msgID })
 	for _, st := range repull {
 		e.reissueDeadRailChunks(g, st, idx)
 	}
@@ -742,6 +805,7 @@ func (e *Engine) failGate(g *Gate, err error) {
 			st.markFailed()
 			victims = append(victims, st.req)
 			delete(e.rdvRecv, key)
+			e.settleRecvLocked(key)
 		}
 	}
 	for key, st := range e.sendRdv {
@@ -749,6 +813,7 @@ func (e *Engine) failGate(g *Gate, err error) {
 			st.releaseRegs()
 			victims = append(victims, st.req)
 			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
 		}
 	}
 	e.mu.Unlock()
@@ -985,12 +1050,14 @@ func (e *Engine) failRendezvous(g *Gate, hdr Header, err error) {
 			st.releaseRegs()
 			victim = st.req
 			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
 		}
 	case KindCTS, KindRdvPush:
 		if st := e.rdvRecv[key]; st != nil {
 			st.markFailed()
 			victim = st.req
 			delete(e.rdvRecv, key)
+			e.settleRecvLocked(key)
 		}
 	}
 	e.mu.Unlock()

@@ -85,6 +85,9 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 		}
 	}
 	e.rdvStarted.Add(1) // counted only once a handshake actually leaves
+	st.tag = tag
+	st.total = uint32(len(data))
+	st.deadline = e.clock() + e.cfg.RdvTimeout
 	e.mu.Lock()
 	e.sendRdv[rdvKey{gate: g, msgID: msgID}] = st
 	e.mu.Unlock()
@@ -205,6 +208,7 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 		st.gate = g
 		st.msgID = u.hdr.MsgID
 		st.tag = u.hdr.Tag
+		st.deadline = e.clock() + e.cfg.RdvTimeout
 		key := rdvKey{gate: g, msgID: u.hdr.MsgID}
 		e.mu.Lock()
 		e.rdvRecv[key] = st
@@ -245,6 +249,32 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		}
 
 	case KindRTS:
+		// Retransmitted RTS frames must be idempotent: re-answer a live
+		// or settled handshake instead of re-matching it against a
+		// fresh receive.
+		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
+		e.mu.Lock()
+		st := e.rdvRecv[key]
+		settled := e.settledRecv.has(key)
+		e.mu.Unlock()
+		if st != nil {
+			st.mu.Lock()
+			pull := st.pull
+			st.mu.Unlock()
+			if !pull {
+				// Push mode: the duplicate means our CTS may have been
+				// lost; re-send it. Pull mode needs nothing — the reads
+				// are ours to drive and the timeout sweep re-issues them.
+				g.sendControl(KindCTS, f.Hdr.Tag, f.Hdr.MsgID, 0, f.Hdr.Total)
+			}
+			return
+		}
+		if settled {
+			// The rendezvous already finished here; the sender is
+			// retrying because our FIN was lost. Re-send it.
+			g.sendControl(KindFin, f.Hdr.Tag, f.Hdr.MsgID, 0, 0)
+			return
+		}
 		e.matchOrStash(inbound{gate: g, hdr: f.Hdr, payload: nil, ext: f.Ext})
 
 	case KindCTS:
@@ -253,9 +283,16 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
 		e.mu.Lock()
 		st := e.sendRdv[key]
-		delete(e.sendRdv, key)
+		if st != nil {
+			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
+		}
+		settled := st == nil && e.settledSend.has(key)
 		e.mu.Unlock()
 		if st == nil {
+			if settled {
+				return // duplicate CTS for a handshake already answered
+			}
 			// The CTS came from a receive waiting for data.
 			g.sendControl(KindRdvNack, f.Hdr.Tag, f.Hdr.MsgID, nackRecv, 0)
 			return
@@ -280,7 +317,11 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		}
 		n := copy(req.Data[f.Hdr.Offset:], f.Payload)
 		e.recvCopied.Add(uint64(n))
-		if req.got.Add(uint32(n)) >= req.total {
+		// Count coverage, not arrivals: a duplicated or retransmitted
+		// fragment lands its bytes again but must not advance the
+		// completion counter past what is actually home.
+		fresh := st.addCovered(int(f.Hdr.Offset), int(f.Hdr.Offset)+n)
+		if fresh > 0 && req.got.Add(uint32(fresh)) >= req.total {
 			e.finishRecvRdv(st)
 		}
 
@@ -291,7 +332,10 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
 		e.mu.Lock()
 		st := e.sendRdv[key]
-		delete(e.sendRdv, key)
+		if st != nil {
+			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
+		}
 		e.mu.Unlock()
 		if st == nil {
 			return
@@ -309,8 +353,12 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		key := rdvKey{gate: g, msgID: f.Hdr.MsgID}
 		e.mu.Lock()
 		st := e.sendRdv[key]
+		settled := st == nil && e.settledSend.has(key)
 		e.mu.Unlock()
 		if st == nil {
+			if settled {
+				return // late push request for a finished handshake
+			}
 			// The push request came from a receive waiting for data.
 			g.sendControl(KindRdvNack, f.Hdr.Tag, f.Hdr.MsgID, nackRecv, 0)
 			return
@@ -339,12 +387,14 @@ func (e *Engine) failRendezvousNack(g *Gate, hdr Header) {
 			st.releaseRegs()
 			victim = st.req
 			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
 		}
 	} else {
 		if st := e.rdvRecv[key]; st != nil {
 			st.markFailed()
 			victim = st.req
 			delete(e.rdvRecv, key)
+			e.settleRecvLocked(key)
 		}
 	}
 	e.mu.Unlock()
@@ -367,10 +417,24 @@ func (e *Engine) matchOrStash(u inbound) {
 			return
 		}
 	}
-	if u.hdr.Kind == KindRTS && len(u.ext) > 0 {
-		// The pull offer rides provider scratch storage that is only
-		// valid for this poll; stashing means keeping it.
-		u.ext = append([]byte(nil), u.ext...)
+	if u.hdr.Kind == KindRTS {
+		// A retransmitted RTS whose original is still waiting here must
+		// not stash twice: the duplicate would match a later receive
+		// and strand it waiting on a rendezvous the sender only has one
+		// of.
+		if q := e.unexpected[key]; q != nil {
+			for i := q.head; i < len(q.items); i++ {
+				if q.items[i].hdr.Kind == KindRTS && q.items[i].hdr.MsgID == u.hdr.MsgID {
+					e.mu.Unlock()
+					return
+				}
+			}
+		}
+		if len(u.ext) > 0 {
+			// The pull offer rides provider scratch storage that is
+			// only valid for this poll; stashing means keeping it.
+			u.ext = append([]byte(nil), u.ext...)
+		}
 	}
 	q := e.unexpected[key]
 	if q == nil {

@@ -57,12 +57,18 @@ type recvRdvState struct {
 	tag   uint64
 	pull  bool
 
+	// deadline/retries drive the handshake-timeout sweep; both are
+	// guarded by Engine.mu like the e.rdvRecv map that holds the state.
+	deadline int64
+	retries  int
+
 	mu      sync.Mutex
 	chunks  []pullChunk // fixed length once issued; entries mutate in place
 	keys    []fabric.RKey
-	reading int  // chunks with an outstanding RMARead
-	sweeps  int  // rail-death sweeps holding a reference (blocks recycling)
-	failed  bool // state abandoned; late completions are ignored
+	covered []span // merged byte ranges landed via KindData (dup dedup)
+	reading int    // chunks with an outstanding RMARead
+	sweeps  int    // rail-death sweeps holding a reference (blocks recycling)
+	failed  bool   // state abandoned; late completions are ignored
 }
 
 // markFailed flags the state so late RMA completions fall on the
@@ -127,8 +133,11 @@ func (e *Engine) putRecvRdv(st *recvRdvState) {
 	st.msgID = 0
 	st.tag = 0
 	st.pull = false
+	st.deadline = 0
+	st.retries = 0
 	st.chunks = st.chunks[:0]
 	st.keys = st.keys[:0]
+	st.covered = st.covered[:0]
 	st.reading = 0
 	st.sweeps = 0
 	st.failed = false
@@ -323,6 +332,7 @@ func (e *Engine) finishRecvRdv(st *recvRdvState) {
 	cur := e.rdvRecv[key]
 	if cur == st {
 		delete(e.rdvRecv, key)
+		e.settleRecvLocked(key)
 	}
 	e.mu.Unlock()
 	if cur != st {

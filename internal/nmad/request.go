@@ -127,6 +127,39 @@ func (r *Request) WaitBlocking() error {
 	return r.err
 }
 
+// Cancel withdraws a posted receive that has not matched yet and
+// completes it with ErrCanceled. It reports whether the cancellation
+// won: false means the request already matched (or completed), in
+// which case the caller must keep waiting for its real outcome.
+// Only receives can be canceled; on sends Cancel always returns false.
+func (r *Request) Cancel() bool {
+	e, g := r.eng, r.gate
+	if e == nil || g == nil {
+		return false
+	}
+	key := matchKey{gate: g, tag: r.tag}
+	e.mu.Lock()
+	removed := false
+	if q := e.recvQ[key]; q != nil {
+		for i := q.head; i < len(q.items); i++ {
+			if q.items[i] == r {
+				copy(q.items[i:], q.items[i+1:])
+				q.items[len(q.items)-1] = nil
+				q.items = q.items[:len(q.items)-1]
+				removed = true
+				dropFIFOIfEmpty(e.recvQ, &e.reqFIFOPool, key, q)
+				break
+			}
+		}
+	}
+	e.mu.Unlock()
+	if !removed {
+		return false
+	}
+	r.complete(ErrCanceled)
+	return true
+}
+
 // Free returns a successfully completed request to the engine's pool;
 // the caller must not touch it afterwards. Calling Free before
 // completion, or after a completion with an error, is a no-op: failure

@@ -1,0 +1,407 @@
+package nmad
+
+import (
+	"errors"
+	"sort"
+
+	"pioman/internal/core"
+)
+
+// Rendezvous handshake timeouts.
+//
+// The rendezvous protocol is a conversation — RTS, then CTS or pulls,
+// then data or FIN — and on a lossy fabric any line of it can vanish
+// while both rails stay perfectly alive. Before this file existed that
+// meant a silent mutual hang: the sender pinned its payload waiting
+// for a reply that was never coming, the receiver held a reassembly
+// waiting for bytes that were never sent. Rail death was handled
+// (PR 2/5); frame loss on a live rail was not.
+//
+// The cure is the classic one: every open rendezvous half carries a
+// deadline on the engine's clock. A sweep task (one per engine, riding
+// the same task engine as the polling work) retransmits the stalled
+// step with exponential backoff — the sender re-sends its RTS, a
+// pull-mode receiver re-issues its outstanding reads and re-requests
+// its pushed ranges, a push-mode receiver re-sends its CTS — and after
+// RdvRetries fruitless rounds fails the request visibly with
+// ErrRdvTimeout and best-effort NACKs the peer, so neither side waits
+// forever and nothing stays pinned.
+//
+// Retransmission makes duplicates a fact of life, so the protocol
+// handlers are hardened to be idempotent: a second RTS for a live
+// handshake re-answers instead of re-matching, a settled-rendezvous
+// log (bounded, per engine) lets late control frames for finished
+// handshakes be answered or ignored instead of NACKing a healthy peer,
+// and data-frame reassembly counts byte *coverage* rather than frame
+// arrivals so replayed or overlapping fragments cannot complete a
+// request before every byte is truly home.
+//
+// The clock is pluggable (Config.Clock) so a deterministic harness can
+// run the whole state machine on a virtual fabric clock: timeouts then
+// fire at exact modelled instants, and a chaos scenario replays
+// byte-identically from its seed.
+
+// ErrRdvTimeout reports a rendezvous handshake that exhausted its
+// retransmission budget: the peer (or the fabric between) swallowed
+// every attempt. The request's resources are released; the transfer
+// did not happen.
+var ErrRdvTimeout = errors.New("nmad: rendezvous handshake timed out")
+
+// ErrCanceled reports a posted receive removed by Request.Cancel
+// before anything matched it.
+var ErrCanceled = errors.New("nmad: receive canceled")
+
+// settledLogSize bounds each direction's settled-rendezvous log. Old
+// entries are evicted FIFO; a duplicate arriving after eviction is
+// merely NACKed like an unknown handshake, which the peer treats as a
+// visible failure rather than a hang — the log is an optimization for
+// the common duplicate window, not a correctness requirement.
+const settledLogSize = 512
+
+// settledLog remembers recently finished rendezvous halves so late or
+// duplicated control frames can be recognized. Guarded by Engine.mu.
+type settledLog struct {
+	set  map[rdvKey]struct{}
+	ring [settledLogSize]rdvKey
+	pos  int
+}
+
+// add records a settled key, evicting the oldest once full.
+func (l *settledLog) add(k rdvKey) {
+	if l.set == nil {
+		l.set = make(map[rdvKey]struct{}, settledLogSize)
+	}
+	if _, ok := l.set[k]; ok {
+		return
+	}
+	if len(l.set) >= settledLogSize {
+		delete(l.set, l.ring[l.pos])
+	}
+	l.ring[l.pos] = k
+	l.pos = (l.pos + 1) % settledLogSize
+	l.set[k] = struct{}{}
+}
+
+// has reports whether k settled recently.
+func (l *settledLog) has(k rdvKey) bool {
+	_, ok := l.set[k]
+	return ok
+}
+
+// span is one covered byte range [lo, hi) of a rendezvous reassembly.
+type span struct{ lo, hi int }
+
+// addCovered merges [lo, hi) into the state's covered-range set and
+// returns how many bytes were newly covered. Data frames feed the
+// request's byte counter through this instead of their raw length, so
+// a duplicated or retransmitted fragment — same bytes, arriving twice
+// — cannot inflate the count and complete the request with holes in
+// the payload. The set stays sorted and disjoint; rendezvous transfers
+// carry a handful of ranges, so the linear merge is cheap.
+func (st *recvRdvState) addCovered(lo, hi int) int {
+	if hi <= lo {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	added := hi - lo
+	i := 0
+	for i < len(st.covered) && st.covered[i].hi < lo {
+		i++
+	}
+	j, newLo, newHi := i, lo, hi
+	for j < len(st.covered) && st.covered[j].lo <= hi {
+		c := st.covered[j]
+		if ovLo, ovHi := max(lo, c.lo), min(hi, c.hi); ovHi > ovLo {
+			added -= ovHi - ovLo
+		}
+		if c.lo < newLo {
+			newLo = c.lo
+		}
+		if c.hi > newHi {
+			newHi = c.hi
+		}
+		j++
+	}
+	if j == i {
+		// No overlap: insert a fresh span at i.
+		st.covered = append(st.covered, span{})
+		copy(st.covered[i+1:], st.covered[i:])
+		st.covered[i] = span{newLo, newHi}
+		return added
+	}
+	st.covered[i] = span{newLo, newHi}
+	st.covered = append(st.covered[:i+1], st.covered[j:]...)
+	return added
+}
+
+// refForRetry takes a sweep reference blocking pool recycling while a
+// timeout retry re-issues the state's chunks. Must be called under
+// Engine.mu while the state is still in e.rdvRecv — that is what
+// guarantees it has not completed and been recycled under a new owner.
+// Returns false for a state already abandoned. Released via endSweep.
+func (st *recvRdvState) refForRetry() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failed {
+		return false
+	}
+	st.sweeps++
+	return true
+}
+
+// settleSendLocked / settleRecvLocked record a rendezvous half leaving
+// its in-flight map. Callers hold e.mu at the deletion site, so the log
+// and the map change atomically.
+func (e *Engine) settleSendLocked(key rdvKey) { e.settledSend.add(key) }
+func (e *Engine) settleRecvLocked(key rdvKey) { e.settledRecv.add(key) }
+
+// startSweeper submits the engine's deadline sweep as a repeated task
+// on the same task engine that runs the polling work — timeouts are
+// progression, so they ride progression's scheduling like everything
+// else in the paper's design.
+func (e *Engine) startSweeper() {
+	sweep := &core.Task{
+		Options: core.Repeat,
+		Fn: func(any) bool {
+			e.sweepDeadlines()
+			return e.stopped.Load()
+		},
+	}
+	e.tasks.MustSubmit(sweep)
+}
+
+// sweepDeadlines scans both rendezvous maps for expired deadlines and
+// acts: retransmit with backoff, or fail visibly past the budget. The
+// scan is throttled to a fraction of the timeout so hot scheduling
+// loops do not pay a map walk per pass. All wire actions are sorted by
+// (gate, msgID) before running — map iteration order is randomized,
+// and a deterministic harness needs retransmissions to hit the
+// simulated fabric in a reproducible order.
+func (e *Engine) sweepDeadlines() {
+	now := e.clock()
+	if now < e.nextSweep.Load() {
+		return
+	}
+	e.nextSweep.Store(now + e.cfg.RdvTimeout/8)
+
+	type sendAct struct {
+		st    *sendRdvState
+		g     *Gate
+		msgID uint64
+		tag   uint64
+		total uint32
+		offer []byte
+		fail  bool
+	}
+	type recvAct struct {
+		st    *recvRdvState
+		g     *Gate
+		msgID uint64
+		tag   uint64
+		total uint32
+		pull  bool
+		fail  bool
+	}
+	var sends []sendAct
+	var recvs []recvAct
+	e.mu.Lock()
+	for key, st := range e.sendRdv {
+		if st.deadline == 0 || now < st.deadline {
+			continue
+		}
+		if st.retries >= e.cfg.RdvRetries {
+			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
+			sends = append(sends, sendAct{st: st, g: key.gate, msgID: key.msgID, tag: st.tag, fail: true})
+			continue
+		}
+		st.retries++
+		st.deadline = now + e.cfg.RdvTimeout<<uint(st.retries)
+		// Copy the offer: the state may complete and recycle (resetting
+		// its offer storage) while the retransmitted RTS is in flight.
+		sends = append(sends, sendAct{
+			st: st, g: key.gate, msgID: key.msgID, tag: st.tag,
+			total: st.total, offer: append([]byte(nil), st.offer...),
+		})
+	}
+	for key, st := range e.rdvRecv {
+		if st.deadline == 0 || now < st.deadline {
+			continue
+		}
+		if st.retries >= e.cfg.RdvRetries {
+			delete(e.rdvRecv, key)
+			e.settleRecvLocked(key)
+			st.markFailed()
+			recvs = append(recvs, recvAct{st: st, g: key.gate, msgID: key.msgID, tag: st.tag, fail: true})
+			continue
+		}
+		if !st.refForRetry() {
+			continue
+		}
+		st.retries++
+		st.deadline = now + e.cfg.RdvTimeout<<uint(st.retries)
+		st.mu.Lock()
+		pull := st.pull
+		total := st.req.total
+		st.mu.Unlock()
+		recvs = append(recvs, recvAct{st: st, g: key.gate, msgID: key.msgID, tag: st.tag, total: total, pull: pull})
+	}
+	e.mu.Unlock()
+
+	sort.Slice(sends, func(i, j int) bool {
+		if sends[i].g.id != sends[j].g.id {
+			return sends[i].g.id < sends[j].g.id
+		}
+		return sends[i].msgID < sends[j].msgID
+	})
+	sort.Slice(recvs, func(i, j int) bool {
+		if recvs[i].g.id != recvs[j].g.id {
+			return recvs[i].g.id < recvs[j].g.id
+		}
+		return recvs[i].msgID < recvs[j].msgID
+	})
+
+	for _, a := range sends {
+		if a.fail {
+			e.rdvTimeouts.Add(1)
+			a.st.releaseRegs()
+			req := a.st.req
+			// Best-effort: tell the receiver its half is orphaned so it
+			// fails now instead of burning its own retry budget.
+			a.g.sendControl(KindRdvNack, a.tag, a.msgID, nackRecv, 0)
+			req.complete(ErrRdvTimeout)
+			continue
+		}
+		e.rdvRetries.Add(1)
+		rail := -1
+		if len(a.offer) > 0 {
+			rail = a.g.pickControl(true)
+		}
+		if rail < 0 {
+			a.offer = nil
+			rail = a.g.pickEager()
+		}
+		if rail < 0 {
+			continue // gate is dying; the rail-death sweeps own the fallout
+		}
+		p := a.g.packet()
+		p.Hdr = Header{Kind: KindRTS, Tag: a.tag, MsgID: a.msgID, Total: a.total}
+		p.ext = a.offer
+		p.rail = rail
+		a.g.sendPacket(p)
+	}
+	for _, a := range recvs {
+		if a.fail {
+			e.rdvTimeouts.Add(1)
+			a.g.sendControl(KindRdvNack, a.tag, a.msgID, nackSend, 0)
+			a.st.req.complete(ErrRdvTimeout)
+			continue
+		}
+		e.rdvRetries.Add(1)
+		st := a.st
+		if !a.pull {
+			// Push mode: the CTS may have been lost. A sender that
+			// already answered it has settled the handshake and ignores
+			// the duplicate.
+			a.g.sendControl(KindCTS, a.tag, a.msgID, 0, a.total)
+			st.endSweep()
+			continue
+		}
+		// Pull mode: re-drive every unsettled chunk — blackholed reads
+		// are re-posted, lost push requests re-asked. chunkDone chunks
+		// are skipped; duplicate data from a re-asked range is absorbed
+		// by coverage accounting.
+		st.mu.Lock()
+		var reissue []int
+		var pushes []span
+		for i := range st.chunks {
+			switch st.chunks[i].state {
+			case chunkDone:
+			case chunkPushed:
+				pushes = append(pushes, span{st.chunks[i].lo, st.chunks[i].hi})
+			default:
+				reissue = append(reissue, i)
+			}
+		}
+		st.mu.Unlock()
+		for _, i := range reissue {
+			e.issuePull(a.g, st, i)
+		}
+		for _, r := range pushes {
+			a.g.sendControl(KindRdvPush, a.tag, a.msgID, uint32(r.lo), uint32(r.hi-r.lo))
+		}
+		st.endSweep()
+	}
+}
+
+// IdleReport is Gate.CheckIdle's leak accounting: everything that
+// should be zero on a quiesced gate. RegCached is informational —
+// interned idle registrations are the cache working as designed — and
+// does not affect Clean.
+type IdleReport struct {
+	// SendRendezvous counts in-flight send-side rendezvous states.
+	SendRendezvous int
+	// RecvRendezvous counts in-flight receive-side reassemblies.
+	RecvRendezvous int
+	// PostedRecvs counts posted receives nothing has matched.
+	PostedRecvs int
+	// UnexpectedMsgs counts arrived messages nothing has received.
+	UnexpectedMsgs int
+	// PendingAggr counts small sends queued for aggregation.
+	PendingAggr int
+	// RegInFlight counts interned registrations still referenced by a
+	// transfer — pinned memory a quiesced gate must not hold.
+	RegInFlight int
+	// RegCached counts idle interned registrations (by design; see
+	// fabric.RegCache).
+	RegCached int
+}
+
+// Clean reports whether the gate holds no protocol state or pinned
+// resources — the invariant a chaos scenario checks after quiesce.
+func (r IdleReport) Clean() bool {
+	return r.SendRendezvous == 0 && r.RecvRendezvous == 0 && r.PostedRecvs == 0 &&
+		r.UnexpectedMsgs == 0 && r.PendingAggr == 0 && r.RegInFlight == 0
+}
+
+// CheckIdle audits the gate for leaked protocol state: rendezvous
+// halves that never settled, receives nothing matched, messages nobody
+// received, registrations still pinned. A gate whose traffic has fully
+// quiesced — every request completed or visibly failed — must report
+// Clean; anything else is a leak.
+func (g *Gate) CheckIdle() IdleReport {
+	e := g.eng
+	var rep IdleReport
+	e.mu.Lock()
+	for key := range e.sendRdv {
+		if key.gate == g {
+			rep.SendRendezvous++
+		}
+	}
+	for key := range e.rdvRecv {
+		if key.gate == g {
+			rep.RecvRendezvous++
+		}
+	}
+	for key, q := range e.recvQ {
+		if key.gate == g {
+			rep.PostedRecvs += len(q.items) - q.head
+		}
+	}
+	for key, q := range e.unexpected {
+		if key.gate == g {
+			rep.UnexpectedMsgs += len(q.items) - q.head
+		}
+	}
+	e.mu.Unlock()
+	g.aggMu.Lock()
+	rep.PendingAggr = len(g.aggPending)
+	g.aggMu.Unlock()
+	for _, c := range g.regCaches {
+		st := c.Stats()
+		rep.RegInFlight += st.LiveRefs
+		rep.RegCached += st.Entries
+	}
+	return rep
+}

@@ -1,0 +1,166 @@
+package stats
+
+import "math/bits"
+
+// Histogram bucket geometry: values below histLinearMax land in exact
+// unit buckets; above that, each power-of-two magnitude is split into
+// histSubBuckets linear sub-buckets, so the relative quantization error
+// is bounded by 1/histSubBuckets (~6%) at any magnitude. 64 magnitudes
+// of 16 sub-buckets cover the full int64 range in a fixed array — no
+// allocation ever happens after the Histogram itself exists.
+const (
+	histSubBuckets = 16
+	histLinearMax  = histSubBuckets // values 0..15 are exact
+	histNumBuckets = 64 * histSubBuckets
+)
+
+// Histogram is a fixed-size log-bucketed value histogram — the HDR
+// idea reduced to what latency trajectories need: an allocation-free
+// Record path, bounded relative error (≤ 1/16 per sample), and Merge so
+// per-CPU or per-node shards combine into one distribution. Negative
+// samples clamp to zero. A Histogram is a plain value: the zero value
+// is ready to use, and it is NOT safe for concurrent writers — shard
+// per writer and Merge, exactly like the engine's padded counters.
+type Histogram struct {
+	counts [histNumBuckets]uint64
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histLinearMax {
+		return int(v)
+	}
+	// top is the position of the highest set bit (≥ 4 here). The bucket
+	// keeps that bit and the next 4 bits: magnitude (top-3) holds the
+	// 16 sub-buckets [1<<top, 2<<top).
+	top := bits.Len64(uint64(v)) - 1
+	sub := int((v >> (top - 4)) & (histSubBuckets - 1))
+	idx := (top-3)*histSubBuckets + sub
+	if idx >= histNumBuckets {
+		idx = histNumBuckets - 1
+	}
+	return idx
+}
+
+// histLower returns the smallest value mapping to bucket idx — the
+// conservative representative quantiles report.
+func histLower(idx int) int64 {
+	if idx < histLinearMax {
+		return int64(idx)
+	}
+	mag := idx/histSubBuckets + 3
+	sub := int64(idx % histSubBuckets)
+	return (histSubBuckets + sub) << (mag - 4)
+}
+
+// Record adds one sample. Negative values clamp to zero. The path is
+// allocation-free and branch-cheap: one bit scan, one array increment.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[histIndex(v)]++
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of recorded samples (clamped values included).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample, 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample, 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge folds o's samples into h — the shard-combining operation.
+// Bucket geometry is identical across all Histograms, so merging is a
+// plain vector add.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) as the lower bound of
+// the bucket holding the nearest-rank sample, clamped to the observed
+// min/max so exact extremes survive bucketing. Empty histograms yield 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n-1 {
+		// The top rank is the observed maximum exactly — bucketing must
+		// not shave the tail sample the p100 column exists to report.
+		return h.max
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			v := histLower(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Reset clears the histogram for reuse.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramExactSmallValues checks the unit buckets: values below
+// the sub-bucket count are recorded and reported exactly.
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < histLinearMax; v++ {
+		h.Record(v)
+	}
+	if h.Count() != histLinearMax {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != histLinearMax-1 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d", got)
+	}
+	if got := h.Quantile(1); got != histLinearMax-1 {
+		t.Fatalf("q1 = %d", got)
+	}
+}
+
+// TestHistogramRelativeError checks the headline guarantee: any sample's
+// bucket lower bound is within 1/histSubBuckets of the sample.
+func TestHistogramRelativeError(t *testing.T) {
+	for _, v := range []int64{17, 100, 999, 4096, 12345, 1 << 20, 987654321, 1 << 40, math.MaxInt64 / 3} {
+		idx := histIndex(v)
+		lo := histLower(idx)
+		if lo > v {
+			t.Fatalf("lower bound %d above sample %d", lo, v)
+		}
+		rel := float64(v-lo) / float64(v)
+		if rel > 1.0/histSubBuckets {
+			t.Fatalf("sample %d → bucket lower %d: relative error %.4f", v, lo, rel)
+		}
+		// The bucket must actually contain the value: the next bucket's
+		// lower bound is above it.
+		if idx+1 < histNumBuckets && histLower(idx+1) <= v {
+			t.Fatalf("sample %d: next bucket lower %d not above it", v, histLower(idx+1))
+		}
+	}
+}
+
+// TestHistogramQuantiles records a known distribution and checks the
+// quantiles land within one bucket of the true values.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	check := func(q float64, want int64) {
+		t.Helper()
+		got := h.Quantile(q)
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 1.0/histSubBuckets {
+			t.Fatalf("q%.2f = %d, want ~%d (rel %.4f)", q, got, want, rel)
+		}
+	}
+	check(0.5, 5000)
+	check(0.9, 9000)
+	check(0.99, 9900)
+	if h.Quantile(1) != 10000 {
+		t.Fatalf("q1 = %d", h.Quantile(1))
+	}
+	if mean := h.Mean(); math.Abs(mean-5000.5) > 0.01 {
+		t.Fatalf("mean = %f", mean)
+	}
+}
+
+// TestHistogramMerge checks shard merging equals recording everything
+// into one histogram.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for v := int64(0); v < 5000; v += 7 {
+		a.Record(v)
+		all.Record(v)
+	}
+	for v := int64(3); v < 90000; v += 13 {
+		b.Record(v)
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: %+v vs %+v", a, all)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.2f: merged %d vs direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramNegativeClamp checks negative samples clamp to zero
+// instead of corrupting the bucket index.
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	h.Record(-1)
+	if h.Count() != 2 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("clamp failed: %+v", h)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// BenchmarkHistogramRecord proves the allocation-free record path.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)*37 + 11)
+	}
+}
