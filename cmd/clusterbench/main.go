@@ -11,9 +11,21 @@
 //	clusterbench -run incast          # scenarios whose name contains "incast"
 //	clusterbench -list                # show the suite
 //	clusterbench -out trajectory.json # write elsewhere ("-" = stdout only)
+//	clusterbench -baseline BENCH_cluster.baseline.json
+//	                                  # also gate p50/p99 against a blessed run
 //
-// Exit status: 0 when every scenario honors its invariant contract,
-// 1 when any violates it.
+// The baseline gate is the perf-regression tripwire: latencies ride
+// the fabric's virtual clock, so under a fixed seed they are exact
+// model outputs, not noisy wall-clock samples. A committed baseline
+// plus a tolerance band therefore catches protocol regressions (extra
+// round trips, lost batching, softened timeouts) the moment they move
+// a scenario's p50/p99, while leaving room for deliberate small
+// shifts. Regenerate the blessed file with -out after an intentional
+// change and commit the diff with the explanation.
+//
+// Exit status: 0 when every scenario honors its invariant contract
+// (and the baseline gate, when given, passes), 1 when any violates
+// either, 2 on usage errors.
 package main
 
 import (
@@ -38,6 +50,8 @@ func main() {
 	out := flag.String("out", "BENCH_cluster.json", "output file (\"-\" = stdout only)")
 	run := flag.String("run", "", "only scenarios whose name contains this substring")
 	list := flag.Bool("list", false, "list scenarios and exit")
+	baseline := flag.String("baseline", "", "blessed trajectory JSON; exit 1 when p50/p99 regress past -tolerance")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional p50/p99 growth over the baseline")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +89,10 @@ func main() {
 			float64(r.LatencyP50Ns)/1e3, float64(r.LatencyP99Ns)/1e3, verdict)
 	}
 
+	if *baseline != "" && gateBaseline(*baseline, *seed, results, *tolerance) {
+		violated = true
+	}
+
 	doc, err := json.MarshalIndent(trajectory{Bench: "cluster-chaos", Seed: *seed, Scenarios: results}, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marshal:", err)
@@ -93,4 +111,79 @@ func main() {
 	if violated {
 		os.Exit(1)
 	}
+}
+
+// gateBaseline diffs this run's per-scenario p50/p99 against a blessed
+// trajectory and reports whether anything regressed past the tolerance
+// band. Scenarios in the baseline but absent from this run count as
+// regressions (coverage must not silently shrink); new scenarios not
+// yet blessed pass with a note. Zero-latency baseline entries (the
+// expect-hang ablations complete nothing) carry no latency contract.
+func gateBaseline(path string, seed int64, results []cluster.Result, tol float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline:", err)
+		os.Exit(2)
+	}
+	var base trajectory
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if base.Seed != seed {
+		fmt.Fprintf(os.Stderr, "baseline %s was blessed with seed %d, this run used %d; latencies are not comparable\n",
+			path, base.Seed, seed)
+		os.Exit(2)
+	}
+
+	current := make(map[string]cluster.Result, len(results))
+	for _, r := range results {
+		current[r.Scenario] = r
+	}
+	fmt.Printf("\nbaseline gate (%s, tolerance %.0f%%):\n", path, tol*100)
+	regressed := false
+	for _, b := range base.Scenarios {
+		cur, ok := current[b.Scenario]
+		if !ok {
+			fmt.Printf("  %-20s MISSING from this run (blessed scenario dropped)\n", b.Scenario)
+			regressed = true
+			continue
+		}
+		bad := false
+		for _, m := range []struct {
+			name      string
+			base, cur int64
+		}{
+			{"p50", b.LatencyP50Ns, cur.LatencyP50Ns},
+			{"p99", b.LatencyP99Ns, cur.LatencyP99Ns},
+		} {
+			if m.base <= 0 {
+				continue
+			}
+			limit := float64(m.base) * (1 + tol)
+			if float64(m.cur) > limit {
+				fmt.Printf("  %-20s %s REGRESSED: %.1fµs → %.1fµs (limit %.1fµs)\n",
+					b.Scenario, m.name, float64(m.base)/1e3, float64(m.cur)/1e3, limit/1e3)
+				bad, regressed = true, true
+			}
+		}
+		if !bad {
+			fmt.Printf("  %-20s ok (p50 %.1fµs→%.1fµs, p99 %.1fµs→%.1fµs)\n", b.Scenario,
+				float64(b.LatencyP50Ns)/1e3, float64(cur.LatencyP50Ns)/1e3,
+				float64(b.LatencyP99Ns)/1e3, float64(cur.LatencyP99Ns)/1e3)
+		}
+	}
+	for _, r := range results {
+		blessed := false
+		for _, b := range base.Scenarios {
+			if b.Scenario == r.Scenario {
+				blessed = true
+				break
+			}
+		}
+		if !blessed {
+			fmt.Printf("  %-20s new scenario, not in baseline (re-bless to gate it)\n", r.Scenario)
+		}
+	}
+	return regressed
 }

@@ -66,5 +66,5 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println("Re-run with the same -seed: every number above replays identically.")
-	fmt.Println("The full suite (9 scenarios) ships as `go run ./cmd/clusterbench`.")
+	fmt.Println("The full suite (16 scenarios, up to 512 nodes) ships as `go run ./cmd/clusterbench`.")
 }

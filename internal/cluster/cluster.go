@@ -1,12 +1,19 @@
 // Package cluster is the deterministic cluster chaos harness: it runs
-// tens of nmad engines — one per simulated node — over a single seeded
-// fabric.SimFabric and virtual clock, drives scripted traffic mixes
-// (RPC fan-out, all-to-all shuffle, incast, stragglers) through seeded
-// fault injection (frame drop/duplication/jitter, flapping NICs,
+// tens to hundreds of nmad engines — one per simulated node — over a
+// single seeded fabric.SimFabric and virtual clock, drives scripted
+// traffic mixes (RPC fan-out, all-to-all shuffle, incast, stragglers,
+// ring gossip, tree fan-out, halo exchange) through seeded fault
+// injection (frame drop/duplication/jitter, flapping NICs and links,
 // partitions), and checks hard invariants after every scenario
 // quiesces: no hung requests, no leaked protocol state or pinned
 // registrations, byte-exact delivery, and bounded virtual-time latency
 // percentiles.
+//
+// Scale comes from sparsity: a scenario declares a Topo (ring, k-ary
+// tree, 2D torus, random d-regular) and the harness materializes links
+// lazily along its edges only — a 512-node ring costs 512 links, not
+// the 130k of all-to-all — while refusing off-graph traffic, so the
+// O(edges) bound is enforced rather than hoped for.
 //
 // Everything is deterministic by construction: the fabric's fault RNG
 // is seeded, all engines share one virtual clock and one task engine
@@ -50,8 +57,15 @@ func defaultCaps() fabric.Capabilities {
 
 // Options parameterizes a harness build.
 type Options struct {
-	// Nodes is the cluster size (≥ 2).
+	// Nodes is the cluster size (≥ 2). Ignored when Topo is set — the
+	// topology's node count wins.
 	Nodes int
+	// Topo declares the cluster's sparse connectivity. When set, the
+	// harness enforces it: a transfer between non-neighbors panics
+	// instead of silently materializing a link, so a scenario's link
+	// count provably stays O(edges). Nil keeps the original free-form
+	// wiring (dense scenarios).
+	Topo *Topo
 	// Faults is the fabric-wide seeded fault configuration.
 	Faults fabric.FaultConfig
 	// SharedIngress serializes each node's inbound frames through one
@@ -60,6 +74,14 @@ type Options struct {
 	// NoRdvTimeout disables the rendezvous handshake timeout on every
 	// engine: the broken-control ablation.
 	NoRdvTimeout bool
+	// NoEagerRetry disables the eager retransmission window on every
+	// engine: the fire-and-forget ablation, under which lossy
+	// scenarios must lose eager traffic.
+	NoEagerRetry bool
+	// RdvRetries overrides the per-engine retry budget (0 → 4). Lossy
+	// high-drop scenarios raise it so independent per-hop loss cannot
+	// exhaust a transfer's budget by bad luck alone.
+	RdvRetries int
 	// Caps overrides the per-node NIC envelope (zero value → default).
 	Caps fabric.Capabilities
 }
@@ -71,6 +93,7 @@ type node struct {
 	dom    *fabric.SimDomain
 	eng    *nmad.Engine
 	gateTo map[int]*nmad.Gate
+	epTo   map[int]*fabric.SimEndpoint
 }
 
 // xfer is one tracked transfer with its deterministic payload.
@@ -90,6 +113,7 @@ type harness struct {
 	fab    *fabric.SimFabric
 	tasks  *core.Engine
 	ncpu   int
+	topo   *Topo
 	nodes  []*node
 	ngates int
 	xfers  []*xfer
@@ -104,6 +128,12 @@ func newHarness(opt Options) *harness {
 	caps := opt.Caps
 	if caps == (fabric.Capabilities{}) {
 		caps = defaultCaps()
+	}
+	if opt.Topo != nil {
+		opt.Nodes = opt.Topo.Nodes()
+	}
+	if opt.RdvRetries <= 0 {
+		opt.RdvRetries = 4
 	}
 	topo, err := topology.Build(topology.Spec{
 		Name:            "cluster-driver",
@@ -124,6 +154,7 @@ func newHarness(opt Options) *harness {
 			LatencyStats: true,
 		}),
 		ncpu: topo.NCPUs,
+		topo: opt.Topo,
 	}
 	clock := func() int64 { return int64(h.fab.Now()) }
 	for i := 0; i < opt.Nodes; i++ {
@@ -135,21 +166,28 @@ func newHarness(opt Options) *harness {
 				NoAutoProgress: true,
 				Clock:          clock,
 				RdvTimeout:     int64(rdvTimeout),
-				RdvRetries:     4,
+				RdvRetries:     opt.RdvRetries,
 				NoRdvTimeout:   opt.NoRdvTimeout,
+				NoEagerRetry:   opt.NoEagerRetry,
 			}),
 			gateTo: make(map[int]*nmad.Gate),
+			epTo:   make(map[int]*fabric.SimEndpoint),
 		})
 	}
 	return h
 }
 
 // link ensures a connection between two nodes exists and returns src's
-// gate toward dst.
+// gate toward dst. Under a declared topology, only edges of the graph
+// may materialize — a scenario reaching off-graph is a bug, and
+// panicking here is what keeps a sparse run's link count O(edges).
 func (h *harness) link(src, dst int) *nmad.Gate {
 	a, b := h.nodes[src], h.nodes[dst]
 	if g := a.gateTo[dst]; g != nil {
 		return g
+	}
+	if h.topo != nil && !h.topo.HasEdge(src, dst) {
+		panic(fmt.Sprintf("cluster: %d→%d is not an edge of topology %s", src, dst, h.topo.Name()))
 	}
 	ea, eb := fabric.Connect(a.dom, b.dom)
 	ga, err := a.eng.NewGateEndpoints(ea)
@@ -162,8 +200,20 @@ func (h *harness) link(src, dst int) *nmad.Gate {
 	}
 	a.gateTo[dst] = ga
 	b.gateTo[src] = gb
+	a.epTo[dst] = ea
+	b.epTo[src] = eb
 	h.ngates += 2
 	return ga
+}
+
+// linkFaults overrides the fault config of src's outbound direction
+// toward dst only — one side of one edge — materializing the link
+// first if needed. nil restores the default. This is how a sparse
+// scenario flaps a single cable without touching the node's other
+// links.
+func (h *harness) linkFaults(src, dst int, fc *fabric.FaultConfig) {
+	h.link(src, dst)
+	h.nodes[src].epTo[dst].SetFaults(fc)
 }
 
 // pattern fills one transfer's payload deterministically from its
@@ -302,17 +352,21 @@ func (h *harness) audit(res *Result) {
 		for _, p := range peers {
 			rep := n.gateTo[p].CheckIdle()
 			res.LeakedStates += rep.SendRendezvous + rep.RecvRendezvous +
-				rep.PostedRecvs + rep.UnexpectedMsgs + rep.PendingAggr
+				rep.PostedRecvs + rep.UnexpectedMsgs + rep.PendingAggr +
+				rep.EagerPending
 			res.LeakedRegs += rep.RegInFlight
 		}
 		st := n.eng.Stats()
 		res.RdvRetries += st.RdvRetries
 		res.RdvTimeouts += st.RdvTimeouts
+		res.EagerRetries += st.EagerRetries
+		res.EagerTimeouts += st.EagerTimeouts
 	}
 	fst := h.fab.Stats()
 	res.DroppedFrames = fst.DroppedFrames
 	res.DupFrames = fst.DuplicatedFrames
 	res.DroppedReads = fst.DroppedReads
+	res.Links = fst.Links
 	res.GateEndpoints = h.ngates
 	res.Nodes = len(h.nodes)
 	res.LatencyP50Ns = h.hist.Quantile(0.5)

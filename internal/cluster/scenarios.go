@@ -16,6 +16,7 @@ type Result struct {
 	Seed          int64  `json:"seed"`
 	Nodes         int    `json:"nodes"`
 	GateEndpoints int    `json:"gate_endpoints"`
+	Links         int    `json:"links"`
 
 	Transfers      int   `json:"transfers"`
 	Completed      int   `json:"completed"`
@@ -34,6 +35,8 @@ type Result struct {
 	DroppedReads  uint64 `json:"dropped_reads"`
 	RdvRetries    uint64 `json:"rdv_retries"`
 	RdvTimeouts   uint64 `json:"rdv_timeouts"`
+	EagerRetries  uint64 `json:"eager_retries"`
+	EagerTimeouts uint64 `json:"eager_timeouts"`
 
 	LatencyP50Ns int64 `json:"latency_p50_ns"`
 	LatencyP99Ns int64 `json:"latency_p99_ns"`
@@ -54,8 +57,19 @@ type expect struct {
 	// minVisibleFailures requires at least this many transfers to fail
 	// with a visible error (chaos scenarios must prove the cut bit).
 	minVisibleFailures int
-	// minRetries requires the retransmission machinery to have fired.
+	// minRetries requires the rendezvous retransmission machinery to
+	// have fired.
 	minRetries uint64
+	// minEagerRetries requires the eager retransmission window to have
+	// fired.
+	minEagerRetries uint64
+	// maxLinks bounds the fabric links the scenario materialized
+	// (0 = unchecked) — the O(n) sparse-wiring assertion.
+	maxLinks int
+	// minCompletedFrac requires Completed ≥ Transfers·num/den — the
+	// "retransmission saved most traffic" bar of lossy scenarios.
+	// Zero values skip the check.
+	minCompletedNum, minCompletedDen int
 	// maxP99 bounds the completed-transfer p99 latency in virtual time
 	// (0 = unbounded).
 	maxP99 simtime.Duration
@@ -102,6 +116,16 @@ func check(res *Result, ex expect) {
 	if res.RdvRetries < ex.minRetries {
 		fail("only %d rendezvous retries, scenario requires ≥ %d", res.RdvRetries, ex.minRetries)
 	}
+	if res.EagerRetries < ex.minEagerRetries {
+		fail("only %d eager retries, scenario requires ≥ %d", res.EagerRetries, ex.minEagerRetries)
+	}
+	if ex.maxLinks > 0 && res.Links > ex.maxLinks {
+		fail("%d fabric links materialized, sparse topology allows ≤ %d", res.Links, ex.maxLinks)
+	}
+	if ex.minCompletedDen > 0 && res.Completed*ex.minCompletedDen < res.Transfers*ex.minCompletedNum {
+		fail("only %d/%d transfers completed, scenario requires ≥ %d/%d",
+			res.Completed, res.Transfers, ex.minCompletedNum, ex.minCompletedDen)
+	}
 	if ex.maxP99 > 0 && res.LatencyP99Ns > int64(ex.maxP99) {
 		fail("p99 latency %d ns exceeds the %d ns bound", res.LatencyP99Ns, int64(ex.maxP99))
 	}
@@ -111,7 +135,11 @@ func check(res *Result, ex expect) {
 type Scenario struct {
 	Name string
 	Desc string
-	run  func(seed int64) Result
+	// Heavy marks the hundreds-of-nodes scenarios, so -short test runs
+	// (and the -race CI leg) can skip them while native runs and the
+	// clusterbench trajectory always include them.
+	Heavy bool
+	run   func(seed int64) Result
 }
 
 // finish is the shared scenario epilogue: resolve stragglers, audit,
@@ -337,18 +365,211 @@ func runBrokenControl(seed int64) Result {
 	return finish(h, &res, expect{expectHang: true})
 }
 
+// runRing512: the scale proof — 512 nodes on a ring, each passing an
+// eager message to its right neighbor and every 8th node pushing a
+// rendezvous block alongside. Clean fabric; what is under test is the
+// wiring: 512 links (not the 130k of all-to-all), 1024 gate endpoints,
+// full post-quiesce invariants at three decimal orders of magnitude
+// more endpoints than the original harness.
+func runRing512(seed int64) Result {
+	res := Result{Seed: seed}
+	n := 512
+	h := newHarness(Options{Topo: Ring(n)})
+	for i := 0; i < n; i++ {
+		h.transfer(i, (i+1)%n, 1, eagerSize)
+		if i%8 == 0 {
+			h.transfer(i, (i+1)%n, 2, rdvSize)
+		}
+	}
+	h.drive(600 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, maxLinks: n, maxP99: 400 * rdvTimeout})
+}
+
+// runRingGossipLossy: 512-node ring gossip — every node sends eager
+// both ways — under 10% frame drop and jitter. Before the eager
+// retransmission window existed this traffic class could not touch a
+// lossy fabric at all; now nearly all of it must land byte-exact, the
+// rest must fail visibly, and the window must demonstrably fire.
+func runRingGossipLossy(seed int64) Result {
+	res := Result{Seed: seed}
+	n := 512
+	h := newHarness(Options{
+		Topo:       Ring(n),
+		RdvRetries: 6,
+		Faults: fabric.FaultConfig{
+			Seed:        mixSeed(seed, 17),
+			DropProb:    0.1,
+			DelayJitter: 20 * simtime.Microsecond,
+		},
+	})
+	for i := 0; i < n; i++ {
+		h.transfer(i, (i+1)%n, 1, eagerSize)
+		h.transfer(i, (i+n-1)%n, 2, eagerSize)
+	}
+	h.drive(1200 * rdvTimeout)
+	return finish(h, &res, expect{
+		minEagerRetries: 1,
+		maxLinks:        n,
+		minCompletedNum: 9, minCompletedDen: 10,
+	})
+}
+
+// runTreeFlap: fan-out down a 4-ary tree of 85 nodes — eager and
+// rendezvous on every edge — while an interior node's NIC flaps to
+// full loss mid-run. Its subtree's traffic (and the acks it owes its
+// parent) must ride the retransmission machinery across the flap and
+// still deliver everything byte-exact.
+func runTreeFlap(seed int64) Result {
+	res := Result{Seed: seed}
+	topo := KaryTree(85, 4)
+	h := newHarness(Options{Topo: topo, RdvRetries: 6})
+	// The flap is up before any frame moves: everything node 1 owes the
+	// fabric — its sends to children 5..8 and the acks it owes node 0 —
+	// is eaten until the heal, so the retransmission window must carry
+	// its whole subtree across.
+	h.nodes[1].dom.SetFaults(&fabric.FaultConfig{DropProb: 1})
+	topo.EachEdge(func(parent, child int) {
+		h.transfer(parent, child, 1, eagerSize)
+		h.transfer(parent, child, 2, rdvSize)
+	})
+	h.drive(4 * rdvTimeout)
+	h.nodes[1].dom.SetFaults(nil)
+	h.drive(600 * rdvTimeout)
+	return finish(h, &res, expect{
+		allComplete: true, maxLinks: topo.Edges(),
+		minRetries: 1, minEagerRetries: 1,
+	})
+}
+
+// runTorusHalo: halo exchange on an 8×8 torus — every node trades an
+// eager boundary strip with its right and down neighbors under mild
+// jitter. The stencil-code communication pattern, on the topology it
+// actually runs on.
+func runTorusHalo(seed int64) Result {
+	res := Result{Seed: seed}
+	topo := Torus2D(8, 8)
+	h := newHarness(Options{Topo: topo, Faults: fabric.FaultConfig{
+		Seed:        mixSeed(seed, 19),
+		DelayJitter: 10 * simtime.Microsecond,
+	}})
+	cols := 8
+	for r := 0; r < 8; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			h.transfer(id, r*cols+(c+1)%cols, 1, eagerSize)
+			h.transfer(id, ((r+1)%8)*cols+c, 2, eagerSize)
+		}
+	}
+	h.drive(400 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, maxLinks: topo.Edges(), maxP99: 200 * rdvTimeout})
+}
+
+// runSparseShuffle: a shuffle over a random 4-regular expander of 64
+// nodes under 5% drop and jitter — eager one way and rendezvous the
+// other on every edge, so both retransmission families work the same
+// lossy graph at once.
+func runSparseShuffle(seed int64) Result {
+	res := Result{Seed: seed}
+	topo := RandomRegular(64, 4, mixSeed(seed, 23))
+	h := newHarness(Options{
+		Topo:       topo,
+		RdvRetries: 6,
+		Faults: fabric.FaultConfig{
+			Seed:        mixSeed(seed, 29),
+			DropProb:    0.05,
+			DelayJitter: 15 * simtime.Microsecond,
+		},
+	})
+	topo.EachEdge(func(a, b int) {
+		h.transfer(a, b, 1, eagerSize)
+		h.transfer(b, a, 2, rdvSize)
+	})
+	h.drive(1200 * rdvTimeout)
+	return finish(h, &res, expect{
+		minRetries:      1,
+		minEagerRetries: 1,
+		maxLinks:        topo.Edges(),
+		minCompletedNum: 9, minCompletedDen: 10,
+	})
+}
+
+// runLinkFlap: ring traffic while ONE direction of ONE edge flaps to
+// full loss — the per-link fault override, as opposed to the per-NIC
+// flap of flapping-rail. Only traffic riding the cut cable (node 5's
+// frames and acks toward 6) should need the retransmission window;
+// everything must still deliver.
+func runLinkFlap(seed int64) Result {
+	res := Result{Seed: seed}
+	n := 32
+	topo := Ring(n)
+	h := newHarness(Options{Topo: topo, RdvRetries: 6})
+	// Cut 5→6 before traffic moves: node 5's eager frame and RTS toward
+	// 6 vanish until the heal, while 6→5 (the other direction of the
+	// same cable) and the other 31 edges stay clean.
+	h.linkFaults(5, 6, &fabric.FaultConfig{DropProb: 1})
+	for i := 0; i < n; i++ {
+		h.transfer(i, (i+1)%n, 1, eagerSize)
+		h.transfer(i, (i+1)%n, 2, rdvSize)
+	}
+	h.drive(4 * rdvTimeout)
+	h.linkFaults(5, 6, nil)
+	h.drive(600 * rdvTimeout)
+	return finish(h, &res, expect{
+		allComplete: true, maxLinks: n,
+		minRetries: 1, minEagerRetries: 1,
+	})
+}
+
+// runBrokenEager is the eager ablation proving the retransmission
+// window is load-bearing: ring gossip through 15% drop with
+// NoEagerRetry — fire-and-forget frames, no acks, no redelivery. The
+// scenario passes only if traffic is actually lost; if it ever
+// delivers everything, the reliability layer has stopped mattering
+// (or the fault plane has stopped dropping).
+func runBrokenEager(seed int64) Result {
+	res := Result{Seed: seed}
+	n := 16
+	h := newHarness(Options{
+		Topo:         Ring(n),
+		NoEagerRetry: true,
+		Faults: fabric.FaultConfig{
+			Seed:     mixSeed(seed, 31),
+			DropProb: 0.15,
+		},
+	})
+	for tag := uint64(1); tag <= 3; tag++ {
+		for i := 0; i < n; i++ {
+			h.transfer(i, (i+1)%n, tag, eagerSize)
+		}
+	}
+	h.drive(100 * rdvTimeout)
+	out := finish(h, &res, expect{minVisibleFailures: 1, maxLinks: n})
+	if out.Completed == out.Transfers {
+		out.Violations = append(out.Violations,
+			"fire-and-forget eager lost nothing under 15% drop: the ablation proves nothing")
+	}
+	return out
+}
+
 // Scenarios returns the full suite in its canonical order.
 func Scenarios() []Scenario {
 	return []Scenario{
-		{"rpc-fanout", "1→16 eager requests, 16 rendezvous replies", runFanout},
-		{"shuffle", "8-node all-to-all rendezvous exchange", runShuffle},
-		{"incast", "32→1 rendezvous storm through one shared ingress port", runIncast},
-		{"straggler", "8-node shuffle with one 10×-degraded NIC", runStraggler},
-		{"flapping-rail", "fan-out across three full-loss flap windows", runFlappingRail},
-		{"partition-and-heal", "shuffle cut in half mid-flight, healed, re-run", runPartitionHeal},
-		{"chaos-soup", "all-to-all under 10% drop + 5% dup + jitter", runChaosSoup},
-		{"mixed-jitter", "eager+rendezvous mix under heavy reordering jitter", runMixedJitter},
-		{"broken-control", "no handshake timeout vs a permanent partition (must hang)", runBrokenControl},
+		{"rpc-fanout", "1→16 eager requests, 16 rendezvous replies", false, runFanout},
+		{"shuffle", "8-node all-to-all rendezvous exchange", false, runShuffle},
+		{"incast", "32→1 rendezvous storm through one shared ingress port", false, runIncast},
+		{"straggler", "8-node shuffle with one 10×-degraded NIC", false, runStraggler},
+		{"flapping-rail", "fan-out across three full-loss flap windows", false, runFlappingRail},
+		{"partition-and-heal", "shuffle cut in half mid-flight, healed, re-run", false, runPartitionHeal},
+		{"chaos-soup", "all-to-all under 10% drop + 5% dup + jitter", false, runChaosSoup},
+		{"mixed-jitter", "eager+rendezvous mix under heavy reordering jitter", false, runMixedJitter},
+		{"broken-control", "no handshake timeout vs a permanent partition (must hang)", false, runBrokenControl},
+		{"ring-512", "512-node ring, eager neighbor pass + sparse rendezvous, O(n) links", true, runRing512},
+		{"ring-gossip-lossy", "512-node bidirectional ring gossip under 10% drop", true, runRingGossipLossy},
+		{"tree-flap", "4-ary fan-out tree of 85 with a flapping interior node", false, runTreeFlap},
+		{"torus-halo", "8×8 torus halo exchange under jitter", false, runTorusHalo},
+		{"sparse-shuffle", "random 4-regular shuffle of 64 under 5% drop", false, runSparseShuffle},
+		{"link-flap", "32-ring with one edge direction cut and healed", false, runLinkFlap},
+		{"broken-eager", "fire-and-forget eager vs 15% drop (must lose traffic)", false, runBrokenEager},
 	}
 }
 

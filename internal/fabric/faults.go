@@ -74,13 +74,17 @@ func newFaultRNG(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
-// drawFaultsLocked rolls one frame's fate from the sending domain's
-// effective fault config. Called with the fabric lock held (the
+// drawFaultsLocked rolls one frame's fate from the sending endpoint's
+// effective fault config: endpoint override, then domain override, then
+// the fabric-wide default. Called with the fabric lock held (the
 // generator is fabric-wide state). allowDup is false for RMA reads.
-func (f *SimFabric) drawFaultsLocked(d *SimDomain, allowDup bool) faultDraw {
+func (f *SimFabric) drawFaultsLocked(ep *SimEndpoint, allowDup bool) faultDraw {
 	fc := f.cfg.Faults
-	if d.faults != nil {
-		fc = *d.faults
+	if ep.dom.faults != nil {
+		fc = *ep.dom.faults
+	}
+	if ep.faults != nil {
+		fc = *ep.faults
 	}
 	if !fc.active() {
 		return faultDraw{}
@@ -115,6 +119,25 @@ func (d *SimDomain) SetFaults(fc *FaultConfig) {
 	}
 	cp := *fc
 	d.faults = &cp
+}
+
+// SetFaults overrides the fault config for this endpoint's outbound
+// direction only — one side of one link, leaving the rest of the
+// domain's traffic on its usual config. nil restores the domain (and
+// then fabric) default; the override's Seed field is ignored like the
+// domain-level one. On sparse topologies this is the cut-one-cable
+// primitive: a scenario flaps a single edge of a 512-node ring without
+// touching the node's other links.
+func (ep *SimEndpoint) SetFaults(fc *FaultConfig) {
+	f := ep.fab
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fc == nil {
+		ep.faults = nil
+		return
+	}
+	cp := *fc
+	ep.faults = &cp
 }
 
 // SetPartition assigns the domain to a partition group. Domains in

@@ -64,6 +64,7 @@ type SimFabric struct {
 	nextKey RKey
 	regions map[RKey][]byte
 	rng     *rand.Rand
+	links   int
 
 	injectCopied  uint64
 	stagedCopied  uint64
@@ -104,6 +105,10 @@ type SimStats struct {
 	// DroppedReads counts RMA reads blackholed by drops or partitions —
 	// posted, never completed.
 	DroppedReads uint64
+	// Links counts connected queue pairs created on the fabric
+	// (Connect calls). The sparse-topology harness asserts this stays
+	// O(n) — dense all-pairs wiring would make it O(n²).
+	Links int
 }
 
 // Stats returns a snapshot of the fabric-wide data-movement counters.
@@ -120,6 +125,7 @@ func (f *SimFabric) Stats() SimStats {
 		DroppedFrames:     f.droppedFrames,
 		DuplicatedFrames:  f.dupFrames,
 		DroppedReads:      f.droppedReads,
+		Links:             f.links,
 	}
 }
 
@@ -286,6 +292,7 @@ func Connect(a, b *SimDomain) (*SimEndpoint, *SimEndpoint) {
 	ea.peer, eb.peer = eb, ea
 	a.eps = append(a.eps, ea)
 	b.eps = append(b.eps, eb)
+	f.links++
 	return ea, eb
 }
 
@@ -306,6 +313,12 @@ type SimEndpoint struct {
 	dom  *SimDomain
 	peer *SimEndpoint
 	dir  *direction
+
+	// faults overrides the fault config for this endpoint's outbound
+	// direction only (SimEndpoint.SetFaults) — the cut-one-cable
+	// primitive for sparse-topology chaos; nil defers to the domain
+	// override and then the fabric default.
+	faults *FaultConfig
 
 	cq     []Event
 	cqHead int
@@ -379,7 +392,7 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 		ep.rdvs++
 		f.stagedCopied += uint64(len(data))
 		key := f.registerLocked(data)
-		fd := f.drawFaultsLocked(ep.dom, false)
+		fd := f.drawFaultsLocked(ep, false)
 		request := now + 2*caps.Latency // control out, read request back
 		start := request
 		if ep.dir.busyUntil > start {
@@ -408,7 +421,7 @@ func (ep *SimEndpoint) Send(imm, payload []byte) error {
 	// Eager inject: one serialized wire crossing.
 	ep.injects++
 	f.injectCopied += uint64(len(data))
-	fd := f.drawFaultsLocked(ep.dom, true)
+	fd := f.drawFaultsLocked(ep, true)
 	start := now
 	if ep.dir.busyUntil > start {
 		start = ep.dir.busyUntil
@@ -498,7 +511,7 @@ func (ep *SimEndpoint) RMARead(key RKey, offset int, local []byte, ctx any) erro
 	// Faults are drawn from the serving (peer) domain's config — the
 	// data frames ride its side of the link. Duplication does not
 	// apply: a read completes at most once per post.
-	fd := f.drawFaultsLocked(ep.peer.dom, false)
+	fd := f.drawFaultsLocked(ep.peer, false)
 	pd := ep.peer.dir
 	start := f.sim.Now() + ep.dom.caps.Latency
 	if pd.busyUntil > start {

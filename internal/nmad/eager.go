@@ -1,0 +1,158 @@
+package nmad
+
+import "errors"
+
+// Reliable eager delivery.
+//
+// Rendezvous traffic recovers from frame loss through the handshake
+// timeout (timeout.go); until this file existed the eager path did not.
+// An eager frame was fire-and-forget with buffered semantics: the send
+// request completed when the frame hit the wire, and a dropped frame
+// simply never arrived — the receiver's Irecv waited forever and the
+// sender never knew. Lossy chaos scenarios therefore could not carry
+// the small-message traffic that dominates real workloads (the AMT
+// studies in PAPERS.md find eager injection, not bulk transfers, is
+// the bottleneck class).
+//
+// The mechanism mirrors the rendezvous design on the same pluggable
+// clock and the same sweep task:
+//
+//   - every eager message is sequence-numbered by its per-gate MsgID
+//     (already assigned by Isend) and tracked in a per-engine pending
+//     window (e.eagerPend) until the peer acknowledges it;
+//   - the receiver acks every eager arrival with a KindEagerAck control
+//     frame — including duplicates, whose payload it drops after
+//     checking the (gate, msgID) dedup log (e.seenEager), so a lost
+//     ack cannot double-deliver;
+//   - the deadline sweep (sweepDeadlines) retransmits unacknowledged
+//     messages with exponential backoff and, past RdvRetries attempts,
+//     completes the send visibly with ErrEagerTimeout;
+//   - a transiently backpressured eager frame is left in the pending
+//     window instead of failing fast: the sweeper retries it once the
+//     peer's ring drains.
+//
+// The send request consequently completes on acknowledgement, not on
+// wire-out: "done" now means delivered (or visibly failed), which is
+// what lets a chaos scenario assert that eager traffic either arrives
+// byte-exact or fails loudly. Config.NoEagerRetry restores the old
+// fire-and-forget behaviour as an ablation — under it, a lossy
+// scenario must lose traffic, which is how the chaos suite proves the
+// mechanism is load-bearing.
+//
+// The dedup log is bounded (settledLogSize entries, FIFO eviction)
+// like the rendezvous settled logs: a duplicate arriving after
+// eviction would deliver again, but retransmission stops at the first
+// ack, so the window only needs to cover the in-flight duplicates of
+// recent messages, not all history.
+
+// ErrEagerTimeout reports an eager message that exhausted its
+// retransmission budget without an acknowledgement: the peer (or the
+// fabric between) swallowed every attempt. The message was not
+// delivered — or its acks were lost, in which case the receiver may
+// hold the payload; either way the sender is told instead of left
+// assuming buffered success.
+var ErrEagerTimeout = errors.New("nmad: eager message timed out unacknowledged")
+
+// eagerState tracks one unacknowledged eager message in the sender's
+// pending window. Guarded by Engine.mu like the e.eagerPend map that
+// holds it; the data slice references the caller's buffer, which the
+// Isend contract keeps valid until the request completes.
+type eagerState struct {
+	req      *Request
+	data     []byte
+	tag      uint64
+	deadline int64
+	retries  int
+}
+
+// getEager takes an eager pending state from the pool.
+func (e *Engine) getEager() *eagerState {
+	st, _ := e.eagerPool.Get().(*eagerState)
+	if st == nil {
+		st = &eagerState{}
+	}
+	return st
+}
+
+// putEager recycles an eager pending state.
+func (e *Engine) putEager(st *eagerState) {
+	st.req = nil
+	st.data = nil
+	st.tag = 0
+	st.deadline = 0
+	st.retries = 0
+	e.eagerPool.Put(st)
+}
+
+// trackEager enters an eager message into the pending window before
+// its first frame is submitted, so the ack — or the timeout sweep —
+// owns the request's completion from here on.
+func (e *Engine) trackEager(g *Gate, msgID, tag uint64, data []byte, req *Request) {
+	st := e.getEager()
+	st.req, st.data, st.tag = req, data, tag
+	st.deadline = e.clock() + e.cfg.RdvTimeout
+	e.mu.Lock()
+	e.eagerPend[rdvKey{gate: g, msgID: msgID}] = st
+	e.mu.Unlock()
+}
+
+// recvEager handles one inbound eager message (plain or unpacked from
+// an aggregate): acknowledge, dedup, deliver. Under NoEagerRetry it is
+// the old fire-and-forget path — no ack, no dedup.
+func (e *Engine) recvEager(g *Gate, hdr Header, payload []byte) {
+	if !e.cfg.NoEagerRetry {
+		key := rdvKey{gate: g, msgID: hdr.MsgID}
+		e.mu.Lock()
+		dup := e.seenEager.has(key)
+		if !dup {
+			e.seenEager.add(key)
+		}
+		e.mu.Unlock()
+		// Ack duplicates too: a re-ack is exactly what a sender whose
+		// previous ack was lost is waiting for.
+		g.sendControl(KindEagerAck, hdr.Tag, hdr.MsgID, 0, 0)
+		if dup {
+			return
+		}
+	}
+	e.matchOrStash(inbound{gate: g, hdr: hdr, payload: payload})
+}
+
+// eagerAcked completes the pending eager message an ack names. Late or
+// duplicated acks find no entry and fall on the floor.
+func (e *Engine) eagerAcked(g *Gate, hdr Header) {
+	key := rdvKey{gate: g, msgID: hdr.MsgID}
+	e.mu.Lock()
+	st := e.eagerPend[key]
+	if st != nil {
+		delete(e.eagerPend, key)
+	}
+	e.mu.Unlock()
+	if st == nil {
+		return
+	}
+	e.eagerAcks.Add(1)
+	req := st.req
+	e.putEager(st)
+	req.complete(nil)
+}
+
+// failEager fails the pending eager message with the given error — the
+// wire path's routing for an eager frame that could not be sent at
+// all (every rail dead, a non-transient send error). No-op when the
+// message already acked or timed out.
+func (e *Engine) failEager(g *Gate, msgID uint64, err error) {
+	key := rdvKey{gate: g, msgID: msgID}
+	e.mu.Lock()
+	st := e.eagerPend[key]
+	if st != nil {
+		delete(e.eagerPend, key)
+	}
+	e.mu.Unlock()
+	if st == nil {
+		return
+	}
+	req := st.req
+	e.putEager(st)
+	req.complete(err)
+}

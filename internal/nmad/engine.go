@@ -89,6 +89,14 @@ type Config struct {
 	// RdvRetries is how many retransmissions a stalled rendezvous half
 	// attempts before failing with ErrRdvTimeout (default 3).
 	RdvRetries int
+	// NoEagerRetry disables reliable eager delivery (eager.go): eager
+	// and aggregate frames revert to fire-and-forget buffered
+	// semantics — no acknowledgements, no receiver dedup, no
+	// retransmission — so a dropped frame silently loses the message.
+	// The pre-reliability behaviour, kept as the chaos harness's
+	// ablation: a lossy scenario that loses traffic under this knob
+	// proves the retransmission window is load-bearing.
+	NoEagerRetry bool
 	// NoRdvTimeout disables the handshake timeout entirely — the
 	// pre-timeout behaviour, where a lost control frame on a live rail
 	// hangs both peers forever. Kept as the chaos harness's
@@ -117,6 +125,9 @@ type Stats struct {
 	RecvCopiedBytes uint64 // payload bytes memcpy'd on the receive path
 	RdvRetries      uint64 // rendezvous steps retransmitted after a timeout
 	RdvTimeouts     uint64 // rendezvous halves failed with ErrRdvTimeout
+	EagerRetries    uint64 // eager messages retransmitted after a timeout
+	EagerTimeouts   uint64 // eager messages failed with ErrEagerTimeout
+	EagerAcks       uint64 // eager messages acknowledged by the peer
 }
 
 // Engine is one communication endpoint multiplexing any number of gates
@@ -134,12 +145,15 @@ type Engine struct {
 	unexpected  map[matchKey]*fifo[inbound]
 	rdvRecv     map[rdvKey]*recvRdvState
 	sendRdv     map[rdvKey]*sendRdvState
+	eagerPend   map[rdvKey]*eagerState
 	settledSend settledLog
 	settledRecv settledLog
+	seenEager   settledLog
 
 	reqPool     sync.Pool // *Request
 	sendRdvPool sync.Pool // *sendRdvState
 	recvRdvPool sync.Pool // *recvRdvState
+	eagerPool   sync.Pool // *eagerState
 	reqFIFOPool sync.Pool // *fifo[*Request]
 	inbFIFOPool sync.Pool // *fifo[inbound]
 
@@ -154,6 +168,7 @@ type Engine struct {
 	rdvPulls, rdvPullBytes, rdvPushRanges      atomic.Uint64
 	rdvFins, recvCopied                        atomic.Uint64
 	rdvRetries, rdvTimeouts                    atomic.Uint64
+	eagerRetries, eagerTimeouts, eagerAcks     atomic.Uint64
 }
 
 type rdvKey struct {
@@ -336,8 +351,12 @@ func NewEngine(cfg Config) *Engine {
 		unexpected:  make(map[matchKey]*fifo[inbound]),
 		rdvRecv:     make(map[rdvKey]*recvRdvState),
 		sendRdv:     make(map[rdvKey]*sendRdvState),
+		eagerPend:   make(map[rdvKey]*eagerState),
 	}
-	if !cfg.NoRdvTimeout {
+	// The sweeper serves both deadline families — rendezvous handshakes
+	// and the eager retransmission window — so it runs unless both are
+	// disabled.
+	if !cfg.NoRdvTimeout || !cfg.NoEagerRetry {
 		e.startSweeper()
 	}
 	if !cfg.NoAutoProgress {
@@ -408,10 +427,14 @@ func (e *Engine) Close() error {
 		st.releaseRegs()
 		pending = append(pending, st.req)
 	}
+	for _, st := range e.eagerPend {
+		pending = append(pending, st.req)
+	}
 	gates := append([]*Gate(nil), e.gates...)
 	e.recvQ = map[matchKey]*fifo[*Request]{}
 	e.rdvRecv = map[rdvKey]*recvRdvState{}
 	e.sendRdv = map[rdvKey]*sendRdvState{}
+	e.eagerPend = map[rdvKey]*eagerState{}
 	e.mu.Unlock()
 	for _, r := range pending {
 		r.complete(ErrClosed)
@@ -454,6 +477,9 @@ func (e *Engine) Stats() Stats {
 		RecvCopiedBytes: e.recvCopied.Load(),
 		RdvRetries:      e.rdvRetries.Load(),
 		RdvTimeouts:     e.rdvTimeouts.Load(),
+		EagerRetries:    e.eagerRetries.Load(),
+		EagerTimeouts:   e.eagerTimeouts.Load(),
+		EagerAcks:       e.eagerAcks.Load(),
 	}
 }
 
@@ -816,6 +842,12 @@ func (e *Engine) failGate(g *Gate, err error) {
 			e.settleSendLocked(key)
 		}
 	}
+	for key, st := range e.eagerPend {
+		if key.gate == g {
+			victims = append(victims, st.req)
+			delete(e.eagerPend, key)
+		}
+	}
 	e.mu.Unlock()
 	for _, r := range victims {
 		r.complete(err)
@@ -971,7 +1003,10 @@ func sendPacketTask(arg any) bool {
 			g.eng.framesSent.Add(1)
 			if p.Hdr.Kind == KindAggr {
 				g.eng.aggrFrames.Add(1)
-				g.eng.aggregated.Add(uint64(len(p.reqs)))
+				// Packed messages carry their requests directly
+				// (fire-and-forget) or ride the ack window (reliable
+				// eager) — exactly one of the two lists is populated.
+				g.eng.aggregated.Add(uint64(len(p.reqs) + len(p.pend)))
 			}
 			p.completeAll(nil)
 			return true
@@ -983,9 +1018,10 @@ func sendPacketTask(arg any) bool {
 			// counting bytes, a FIN-waiting pull-mode sender, a
 			// NACK's hanging target), so it requeues itself and
 			// retries while the ring drains, up to a budget; past the
-			// budget — or for an eager/aggregate frame, whose
-			// buffered-send contract is to fail fast — the outcome
-			// surfaces locally.
+			// budget — or for an eager/aggregate frame, which either
+			// fails fast (fire-and-forget contract) or is re-driven by
+			// its own retransmission window — the outcome surfaces
+			// locally.
 			switch p.Hdr.Kind {
 			case KindRTS, KindCTS, KindData, KindFin, KindRdvPush, KindRdvNack:
 				if p.retries < maxSendRetries {
@@ -1020,6 +1056,16 @@ func sendPacketTask(arg any) bool {
 // waiting on a reply that will now never come — fail it visibly
 // instead of leaving both sides hanging.
 func (p *Packet) completeAll(err error) {
+	if err != nil && len(p.pend) > 0 && !errors.Is(err, ErrBackpressure) {
+		// Ack-tracked eager messages whose frame could not be sent at
+		// all: fail them now. A transiently backpressured frame is
+		// simply dropped instead — the pending entries stay in the
+		// window and the deadline sweep retransmits once the peer's
+		// ring drains.
+		for _, id := range p.pend {
+			p.gate.eng.failEager(p.gate, id, err)
+		}
+	}
 	if p.req != nil {
 		if err != nil {
 			p.req.complete(err)
@@ -1030,7 +1076,7 @@ func (p *Packet) completeAll(err error) {
 	for _, r := range p.reqs {
 		r.complete(err)
 	}
-	if err != nil && p.req == nil && len(p.reqs) == 0 {
+	if err != nil && p.req == nil && len(p.reqs) == 0 && len(p.pend) == 0 {
 		p.gate.eng.failRendezvous(p.gate, p.Hdr, err)
 	}
 }

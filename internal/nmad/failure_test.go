@@ -86,7 +86,11 @@ func TestSendDeathOnLastRailFailsGate(t *testing.T) {
 
 func TestBackpressureDoesNotKillRail(t *testing.T) {
 	da, db := MemPair()
-	e := NewEngine(Config{})
+	// Fire-and-forget eager: nothing polls the peer ring, so the
+	// ack-tracked path would (correctly) time every send out. This
+	// test is about the transient backpressure contract of buffered
+	// sends.
+	e := NewEngine(Config{NoEagerRetry: true})
 	defer e.Close()
 	g, err := e.NewGate(da)
 	if err != nil {
@@ -118,7 +122,9 @@ func TestBackpressureDoesNotKillRail(t *testing.T) {
 func TestBackpressuredRendezvousFailsVisibly(t *testing.T) {
 	da, db := MemPair()
 	_ = db
-	e := NewEngine(Config{})
+	// Fire-and-forget eager for the ring-filling prelude: nothing
+	// polls the peer ring, so ack-tracked sends would time out.
+	e := NewEngine(Config{NoEagerRetry: true})
 	defer e.Close()
 	g, err := e.NewGate(da)
 	if err != nil {

@@ -46,6 +46,11 @@ const (
 	// receiver rail cannot (or can no longer) pull it. Offset is the
 	// range start and Total its length.
 	KindRdvPush
+	// KindEagerAck acknowledges the delivery of one eager message
+	// (plain or unpacked from an aggregate) back to its sender, which
+	// releases the message from its retransmission window (eager.go).
+	// MsgID names the acknowledged message.
+	KindEagerAck
 	// KindRdvNack reports an unknown rendezvous id back to the peer, so
 	// the other side fails its half promptly instead of waiting on a
 	// handshake that lost its state. Offset names the side to fail —
@@ -80,6 +85,8 @@ func (k Kind) String() string {
 		return "fin"
 	case KindRdvPush:
 		return "rdv-push"
+	case KindEagerAck:
+		return "eager-ack"
 	case KindRdvNack:
 		return "rdv-nack"
 	default:
@@ -186,6 +193,7 @@ type Packet struct {
 	retries int        // backpressure requeues consumed (sendPacketTask)
 	req     *Request   // request to complete once the frame is on the wire
 	reqs    []*Request // per-message requests of an aggregate frame
+	pend    []uint64   // msgIDs of ack-tracked eager messages the frame carries
 	ext     []byte     // imm extension appended after the encoded header
 	scratch []byte     // pooled aggregate payload buffer, returned on recycle
 
@@ -205,6 +213,7 @@ func (p *Packet) reset() {
 		p.reqs[i] = nil
 	}
 	p.reqs = p.reqs[:0]
+	p.pend = p.pend[:0]
 	p.ext = nil
 	p.scratch = nil
 }

@@ -10,8 +10,10 @@ import (
 // Isend starts a non-blocking send of data to the gate's peer under the
 // given tag. Small payloads go eagerly (possibly aggregated); large ones
 // negotiate an RTS/CTS rendezvous and stripe the payload across the
-// gate's rails. The returned request completes once the payload is on
-// the wire (eager, buffered semantics) or fully transferred (rendezvous).
+// gate's rails. The returned request completes once the payload is
+// acknowledged by the peer (eager; see eager.go) or fully transferred
+// (rendezvous). Under Config.NoEagerRetry, eager sends revert to
+// buffered semantics and complete when the frame is on the wire.
 func (g *Gate) Isend(tag uint64, data []byte) *Request {
 	e := g.eng
 	req := newRequest(e)
@@ -26,6 +28,9 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 		e.eagerSent.Add(1)
 		hdr := Header{Kind: KindEager, Tag: tag, MsgID: msgID, Total: uint32(len(data))}
 		if e.cfg.Strategy == StrategyAggreg {
+			if !e.cfg.NoEagerRetry {
+				e.trackEager(g, msgID, tag, data, req)
+			}
 			g.aggPush(hdr, data, req)
 			return req
 		}
@@ -37,8 +42,16 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 		p := g.packet()
 		p.Hdr = hdr
 		p.Payload = data
-		p.req = req
 		p.rail = rail
+		if e.cfg.NoEagerRetry {
+			p.req = req
+		} else {
+			// Ack-tracked: the pending entry owns the request's
+			// completion (peer ack, sweep timeout, or wire failure),
+			// not the frame's wire-out.
+			e.trackEager(g, msgID, tag, data, req)
+			p.pend = append(p.pend[:0], msgID)
+		}
 		g.sendPacket(p)
 		return req
 	}
@@ -241,12 +254,15 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 func (e *Engine) handleFrame(g *Gate, f Frame) {
 	switch f.Hdr.Kind {
 	case KindEager:
-		e.matchOrStash(inbound{gate: g, hdr: f.Hdr, payload: f.Payload})
+		e.recvEager(g, f.Hdr, f.Payload)
 
 	case KindAggr:
 		for _, sub := range unpackAggr(f.Payload) {
-			e.matchOrStash(inbound{gate: g, hdr: sub.Hdr, payload: sub.Payload})
+			e.recvEager(g, sub.Hdr, sub.Payload)
 		}
+
+	case KindEagerAck:
+		e.eagerAcked(g, f.Hdr)
 
 	case KindRTS:
 		// Retransmitted RTS frames must be idempotent: re-answer a live
@@ -548,10 +564,17 @@ func (g *Gate) aggFlush() {
 		g.aggPending = nil
 		g.aggMu.Unlock()
 
+		reliable := !e.cfg.NoEagerRetry
 		rail := g.pickEager()
 		if rail < 0 {
 			for _, m := range pending {
-				m.req.complete(errAllRailsDead)
+				if reliable {
+					// The pending window owns the request; route the
+					// failure through it so the entry is removed too.
+					e.failEager(g, m.hdr.MsgID, errAllRailsDead)
+				} else {
+					m.req.complete(errAllRailsDead)
+				}
 			}
 			continue
 		}
@@ -571,12 +594,20 @@ func (g *Gate) aggFlush() {
 			if len(batch) == 1 {
 				p.Hdr = batch[0].hdr
 				p.Payload = batch[0].payload
-				p.req = batch[0].req
 			} else {
 				payload := packAggr(batch, g.getAggBuf())
 				p.Hdr = Header{Kind: KindAggr, Total: uint32(len(payload))}
 				p.Payload = payload
 				p.scratch = payload // returned to the gate pool on recycle
+			}
+			if reliable {
+				// Completion rides the per-message acks, not wire-out.
+				for _, m := range batch {
+					p.pend = append(p.pend, m.hdr.MsgID)
+				}
+			} else if len(batch) == 1 {
+				p.req = batch[0].req
+			} else {
 				for _, m := range batch {
 					p.reqs = append(p.reqs, m.req)
 				}

@@ -171,19 +171,26 @@ func (e *Engine) startSweeper() {
 	e.tasks.MustSubmit(sweep)
 }
 
-// sweepDeadlines scans both rendezvous maps for expired deadlines and
-// acts: retransmit with backoff, or fail visibly past the budget. The
-// scan is throttled to a fraction of the timeout so hot scheduling
-// loops do not pay a map walk per pass. All wire actions are sorted by
-// (gate, msgID) before running — map iteration order is randomized,
-// and a deterministic harness needs retransmissions to hit the
-// simulated fabric in a reproducible order.
+// sweepDeadlines scans both rendezvous maps and the eager pending
+// window for expired deadlines and acts: retransmit with backoff, or
+// fail visibly past the budget. The scan is throttled to a fraction of
+// the timeout so hot scheduling loops do not pay a map walk per pass.
+// All wire actions are sorted by (gate, msgID) before running — map
+// iteration order is randomized, and a deterministic harness needs
+// retransmissions to hit the simulated fabric in a reproducible order.
 func (e *Engine) sweepDeadlines() {
 	now := e.clock()
 	if now < e.nextSweep.Load() {
 		return
 	}
 	e.nextSweep.Store(now + e.cfg.RdvTimeout/8)
+
+	if !e.cfg.NoEagerRetry {
+		e.sweepEager(now)
+	}
+	if e.cfg.NoRdvTimeout {
+		return
+	}
 
 	type sendAct struct {
 		st    *sendRdvState
@@ -335,6 +342,68 @@ func (e *Engine) sweepDeadlines() {
 	}
 }
 
+// sweepEager is the eager half of the deadline sweep: retransmit
+// unacknowledged eager messages with exponential backoff, and past the
+// retry budget fail them visibly with ErrEagerTimeout. Retransmissions
+// go as plain KindEager frames regardless of the aggregation strategy
+// — re-aggregating a retry would re-enter the flush path for one stale
+// message — and are sorted by (gate, msgID) for deterministic replay.
+// A retransmission racing the original's late ack is harmless: the
+// receiver's dedup log drops the payload and re-acks, and the second
+// ack finds no pending entry.
+func (e *Engine) sweepEager(now int64) {
+	type eagerAct struct {
+		g     *Gate
+		msgID uint64
+		tag   uint64
+		data  []byte
+		req   *Request
+		fail  bool
+	}
+	var acts []eagerAct
+	e.mu.Lock()
+	for key, st := range e.eagerPend {
+		if st.deadline == 0 || now < st.deadline {
+			continue
+		}
+		if st.retries >= e.cfg.RdvRetries {
+			delete(e.eagerPend, key)
+			acts = append(acts, eagerAct{g: key.gate, msgID: key.msgID, req: st.req, fail: true})
+			continue
+		}
+		st.retries++
+		st.deadline = now + e.cfg.RdvTimeout<<uint(st.retries)
+		acts = append(acts, eagerAct{g: key.gate, msgID: key.msgID, tag: st.tag, data: st.data})
+	}
+	e.mu.Unlock()
+
+	sort.Slice(acts, func(i, j int) bool {
+		if acts[i].g.id != acts[j].g.id {
+			return acts[i].g.id < acts[j].g.id
+		}
+		return acts[i].msgID < acts[j].msgID
+	})
+
+	for _, a := range acts {
+		if a.fail {
+			e.eagerTimeouts.Add(1)
+			a.req.complete(ErrEagerTimeout)
+			continue
+		}
+		rail := a.g.pickEager()
+		if rail < 0 {
+			continue // gate is dying; the rail-death sweeps own the fallout
+		}
+		e.eagerRetries.Add(1)
+		p := a.g.packet()
+		p.Hdr = Header{Kind: KindEager, Tag: a.tag, MsgID: a.msgID, Total: uint32(len(a.data))}
+		p.Payload = a.data
+		p.rail = rail
+		p.pend = append(p.pend[:0], a.msgID)
+		a.g.sendPacket(p)
+	}
+}
+
 // IdleReport is Gate.CheckIdle's leak accounting: everything that
 // should be zero on a quiesced gate. RegCached is informational —
 // interned idle registrations are the cache working as designed — and
@@ -350,6 +419,11 @@ type IdleReport struct {
 	UnexpectedMsgs int
 	// PendingAggr counts small sends queued for aggregation.
 	PendingAggr int
+	// EagerPending counts eager messages still in the retransmission
+	// window — sent but never acknowledged. A quiesced gate holding
+	// any is a leak: the sweep has neither delivered nor visibly
+	// failed them, and their send requests are still incomplete.
+	EagerPending int
 	// RegInFlight counts interned registrations still referenced by a
 	// transfer — pinned memory a quiesced gate must not hold.
 	RegInFlight int
@@ -362,7 +436,8 @@ type IdleReport struct {
 // resources — the invariant a chaos scenario checks after quiesce.
 func (r IdleReport) Clean() bool {
 	return r.SendRendezvous == 0 && r.RecvRendezvous == 0 && r.PostedRecvs == 0 &&
-		r.UnexpectedMsgs == 0 && r.PendingAggr == 0 && r.RegInFlight == 0
+		r.UnexpectedMsgs == 0 && r.PendingAggr == 0 && r.EagerPending == 0 &&
+		r.RegInFlight == 0
 }
 
 // CheckIdle audits the gate for leaked protocol state: rendezvous
@@ -382,6 +457,11 @@ func (g *Gate) CheckIdle() IdleReport {
 	for key := range e.rdvRecv {
 		if key.gate == g {
 			rep.RecvRendezvous++
+		}
+	}
+	for key := range e.eagerPend {
+		if key.gate == g {
+			rep.EagerPending++
 		}
 	}
 	for key, q := range e.recvQ {
