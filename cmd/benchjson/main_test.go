@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkSubmitPinned-8  38744832  31.64 ns/op  0 B/op  0 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "BenchmarkSubmitPinned-8" || r.Iterations != 38744832 ||
+		r.NsPerOp != 31.64 || r.BPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+
+	r, ok = parseLine("BenchmarkRdvPull-8  100  11900 ns/op  703.1 MB/s")
+	if !ok {
+		t.Fatal("custom-unit line not recognized")
+	}
+	if r.Metrics["MB/s"] != 703.1 {
+		t.Fatalf("custom metric lost: %+v", r)
+	}
+
+	for _, junk := range []string{
+		"PASS",
+		"ok  \tpioman/internal/core\t12.3s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("junk line %q parsed as a result", junk)
+		}
+	}
+}

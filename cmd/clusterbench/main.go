@@ -13,6 +13,20 @@
 //	clusterbench -out trajectory.json # write elsewhere ("-" = stdout only)
 //	clusterbench -baseline BENCH_cluster.baseline.json
 //	                                  # also gate p50/p99 against a blessed run
+//	clusterbench -http 127.0.0.1:9187 # serve /metrics, /healthz, /debug/pprof
+//	                                  # and /debug/trace while running; stays up
+//	                                  # after the run until SIGINT/SIGTERM, then
+//	                                  # shuts down gracefully
+//	clusterbench -trace run.json      # write the flight-recorder timeline as
+//	                                  # chrome://tracing JSON
+//
+// With -http the per-scenario results appear on /metrics as they
+// complete (pioman_cluster_* series), /healthz reports 200 while the
+// suite is clean and 503 once any scenario violates its contract, and
+// /debug/trace drains the same flight recorder -trace writes — engine
+// events (task dispatches, steals, rendezvous transitions,
+// retransmissions, rail deaths) stamped on each scenario's virtual
+// clock.
 //
 // The baseline gate is the perf-regression tripwire: latencies ride
 // the fabric's virtual clock, so under a fixed seed they are exact
@@ -29,13 +43,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"pioman/internal/cluster"
+	"pioman/internal/obs"
+	"pioman/internal/trace"
 )
 
 // trajectory is the emitted BENCH document.
@@ -52,6 +74,8 @@ func main() {
 	list := flag.Bool("list", false, "list scenarios and exit")
 	baseline := flag.String("baseline", "", "blessed trajectory JSON; exit 1 when p50/p99 regress past -tolerance")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional p50/p99 growth over the baseline")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, /debug/pprof and /debug/trace on this address; keeps serving after the run until SIGINT")
+	traceOut := flag.String("trace", "", "write the flight-recorder chrome://tracing JSON to this file after the run")
 	flag.Parse()
 
 	if *list {
@@ -66,10 +90,70 @@ func main() {
 	if *run != "" {
 		filter = func(name string) bool { return strings.Contains(name, *run) }
 	}
-	results := cluster.Run(*seed, filter)
+
+	var rec *trace.Recorder
+	if *httpAddr != "" || *traceOut != "" {
+		rec = trace.New(8, 1<<14, nil)
+	}
+
+	// live mirrors the completed results for the metrics endpoint so a
+	// scrape mid-suite sees every finished scenario consistently.
+	var (
+		liveMu sync.Mutex
+		live   []cluster.Result
+	)
+	snapshot := func() []cluster.Result {
+		liveMu.Lock()
+		defer liveMu.Unlock()
+		return append([]cluster.Result(nil), live...)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var srv *obs.Server
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register(obs.NewGoCollector(), obs.NewClusterCollector(snapshot))
+		health := obs.NewHealth()
+		health.Register("scenarios", func() error {
+			for _, r := range snapshot() {
+				if !r.Passed() {
+					return fmt.Errorf("%s: %s", r.Scenario, strings.Join(r.Violations, "; "))
+				}
+			}
+			return nil
+		})
+		srv = obs.NewServer(obs.ServerConfig{Addr: *httpAddr, Registry: reg, Health: health, Trace: rec})
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+
+	var results []cluster.Result
+	for _, sc := range cluster.Scenarios() {
+		if filter != nil && !filter(sc.Name) {
+			continue
+		}
+		r := sc.Run(*seed, rec)
+		results = append(results, r)
+		liveMu.Lock()
+		live = append(live, r)
+		liveMu.Unlock()
+	}
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "no scenario matches %q; try -list\n", *run)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *traceOut, rec.Recorded())
 	}
 
 	fmt.Printf("%-20s %6s %6s %7s %5s %5s %5s %5s %10s %10s  %s\n",
@@ -108,9 +192,33 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d scenarios, seed %d)\n", *out, len(results), *seed)
 	}
+	if srv != nil {
+		fmt.Printf("suite done; serving on http://%s until SIGINT\n", srv.Addr())
+		<-ctx.Done()
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			os.Exit(1)
+		}
+	}
 	if violated {
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile drains the flight recorder as chrome://tracing JSON.
+func writeTraceFile(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // gateBaseline diffs this run's per-scenario p50/p99 against a blessed

@@ -7,22 +7,45 @@
 //
 //	go run ./examples/tcpcluster -listen :7777         # rank 1
 //	go run ./examples/tcpcluster -connect host:7777    # rank 0
+//
+// With -http the process serves its operational surface while the
+// ranks run: per-rank engine metrics on /metrics, progression
+// liveness on /healthz, and profiles under /debug/pprof:
+//
+//	go run ./examples/tcpcluster -http 127.0.0.1:9187
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"pioman/internal/mpi"
 	"pioman/internal/nmad"
+	"pioman/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "", "run rank 1, listening on this address")
 	connect := flag.String("connect", "", "run rank 0, connecting to this address")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address while the ranks run")
 	flag.Parse()
+
+	var srv *obs.Server
+	reg := obs.NewRegistry()
+	health := obs.NewHealth()
+	if *httpAddr != "" {
+		reg.Register(obs.NewGoCollector())
+		srv = obs.NewServer(obs.ServerConfig{Addr: *httpAddr, Registry: reg, Health: health})
+		if err := srv.Start(); err != nil {
+			panic(err)
+		}
+		defer srv.Shutdown(context.Background()) //nolint:errcheck // best-effort on exit
+		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	switch {
 	case *listen != "":
@@ -36,13 +59,13 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		runRank(1, d)
+		runRank(1, d, reg, health)
 	case *connect != "":
 		d, err := nmad.DialTCP(*connect)
 		if err != nil {
 			panic(err)
 		}
-		runRank(0, d)
+		runRank(0, d, reg, health)
 	default:
 		// Single-process demo: both ranks over real loopback TCP.
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -57,21 +80,27 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			runRank(1, d)
+			runRank(1, d, reg, health)
 		}()
 		d, err := nmad.DialTCP(ln.Addr().String())
 		if err != nil {
 			panic(err)
 		}
-		runRank(0, d)
+		runRank(0, d, reg, health)
 		<-rank1Done
 	}
 }
 
 // runRank executes a small ping-pong plus a large rendezvous transfer.
-func runRank(rank int, rail nmad.Driver) {
+// Each rank registers its engines with the shared registry and health
+// checker so one -http server exposes both sides of the conversation,
+// distinguished by the engine="rankN" label.
+func runRank(rank int, rail nmad.Driver, reg *obs.Registry, health *obs.Health) {
 	engine := nmad.NewEngine(nmad.Config{})
 	defer engine.Close()
+	name := "rank" + strconv.Itoa(rank)
+	reg.Register(obs.NewNmadCollector(name, engine), obs.NewCoreCollector(name, engine.Tasks()))
+	health.Register(name, obs.NmadLiveness(engine, nil, 0))
 	gate, err := engine.NewGate(rail)
 	if err != nil {
 		panic(err)

@@ -34,6 +34,7 @@ import (
 	"pioman/internal/simtime"
 	"pioman/internal/stats"
 	"pioman/internal/topology"
+	"pioman/internal/trace"
 )
 
 // Virtual-time constants every scenario shares: the rendezvous
@@ -84,6 +85,12 @@ type Options struct {
 	RdvRetries int
 	// Caps overrides the per-node NIC envelope (zero value → default).
 	Caps fabric.Capabilities
+	// Trace attaches a flight recorder to the shared task engine and
+	// every node's nmad engine, re-clocked onto the fabric's virtual
+	// time, so a scenario can be replayed as a chrome://tracing
+	// timeline. Observation only: attaching it must not perturb a
+	// seeded run. Nil falls back to the recorder RunTraced installs.
+	Trace *trace.Recorder
 }
 
 // node is one simulated cluster member: an nmad engine with one NIC
@@ -149,14 +156,22 @@ func newHarness(opt Options) *harness {
 			Faults:        opt.Faults,
 			SharedIngress: opt.SharedIngress,
 		}),
-		tasks: core.New(core.Config{
-			Topology:     topo,
-			LatencyStats: true,
-		}),
 		ncpu: topo.NCPUs,
 		topo: opt.Topo,
 	}
 	clock := func() int64 { return int64(h.fab.Now()) }
+	rec := opt.Trace
+	if rec == nil {
+		rec = activeTrace
+	}
+	if rec != nil {
+		rec.SetClock(clock)
+	}
+	h.tasks = core.New(core.Config{
+		Topology:     topo,
+		LatencyStats: true,
+		Trace:        rec,
+	})
 	for i := 0; i < opt.Nodes; i++ {
 		h.nodes = append(h.nodes, &node{
 			id:  i,
@@ -169,6 +184,7 @@ func newHarness(opt Options) *harness {
 				RdvRetries:     opt.RdvRetries,
 				NoRdvTimeout:   opt.NoRdvTimeout,
 				NoEagerRetry:   opt.NoEagerRetry,
+				Trace:          rec,
 			}),
 			gateTo: make(map[int]*nmad.Gate),
 			epTo:   make(map[int]*fabric.SimEndpoint),

@@ -5,6 +5,7 @@ import (
 
 	"pioman/internal/fabric"
 	"pioman/internal/simtime"
+	"pioman/internal/trace"
 )
 
 // Result is one scenario's BENCH record. Every field is an integer
@@ -576,15 +577,43 @@ func Scenarios() []Scenario {
 // Run executes every scenario whose name passes the filter (empty =
 // all) with the given seed and returns their results in suite order.
 func Run(seed int64, filter func(name string) bool) []Result {
+	return RunTraced(seed, filter, nil)
+}
+
+// RunTraced is Run with a flight recorder attached to every engine of
+// every selected scenario: each harness re-clocks rec onto its fabric's
+// virtual time and records task dispatches, steals, rendezvous
+// transitions, retransmissions, and rail deaths as the scenario plays.
+// Recording is observation-only — a seeded run's results are
+// byte-identical with or without rec, and two traced runs of one seed
+// drain identical event streams. rec may be nil (plain Run).
+func RunTraced(seed int64, filter func(name string) bool, rec *trace.Recorder) []Result {
 	var out []Result
 	for _, sc := range Scenarios() {
 		if filter != nil && !filter(sc.Name) {
 			continue
 		}
-		r := sc.run(seed)
-		r.Scenario = sc.Name
-		r.Description = sc.Desc
-		out = append(out, r)
+		out = append(out, sc.Run(seed, rec))
 	}
 	return out
+}
+
+// activeTrace hands the recorder from Scenario.Run to newHarness
+// without threading it through every scenario's run signature. Package
+// scenarios run single-threaded (the driver owns all concurrency), so
+// a plain package variable scoped to one Run call is safe.
+var activeTrace *trace.Recorder
+
+// Run executes the scenario once under the given seed, attaching the
+// optional flight recorder to the harness it builds. Same seed, same
+// Result — recording never perturbs the run.
+func (s Scenario) Run(seed int64, rec *trace.Recorder) Result {
+	if rec != nil {
+		activeTrace = rec
+		defer func() { activeTrace = nil }()
+	}
+	r := s.run(seed)
+	r.Scenario = s.Name
+	r.Description = s.Desc
+	return r
 }

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pioman/internal/trace"
+)
+
+// TestChaosTraceReplaysAsChromeJSON runs the chaos-soup scenario with a
+// flight recorder attached and checks the acceptance contract: the
+// drained trace is valid chrome://tracing JSON carrying scheduling and
+// protocol events on the fabric's virtual clock, attaching the
+// recorder does not perturb the seeded run, and two traced runs of one
+// seed drain identical event streams.
+func TestChaosTraceReplaysAsChromeJSON(t *testing.T) {
+	only := func(name string) bool { return name == "chaos-soup" }
+
+	baseline := Run(1, only)
+	rec := trace.New(8, 1<<14, nil)
+	traced := RunTraced(1, only, rec)
+	if len(baseline) != 1 || len(traced) != 1 {
+		t.Fatalf("expected exactly one scenario, got %d/%d", len(baseline), len(traced))
+	}
+	if !traced[0].Passed() {
+		t.Fatalf("traced chaos-soup violated its contract: %v", traced[0].Violations)
+	}
+	// Observation-only: the recorder must not change the modelled run.
+	b, tr := baseline[0], traced[0]
+	if b.Completed != tr.Completed || b.RdvRetries != tr.RdvRetries ||
+		b.LatencyP50Ns != tr.LatencyP50Ns || b.LatencyP99Ns != tr.LatencyP99Ns {
+		t.Fatalf("recorder perturbed the seeded run:\nplain:  %+v\ntraced: %+v", b, tr)
+	}
+
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("traced chaos run drained no events")
+	}
+	kinds := map[trace.Kind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+		if ev.TS < 0 {
+			t.Fatalf("event %+v has a negative virtual-clock stamp", ev)
+		}
+	}
+	// chaos-soup is all-to-all rendezvous under 10% drop: dispatches,
+	// handshakes, and retransmissions must all be visible.
+	for _, want := range []trace.Kind{trace.EvTaskRun, trace.EvRdvRTS, trace.EvRetransmit} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %v events (kinds seen: %v)", want, kinds)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid chrome://tracing JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(events) {
+		t.Fatalf("JSON has %d events, drain had %d", len(doc.TraceEvents), len(events))
+	}
+	for _, ce := range doc.TraceEvents[:3] {
+		if ce.Name == "" || ce.Phase != "i" {
+			t.Fatalf("malformed chrome event %+v", ce)
+		}
+	}
+
+	// Determinism: a second traced run of the same seed produces the
+	// identical event stream (same virtual-clock stamps, same order).
+	rec2 := trace.New(8, 1<<14, nil)
+	RunTraced(1, only, rec2)
+	events2 := rec2.Events()
+	if len(events) != len(events2) {
+		t.Fatalf("re-run drained %d events, first run %d", len(events2), len(events))
+	}
+	for i := range events {
+		if events[i] != events2[i] {
+			t.Fatalf("event %d differs across same-seed runs:\n%+v\n%+v", i, events[i], events2[i])
+		}
+	}
+}

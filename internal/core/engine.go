@@ -10,6 +10,7 @@ import (
 	"pioman/internal/spinlock"
 	"pioman/internal/stats"
 	"pioman/internal/topology"
+	"pioman/internal/trace"
 )
 
 // Config parameterizes an Engine.
@@ -55,6 +56,11 @@ type Config struct {
 	// StealLatency. Off by default: the record path is cheap (one clock
 	// read and one bucket increment per pass) but not free.
 	LatencyStats bool
+	// Trace attaches a flight recorder: task dispatches and successful
+	// steals are recorded under the executing CPU's ring. Nil (the
+	// default) leaves every hot-path hook as a single nil check — the
+	// disabled path is guarded by the obs benchmark bar.
+	Trace *trace.Recorder
 }
 
 // normalized returns the config with every out-of-range knob replaced
@@ -233,6 +239,11 @@ type Engine struct {
 	// the record path stays core-local; the small lock exists because the
 	// engine allows concurrent Schedule calls on behalf of one CPU.
 	latShards []latShard
+
+	// rec is the optional flight recorder (Config.Trace). Hot paths
+	// guard every use with a nil check so the disabled engine pays one
+	// predictable branch, nothing more.
+	rec *trace.Recorder
 }
 
 // latShard is one CPU's latency instrumentation: histograms of how long
@@ -270,6 +281,7 @@ func New(cfg Config) *Engine {
 		byID:   make([]*Queue, len(cfg.Topology.Nodes())),
 		idle:   make([]paddedBool, cfg.Topology.NCPUs),
 		shards: make([]counterShard, cfg.Topology.NCPUs),
+		rec:    cfg.Trace,
 	}
 	for _, n := range e.topo.Nodes() {
 		if cfg.SingleGlobalQueue && n != e.topo.Root {
@@ -666,8 +678,11 @@ func (e *Engine) drainQueue(q *Queue, cpu int, budget int, pin *Queue) int {
 func (e *Engine) run(t *Task, cpu int) {
 	t.state.Store(uint32(StateRunning))
 	t.lastCPU.Store(int64(cpu))
-	t.runs.Add(1)
+	runs := t.runs.Add(1)
 	e.shards[cpu].executions.Add(1)
+	if r := e.rec; r != nil {
+		r.Record(cpu, trace.EvTaskRun, runs, 0)
+	}
 	done := t.Fn(t.Arg)
 	if t.Options&Repeat != 0 && !done {
 		t.state.Store(uint32(StateSubmitted))

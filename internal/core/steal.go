@@ -21,6 +21,8 @@ package core
 // on the queue their CPU set actually maps to — so a pinned task can
 // transit a thief but never execute outside its set.
 
+import "pioman/internal/trace"
+
 // initSteal precomputes the per-CPU victim order and the steal batch
 // size. Called from New; cheap enough to do unconditionally so the
 // policy can stay a pure runtime check.
@@ -249,6 +251,11 @@ func (e *Engine) stealFrom(q *Queue, cpu int, budget int) int {
 	if ran > 0 {
 		sh.stealHits.Add(1)
 		sh.stealTasks.Add(uint64(ran))
+		if r := e.rec; r != nil {
+			// Victim leaves are Core nodes, so Node().Index is the CPU
+			// the work migrated away from.
+			r.Record(cpu, trace.EvTaskSteal, uint64(q.node.Index), uint64(ran))
+		}
 	} else if want == full && got < want {
 		// The steal saw the victim's entire visible backlog (a full
 		// window that came back short) and ran none of it: mark the

@@ -13,6 +13,7 @@ import (
 	"pioman/internal/cpuset"
 	"pioman/internal/fabric"
 	"pioman/internal/topology"
+	"pioman/internal/trace"
 )
 
 // StrategyKind selects the sending strategy applied to small messages
@@ -104,6 +105,11 @@ type Config struct {
 	// requests invariant under this knob proves the invariant detects
 	// what the timeout exists to fix.
 	NoRdvTimeout bool
+	// Trace attaches a flight recorder: rendezvous RTS/CTS/FIN
+	// arrivals, retransmissions, permanent timeouts, and rail deaths
+	// are recorded under the owning gate's ring, stamped on Clock.
+	// Nil (the default) leaves each hook as one nil check.
+	Trace *trace.Recorder
 }
 
 // Stats are engine-wide counters.
@@ -161,6 +167,14 @@ type Engine struct {
 	wg      sync.WaitGroup
 
 	nextSweep atomic.Int64
+
+	// rec is the optional flight recorder (Config.Trace); nil means
+	// every hook is a single nil check.
+	rec *trace.Recorder
+	// lastProgress is the Clock stamp of the most recent progression
+	// pass (background loop iteration or deadline sweep) — the
+	// engine-liveness signal /healthz probes.
+	lastProgress atomic.Int64
 
 	msgsSent, msgsRecv, framesSent, framesRecv atomic.Uint64
 	eagerSent, aggregated, aggrFrames          atomic.Uint64
@@ -352,6 +366,7 @@ func NewEngine(cfg Config) *Engine {
 		rdvRecv:     make(map[rdvKey]*recvRdvState),
 		sendRdv:     make(map[rdvKey]*sendRdvState),
 		eagerPend:   make(map[rdvKey]*eagerState),
+		rec:         cfg.Trace,
 	}
 	// The sweeper serves both deadline families — rendezvous handshakes
 	// and the eager retransmission window — so it runs unless both are
@@ -369,6 +384,45 @@ func NewEngine(cfg Config) *Engine {
 // Tasks exposes the underlying task engine (for wiring into a
 // sched.Runtime or for WaitActive-style helpers).
 func (e *Engine) Tasks() *core.Engine { return e.tasks }
+
+// Gates returns a snapshot of the engine's open gates, for observers
+// walking per-rail stats. The slice is a copy; the gates are live.
+func (e *Engine) Gates() []*Gate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Gate(nil), e.gates...)
+}
+
+// FailedGates counts gates with no alive rail left — connections the
+// engine has declared dead. /healthz treats any non-zero value as
+// unhealthy.
+func (e *Engine) FailedGates() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, g := range e.gates {
+		if g.alive.Load() <= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// LastProgress returns the Clock stamp of the most recent progression
+// pass (background loop iteration or deadline sweep), 0 before the
+// first one — the engine-liveness signal health probes compare against
+// the current clock.
+func (e *Engine) LastProgress() int64 { return e.lastProgress.Load() }
+
+// SettledOccupancy reports how many entries each dedup log currently
+// pins (sender-settled rendezvous, receiver-settled rendezvous, seen
+// eager sequences). Bounded by the logs' ring capacity; a log stuck at
+// its cap under load is retransmission pressure made visible.
+func (e *Engine) SettledOccupancy() (send, recv, eager int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.settledSend.set), len(e.settledRecv.set), len(e.seenEager.set)
+}
 
 // submitProgress routes an internal progression task to the task
 // engine: locality-first (SubmitLocal on the progression CPU's leaf)
@@ -389,6 +443,7 @@ func (e *Engine) progressLoop() {
 	defer e.wg.Done()
 	cpu := e.progressCPU
 	for !e.stopped.Load() {
+		e.lastProgress.Store(e.clock())
 		ran := e.tasks.Schedule(cpu)
 		if ran == 0 {
 			e.tasks.SetIdle(cpu, true)
@@ -737,7 +792,11 @@ func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 // The first caller to kill a given rail decrements the alive count.
 func (g *Gate) railDown(i int) int {
 	if g.rails[i].dead.CompareAndSwap(false, true) {
-		return int(g.alive.Add(-1))
+		n := int(g.alive.Add(-1))
+		if r := g.eng.rec; r != nil {
+			r.Record(g.id, trace.EvRailDeath, uint64(i), uint64(n))
+		}
+		return n
 	}
 	return int(g.alive.Load())
 }
@@ -856,6 +915,10 @@ func (e *Engine) failGate(g *Gate, err error) {
 
 // Rails returns the number of rails of the gate.
 func (g *Gate) Rails() int { return len(g.rails) }
+
+// ID returns the gate's engine-local identifier — the ring its flight-
+// recorder events land under and the label its metrics export carries.
+func (g *Gate) ID() int { return g.id }
 
 // RailStats returns a per-rail snapshot: provider, capability
 // envelope, frames and payload bytes sent, backlog, liveness. Bytes

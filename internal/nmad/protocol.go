@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"pioman/internal/core"
+	"pioman/internal/trace"
 )
 
 // Isend starts a non-blocking send of data to the gate's peer under the
@@ -252,6 +253,16 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 // handleFrame dispatches one inbound frame; it runs inside a polling
 // task on whatever core scheduled it.
 func (e *Engine) handleFrame(g *Gate, f Frame) {
+	if r := e.rec; r != nil {
+		switch f.Hdr.Kind {
+		case KindRTS:
+			r.Record(g.id, trace.EvRdvRTS, f.Hdr.MsgID, uint64(f.Hdr.Total))
+		case KindCTS:
+			r.Record(g.id, trace.EvRdvCTS, f.Hdr.MsgID, 0)
+		case KindFin:
+			r.Record(g.id, trace.EvRdvFin, f.Hdr.MsgID, 0)
+		}
+	}
 	switch f.Hdr.Kind {
 	case KindEager:
 		e.recvEager(g, f.Hdr, f.Payload)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pioman/internal/core"
+	"pioman/internal/trace"
 )
 
 // Rendezvous handshake timeouts.
@@ -180,6 +181,9 @@ func (e *Engine) startSweeper() {
 // retransmissions to hit the simulated fabric in a reproducible order.
 func (e *Engine) sweepDeadlines() {
 	now := e.clock()
+	// The sweep rides every progression pass, so its clock read doubles
+	// as the engine-liveness stamp /healthz compares against.
+	e.lastProgress.Store(now)
 	if now < e.nextSweep.Load() {
 		return
 	}
@@ -193,22 +197,24 @@ func (e *Engine) sweepDeadlines() {
 	}
 
 	type sendAct struct {
-		st    *sendRdvState
-		g     *Gate
-		msgID uint64
-		tag   uint64
-		total uint32
-		offer []byte
-		fail  bool
+		st      *sendRdvState
+		g       *Gate
+		msgID   uint64
+		tag     uint64
+		total   uint32
+		offer   []byte
+		retries int
+		fail    bool
 	}
 	type recvAct struct {
-		st    *recvRdvState
-		g     *Gate
-		msgID uint64
-		tag   uint64
-		total uint32
-		pull  bool
-		fail  bool
+		st      *recvRdvState
+		g       *Gate
+		msgID   uint64
+		tag     uint64
+		total   uint32
+		pull    bool
+		retries int
+		fail    bool
 	}
 	var sends []sendAct
 	var recvs []recvAct
@@ -230,6 +236,7 @@ func (e *Engine) sweepDeadlines() {
 		sends = append(sends, sendAct{
 			st: st, g: key.gate, msgID: key.msgID, tag: st.tag,
 			total: st.total, offer: append([]byte(nil), st.offer...),
+			retries: st.retries,
 		})
 	}
 	for key, st := range e.rdvRecv {
@@ -252,7 +259,7 @@ func (e *Engine) sweepDeadlines() {
 		pull := st.pull
 		total := st.req.total
 		st.mu.Unlock()
-		recvs = append(recvs, recvAct{st: st, g: key.gate, msgID: key.msgID, tag: st.tag, total: total, pull: pull})
+		recvs = append(recvs, recvAct{st: st, g: key.gate, msgID: key.msgID, tag: st.tag, total: total, pull: pull, retries: st.retries})
 	}
 	e.mu.Unlock()
 
@@ -272,6 +279,9 @@ func (e *Engine) sweepDeadlines() {
 	for _, a := range sends {
 		if a.fail {
 			e.rdvTimeouts.Add(1)
+			if r := e.rec; r != nil {
+				r.Record(a.g.id, trace.EvTimeout, a.msgID, 0)
+			}
 			a.st.releaseRegs()
 			req := a.st.req
 			// Best-effort: tell the receiver its half is orphaned so it
@@ -281,6 +291,9 @@ func (e *Engine) sweepDeadlines() {
 			continue
 		}
 		e.rdvRetries.Add(1)
+		if r := e.rec; r != nil {
+			r.Record(a.g.id, trace.EvRetransmit, a.msgID, uint64(a.retries))
+		}
 		rail := -1
 		if len(a.offer) > 0 {
 			rail = a.g.pickControl(true)
@@ -301,11 +314,17 @@ func (e *Engine) sweepDeadlines() {
 	for _, a := range recvs {
 		if a.fail {
 			e.rdvTimeouts.Add(1)
+			if r := e.rec; r != nil {
+				r.Record(a.g.id, trace.EvTimeout, a.msgID, 1)
+			}
 			a.g.sendControl(KindRdvNack, a.tag, a.msgID, nackSend, 0)
 			a.st.req.complete(ErrRdvTimeout)
 			continue
 		}
 		e.rdvRetries.Add(1)
+		if r := e.rec; r != nil {
+			r.Record(a.g.id, trace.EvRetransmit, a.msgID, uint64(a.retries))
+		}
 		st := a.st
 		if !a.pull {
 			// Push mode: the CTS may have been lost. A sender that
@@ -353,12 +372,13 @@ func (e *Engine) sweepDeadlines() {
 // ack finds no pending entry.
 func (e *Engine) sweepEager(now int64) {
 	type eagerAct struct {
-		g     *Gate
-		msgID uint64
-		tag   uint64
-		data  []byte
-		req   *Request
-		fail  bool
+		g       *Gate
+		msgID   uint64
+		tag     uint64
+		data    []byte
+		req     *Request
+		retries int
+		fail    bool
 	}
 	var acts []eagerAct
 	e.mu.Lock()
@@ -373,7 +393,7 @@ func (e *Engine) sweepEager(now int64) {
 		}
 		st.retries++
 		st.deadline = now + e.cfg.RdvTimeout<<uint(st.retries)
-		acts = append(acts, eagerAct{g: key.gate, msgID: key.msgID, tag: st.tag, data: st.data})
+		acts = append(acts, eagerAct{g: key.gate, msgID: key.msgID, tag: st.tag, data: st.data, retries: st.retries})
 	}
 	e.mu.Unlock()
 
@@ -387,6 +407,9 @@ func (e *Engine) sweepEager(now int64) {
 	for _, a := range acts {
 		if a.fail {
 			e.eagerTimeouts.Add(1)
+			if r := e.rec; r != nil {
+				r.Record(a.g.id, trace.EvTimeout, a.msgID, 2)
+			}
 			a.req.complete(ErrEagerTimeout)
 			continue
 		}
@@ -395,6 +418,9 @@ func (e *Engine) sweepEager(now int64) {
 			continue // gate is dying; the rail-death sweeps own the fallout
 		}
 		e.eagerRetries.Add(1)
+		if r := e.rec; r != nil {
+			r.Record(a.g.id, trace.EvEagerRetry, a.msgID, uint64(a.retries))
+		}
 		p := a.g.packet()
 		p.Hdr = Header{Kind: KindEager, Tag: a.tag, MsgID: a.msgID, Total: uint32(len(a.data))}
 		p.Payload = a.data

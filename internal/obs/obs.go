@@ -1,0 +1,65 @@
+// Package obs is the engine's live operational surface: a
+// zero-dependency metrics registry with a hand-rolled Prometheus text
+// exposition writer, engine-liveness health probes, and an HTTP server
+// mounting /metrics, /healthz, net/http/pprof, and the flight
+// recorder's /debug/trace timeline — the observability shape of a
+// production communication daemon, built entirely on the standard
+// library.
+//
+// The snapshot discipline is the package's one contract: a Collector
+// must read its subsystem's sharded statistics through exactly one
+// snapshot call and derive every series it emits from that single
+// snapshot, so one scrape can never expose torn cross-counter
+// invariants (a Σenqueues that does not cover the Σdequeues printed
+// two lines later).
+package obs
+
+import "sync"
+
+// Collector contributes one subsystem's metric families to a scrape.
+//
+// Collect is called once per scrape with the writer for the whole
+// document. Implementations MUST take one consistent snapshot of their
+// subsystem (one Stats()-style call) and emit every sample from it —
+// never read live counters per-sample — so intra-collector invariants
+// hold within a single exposition.
+type Collector interface {
+	Collect(w *MetricWriter)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(w *MetricWriter)
+
+// Collect calls f.
+func (f CollectorFunc) Collect(w *MetricWriter) { f(w) }
+
+// Registry is an ordered set of collectors behind one /metrics
+// endpoint. Safe for concurrent use: collectors may be registered
+// while scrapes run.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends collectors to the scrape, in order.
+func (r *Registry) Register(cs ...Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, cs...)
+	r.mu.Unlock()
+}
+
+// Gather runs every collector once, in registration order, into a
+// fresh MetricWriter and returns it.
+func (r *Registry) Gather() *MetricWriter {
+	r.mu.Lock()
+	cs := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	w := &MetricWriter{}
+	for _, c := range cs {
+		c.Collect(w)
+	}
+	return w
+}

@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pioman/internal/cluster"
+	"pioman/internal/core"
+	"pioman/internal/nmad"
+	"pioman/internal/trace"
+)
+
+// scrape drives the server handler through httptest and returns the
+// response.
+func scrape(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// TestMetricsSeriesCoverage is the acceptance gate: a registry over a
+// live core engine, a live nmad engine, and cluster results must
+// expose at least 25 distinct series spanning the core, nmad,
+// adapt (per-rail calibrated estimates), and cluster groups.
+func TestMetricsSeriesCoverage(t *testing.T) {
+	eng := core.New(core.Config{LatencyStats: true})
+	for i := 0; i < 8; i++ {
+		eng.MustSubmit(&core.Task{Fn: func(any) bool { return true }})
+	}
+	for eng.Pending() > 0 {
+		eng.Schedule(0)
+	}
+
+	da, db := nmad.MemPair()
+	sender := nmad.NewEngine(nmad.Config{})
+	receiver := nmad.NewEngine(nmad.Config{})
+	defer sender.Close()
+	defer receiver.Close()
+	ga, err := sender.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := receiver.NewGate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := gb.Irecv(7)
+	if err := ga.Isend(7, []byte("hello metrics")).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	results := []cluster.Result{{Scenario: "fake", Nodes: 4, Transfers: 6, Completed: 6, LatencyP50Ns: 1000, LatencyP99Ns: 9000}}
+
+	reg := NewRegistry()
+	reg.Register(
+		NewCoreCollector("tasks", eng),
+		NewNmadCollector("node0", sender),
+		NewClusterCollector(func() []cluster.Result { return results }),
+		NewGoCollector(),
+	)
+	srv := NewServer(ServerConfig{Registry: reg})
+	code, body := scrape(t, srv.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", code)
+	}
+
+	series := map[string]bool{}
+	families := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		series[strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")] = true
+		if i := strings.Index(line, " "); i >= 0 {
+			series[line[:strings.LastIndex(line, " ")]] = true
+		}
+		families[name] = true
+	}
+	distinct := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			distinct++
+		}
+	}
+	if distinct < 25 {
+		t.Fatalf("/metrics exposes %d series, want ≥ 25:\n%s", distinct, body)
+	}
+	for _, want := range []string{
+		"pioman_core_executions_total",                // core
+		"pioman_core_drain_latency_ns_bucket",         // core histogram
+		"pioman_nmad_msgs_sent_total",                 // nmad
+		"pioman_nmad_rail_bandwidth_bytes_per_second", // adapt estimates
+		"pioman_nmad_rail_latency_ns",                 // adapt estimates
+		"pioman_cluster_latency_p99_ns",               // cluster
+	} {
+		if !families[want] {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+	// The snapshot-discipline tie-out: within one scrape the core
+	// counters must satisfy Σexecutions(ExecPerCPU) == executions.
+	var perCPU, total uint64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "pioman_core_cpu_executions_total{") {
+			var v uint64
+			if _, err := fmtSscan(line[strings.LastIndex(line, " ")+1:], &v); err == nil {
+				perCPU += v
+			}
+		}
+		if strings.HasPrefix(line, "pioman_core_executions_total{") {
+			_, _ = fmtSscan(line[strings.LastIndex(line, " ")+1:], &total)
+		}
+	}
+	if perCPU != total {
+		t.Errorf("torn scrape: Σ per-CPU executions %d != executions %d", perCPU, total)
+	}
+}
+
+// fmtSscan parses one base-10 uint64, the only numeric shape the
+// tie-out needs.
+func fmtSscan(s string, v *uint64) (int, error) {
+	var n uint64
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errors.New("not a uint")
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+// deadDriver fails every send: the last-rail-death path that must flip
+// /healthz to 503.
+type deadDriver struct{}
+
+// Name identifies the driver.
+func (deadDriver) Name() string { return "dead" }
+
+// Send always fails.
+func (deadDriver) Send(nmad.Header, []byte) error { return errors.New("wire gone") }
+
+// Poll never has frames.
+func (deadDriver) Poll() (nmad.Frame, bool, error) { return nmad.Frame{}, false, nil }
+
+// Close is a no-op.
+func (deadDriver) Close() error { return nil }
+
+func TestHealthzTransitions(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1)
+	clock := func() int64 { return now.Load() }
+	tasks := core.New(core.Config{})
+	e := nmad.NewEngine(nmad.Config{Tasks: tasks, NoAutoProgress: true, Clock: clock})
+	defer e.Close()
+
+	h := NewHealth()
+	h.Register("nmad", NmadLiveness(e, clock, time.Second))
+	srv := NewServer(ServerConfig{Health: h})
+	handler := srv.Handler()
+
+	// 1. Before any progression pass: unhealthy.
+	if code, body := scrape(t, handler, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-progression /healthz = %d (%q), want 503", code, body)
+	}
+
+	// 2. One progression pass (the deadline sweep stamps the clock):
+	// healthy.
+	tasks.Schedule(0)
+	if code, body := scrape(t, handler, "/healthz"); code != http.StatusOK {
+		t.Fatalf("post-progression /healthz = %d (%q), want 200", code, body)
+	}
+
+	// 3. Clock advances past the window with no progression: unhealthy
+	// again.
+	now.Add(int64(2 * time.Second))
+	if code, body := scrape(t, handler, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled /healthz = %d (%q), want 503", code, body)
+	}
+
+	// 4. Progression resumes: healthy.
+	tasks.Schedule(0)
+	if code, body := scrape(t, handler, "/healthz"); code != http.StatusOK {
+		t.Fatalf("recovered /healthz = %d (%q), want 200", code, body)
+	}
+
+	// 5. The engine's only gate loses its only rail: unhealthy, and
+	// the report names the gate failure.
+	g, err := e.NewGate(deadDriver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Isend(1, []byte("doomed")).Wait(); err == nil {
+		t.Fatal("send over dead rail should fail")
+	}
+	tasks.Schedule(0)
+	code, body := scrape(t, handler, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failed-gate /healthz = %d, want 503", code)
+	}
+	if !strings.Contains(body, "gate") {
+		t.Fatalf("failed-gate report %q should name the gate failure", body)
+	}
+}
+
+// TestMetricsScrapeUnderLiveTraffic scrapes /metrics concurrently with
+// live eager+rendezvous traffic — the -race leg proving the collectors'
+// snapshot reads don't race the sharded writers.
+func TestMetricsScrapeUnderLiveTraffic(t *testing.T) {
+	da, db := nmad.MemPair()
+	sender := nmad.NewEngine(nmad.Config{})
+	receiver := nmad.NewEngine(nmad.Config{})
+	defer sender.Close()
+	defer receiver.Close()
+	ga, err := sender.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := receiver.NewGate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.New(4, 1024, nil)
+	reg := NewRegistry()
+	reg.Register(
+		NewNmadCollector("sender", sender),
+		NewNmadCollector("receiver", receiver),
+		NewCoreCollector("sender-tasks", sender.Tasks()),
+		NewGoCollector(),
+	)
+	srv := NewServer(ServerConfig{Registry: reg, Trace: rec})
+	handler := srv.Handler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		big := make([]byte, 64<<10) // above the eager threshold: rendezvous
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			payload := []byte("eager traffic")
+			if i%8 == 0 {
+				payload = big
+			}
+			r := gb.Irecv(i)
+			if err := ga.Isend(i, payload).Wait(); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if err := r.Wait(); err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		code, body := scrape(t, handler, "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d returned %d", i, code)
+		}
+		if !strings.Contains(body, "pioman_nmad_msgs_sent_total") {
+			t.Fatalf("scrape %d missing nmad series", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	// Without a recorder: 404.
+	srv := NewServer(ServerConfig{})
+	if code, _ := scrape(t, srv.Handler(), "/debug/trace"); code != http.StatusNotFound {
+		t.Fatalf("/debug/trace without recorder = %d, want 404", code)
+	}
+
+	rec := trace.New(2, 64, nil)
+	rec.Record(0, trace.EvTaskRun, 1, 0)
+	rec.Record(1, trace.EvRdvRTS, 9, 4096)
+	srv = NewServer(ServerConfig{Trace: rec})
+	code, body := scrape(t, srv.Handler(), "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d, want 200", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("/debug/trace has %d events, want 2", len(doc.TraceEvents))
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv := NewServer(ServerConfig{})
+	code, body := scrape(t, srv.Handler(), "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d, want the pprof index", code)
+	}
+}
+
+func TestServerStartShutdown(t *testing.T) {
+	srv := NewServer(ServerConfig{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz over the wire = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

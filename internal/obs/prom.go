@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"pioman/internal/stats"
+)
+
+// MetricType is the exposition TYPE of a metric family.
+type MetricType int
+
+// Exposition metric types (the subset the engine exports).
+const (
+	// TypeCounter is a monotonically increasing value.
+	TypeCounter MetricType = iota
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+	// TypeHistogram is a bucketed distribution with _bucket/_sum/_count
+	// series.
+	TypeHistogram
+)
+
+// expoType returns the TYPE keyword of the exposition format.
+func (t MetricType) expoType() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// sample is one rendered family member: a preformatted value under a
+// label set.
+type sample struct {
+	labels string // rendered {k="v",...} block, "" when unlabeled
+	value  string
+}
+
+// histSample is one histogram under a label set. The stats.Histogram
+// is copied by value at Histogram() time — the fixed bucket array makes
+// the copy a consistent snapshot — and rendered at output time.
+type histSample struct {
+	labels string
+	h      stats.Histogram
+}
+
+// family is one metric family: a name, HELP/TYPE header, and its
+// accumulated samples in insertion order.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	samples []sample
+	hists   []histSample
+}
+
+// MetricWriter accumulates metric families during one collection pass
+// and renders them in the Prometheus text exposition format v0.0.4.
+// Families keep first-appearance order; repeated Add calls under one
+// name (per-CPU or per-rail loops, or two collectors sharing a family)
+// group their samples under a single HELP/TYPE header, which the
+// format requires. The zero value is ready to use.
+type MetricWriter struct {
+	order  []*family
+	byName map[string]*family
+}
+
+// familyFor returns the family for name, creating it on first use.
+// The first caller's help and type win; the exposition format forbids
+// redefining them mid-document.
+func (w *MetricWriter) familyFor(name, help string, typ MetricType) *family {
+	if w.byName == nil {
+		w.byName = make(map[string]*family)
+	}
+	if f, ok := w.byName[name]; ok {
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ}
+	w.byName[name] = f
+	w.order = append(w.order, f)
+	return f
+}
+
+// Counter adds one sample of a counter family. Labels are alternating
+// key, value pairs.
+func (w *MetricWriter) Counter(name, help string, value uint64, labels ...string) {
+	f := w.familyFor(name, help, TypeCounter)
+	f.samples = append(f.samples, sample{labels: renderLabels(labels), value: strconv.FormatUint(value, 10)})
+}
+
+// Gauge adds one sample of a gauge family. Labels are alternating key,
+// value pairs.
+func (w *MetricWriter) Gauge(name, help string, value float64, labels ...string) {
+	f := w.familyFor(name, help, TypeGauge)
+	f.samples = append(f.samples, sample{labels: renderLabels(labels), value: formatFloat(value)})
+}
+
+// Histogram adds one stats.Histogram as a histogram family member:
+// cumulative _bucket series over the histogram's occupied log buckets,
+// plus _sum and _count. The histogram is copied by value, so the
+// rendered buckets, sum, and count are one consistent snapshot.
+func (w *MetricWriter) Histogram(name, help string, h stats.Histogram, labels ...string) {
+	f := w.familyFor(name, help, TypeHistogram)
+	f.hists = append(f.hists, histSample{labels: renderLabels(labels), h: h})
+}
+
+// WriteTo renders every accumulated family to out in the text
+// exposition format and returns the bytes written.
+func (w *MetricWriter) WriteTo(out io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(out)}
+	for _, f := range w.order {
+		fmt.Fprintf(cw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ.expoType())
+		for _, s := range f.samples {
+			fmt.Fprintf(cw, "%s%s %s\n", f.name, s.labels, s.value)
+		}
+		for _, hs := range f.hists {
+			writeHistogram(cw, f.name, hs)
+		}
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// writeHistogram renders one histogram sample: cumulative buckets with
+// inclusive le bounds from the stats log-bucket geometry, the
+// mandatory le="+Inf" bucket, then _sum and _count.
+func writeHistogram(cw *countingWriter, name string, hs histSample) {
+	cum := uint64(0)
+	h := hs.h
+	h.EachBucket(func(upper int64, count uint64) {
+		cum += count
+		if upper == math.MaxInt64 {
+			// The top bucket's bound is rendered by the +Inf series
+			// below; an explicit MaxInt64 bound would be noise.
+			return
+		}
+		fmt.Fprintf(cw, "%s_bucket%s %d\n", name, bucketLabels(hs.labels, strconv.FormatInt(upper, 10)), cum)
+	})
+	fmt.Fprintf(cw, "%s_bucket%s %d\n", name, bucketLabels(hs.labels, "+Inf"), h.Count())
+	fmt.Fprintf(cw, "%s_sum%s %d\n", name, hs.labels, h.Sum())
+	fmt.Fprintf(cw, "%s_count%s %d\n", name, hs.labels, h.Count())
+}
+
+// bucketLabels splices le into an already-rendered label block.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// renderLabels renders alternating key, value pairs as a {k="v",...}
+// block with exposition escaping, or "" for no labels. An odd trailing
+// key is dropped — a programming error made harmless rather than a
+// panic inside a metrics scrape.
+func renderLabels(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format:
+// backslash and newline (quotes are legal in HELP).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a gauge value: integers without a decimal point,
+// everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// countingWriter tracks bytes written and sticks on the first error so
+// the render loop stays unconditional.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+// Write forwards to the wrapped writer, counting bytes and latching
+// the first error.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return len(p), nil
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return len(p), nil
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pioman/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCollector emits one deterministic document covering every
+// writer feature: repeated samples grouping under one family, label
+// escaping, integer and fractional gauges, and a histogram rendered
+// from the stats log buckets.
+func goldenCollector(w *MetricWriter) {
+	w.Counter("demo_requests_total", "Requests served.", 1234, "handler", "api")
+	w.Counter("demo_requests_total", "Requests served.", 17, "handler", "we\"ird\\v\nal")
+	w.Gauge("demo_temperature_celsius", "Current temperature.", -3.25)
+	w.Gauge("demo_connections", "Open connections.", 42)
+	var h stats.Histogram
+	for _, v := range []int64{3, 3, 17, 250, 1_000_000} {
+		h.Record(v)
+	}
+	w.Histogram("demo_latency_ns", "Latency distribution.", h, "path", "/x")
+}
+
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(goldenCollector))
+	var buf bytes.Buffer
+	if _, err := reg.Gather().WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden_metrics.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestExpositionHistogramMath(t *testing.T) {
+	var h stats.Histogram
+	for _, v := range []int64{3, 3, 17, 250, 1_000_000} {
+		h.Record(v)
+	}
+	w := &MetricWriter{}
+	w.Histogram("lat", "l.", h)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Buckets must be cumulative with inclusive integer bounds from
+	// the log-bucket geometry, ending in the mandatory +Inf bucket
+	// that equals _count, and _sum must be the exact sample sum.
+	for _, want := range []string{
+		`lat_bucket{le="3"} 2`,
+		`lat_bucket{le="17"} 3`,
+		`lat_bucket{le="255"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 1000273`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	w := &MetricWriter{}
+	w.Counter("m_total", "help with \\ backslash\nand newline.", 1, "k", "a\\b\"c\nd")
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `m_total{k="a\\b\"c\nd"} 1`) {
+		t.Errorf("label not escaped per exposition format:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP m_total help with \\ backslash\nand newline.`) {
+		t.Errorf("HELP not escaped per exposition format:\n%s", out)
+	}
+}
+
+func TestFamiliesGroupAcrossCollectors(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(
+		CollectorFunc(func(w *MetricWriter) { w.Counter("shared_total", "s.", 1, "who", "a") }),
+		CollectorFunc(func(w *MetricWriter) { w.Counter("shared_total", "s.", 2, "who", "b") }),
+	)
+	var buf bytes.Buffer
+	if _, err := reg.Gather().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "# TYPE shared_total"); got != 1 {
+		t.Fatalf("family emitted %d TYPE headers, want exactly 1:\n%s", got, buf.String())
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"pioman/internal/trace"
+)
+
+// ServerConfig parameterizes the operational HTTP server.
+type ServerConfig struct {
+	// Addr is the listen address ("127.0.0.1:9187", ":0" for an
+	// ephemeral port).
+	Addr string
+	// Registry backs /metrics. Nil serves an empty exposition.
+	Registry *Registry
+	// Health backs /healthz. Nil reports healthy unconditionally.
+	Health *Health
+	// Trace backs /debug/trace (the flight recorder's chrome://tracing
+	// drain). Nil returns 404 there.
+	Trace *trace.Recorder
+}
+
+// Server is the operational HTTP endpoint: /metrics, /healthz,
+// /debug/pprof/*, and /debug/trace.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server; call Start to listen.
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{cfg: cfg}
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Handler returns the route mux, exposed separately so tests can drive
+// it through httptest without a listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/debug/trace", s.serveTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveMetrics renders one scrape of the registry.
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.cfg.Registry == nil {
+		return
+	}
+	_, _ = s.cfg.Registry.Gather().WriteTo(w)
+}
+
+// serveHealthz runs the probes: 200 with the per-probe report when all
+// pass, 503 with the report otherwise.
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Health == nil {
+		_, _ = w.Write([]byte("ok\n"))
+		return
+	}
+	ok, report := s.cfg.Health.Check()
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_, _ = w.Write([]byte(report))
+}
+
+// serveTrace drains the flight recorder as chrome://tracing JSON.
+func (s *Server) serveTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Trace == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.cfg.Trace.WriteTrace(w)
+}
+
+// Start listens on the configured address and serves in a background
+// goroutine. Use Addr for the bound address (meaningful with ":0").
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server, waiting for in-flight
+// requests up to the context's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}

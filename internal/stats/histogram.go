@@ -1,6 +1,9 @@
 package stats
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Histogram bucket geometry: values below histLinearMax land in exact
 // unit buckets; above that, each power-of-two magnitude is split into
@@ -158,6 +161,29 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.max
+}
+
+// EachBucket calls f once per non-empty bucket in ascending value
+// order, with the bucket's inclusive upper bound and sample count.
+// The final bucket's upper bound is math.MaxInt64, which exporters
+// should render as +Inf. This is the bridge from the fixed log-bucket
+// geometry to cumulative-bucket formats such as the Prometheus text
+// exposition: callers accumulate counts as they go.
+func (h *Histogram) EachBucket(f func(upper int64, count uint64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		upper := int64(math.MaxInt64)
+		if i < histNumBuckets-1 {
+			// The very top magnitudes' lower bounds overflow int64; any
+			// bucket whose next neighbour wrapped is reported as +Inf.
+			if u := histLower(i+1) - 1; u >= histLower(i) {
+				upper = u
+			}
+		}
+		f(upper, c)
+	}
 }
 
 // Reset clears the histogram for reuse.

@@ -119,3 +119,46 @@ func BenchmarkHistogramRecord(b *testing.B) {
 		h.Record(int64(i)*37 + 11)
 	}
 }
+
+func TestHistogramEachBucket(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{3, 3, 17, 250} {
+		h.Record(v)
+	}
+	type bucket struct {
+		upper int64
+		count uint64
+	}
+	var got []bucket
+	var total uint64
+	h.EachBucket(func(upper int64, count uint64) {
+		got = append(got, bucket{upper, count})
+		total += count
+	})
+	want := []bucket{{3, 2}, {17, 1}, {255, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("EachBucket visited %d buckets, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want Count()=%d", total, h.Count())
+	}
+	// Upper bounds must be inclusive: the recorded value re-indexes at
+	// or below its reported bound, never above.
+	for _, b := range got {
+		if histLower(histIndex(b.upper)) > b.upper {
+			t.Fatalf("bucket upper %d is not a valid inclusive bound", b.upper)
+		}
+	}
+	// The top bucket reports +Inf territory.
+	h.Record(math.MaxInt64)
+	var last int64
+	h.EachBucket(func(upper int64, _ uint64) { last = upper })
+	if last != math.MaxInt64 {
+		t.Fatalf("final bucket upper = %d, want MaxInt64", last)
+	}
+}

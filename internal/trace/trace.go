@@ -1,0 +1,279 @@
+// Package trace is the engine flight recorder: a fixed-size,
+// lock-free, per-ring buffer of scheduling and protocol events that is
+// cheap enough to leave compiled into the hot paths and free when not
+// attached (every hook is a single nil pointer check).
+//
+// The recorder is deliberately a leaf package — it imports only the
+// standard library — so that core, nmad, and cluster can all hold a
+// *Recorder without creating an import cycle with the observability
+// server (internal/obs) that drains it.
+//
+// Writers publish with a seqlock-style per-slot sequence: a slot's
+// sequence is zeroed while its fields are being written and set to
+// position+1 once the event is complete, so a concurrent drain can
+// detect and skip torn slots instead of blocking writers. Under
+// extreme wraparound races (two writers a full lap apart landing on
+// the same slot) a drained event may mix fields from both; the
+// recorder is a diagnostic surface, not a ledger, and trades that
+// vanishing window for zero locks on the record path.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies the engine event a slot records.
+type Kind uint32
+
+// Event kinds. The A/B payload meaning depends on the kind; see each
+// constant's comment. Rings are sharded by origin: core records under
+// the executing CPU index, nmad under the gate id.
+const (
+	// EvTaskRun is a task dispatch on a CPU: A = the task's cumulative
+	// run count, B unused.
+	EvTaskRun Kind = iota
+	// EvTaskSteal is a successful steal: A = victim CPU, B = tasks
+	// migrated in the drain.
+	EvTaskSteal
+	// EvRdvRTS is an inbound rendezvous request-to-send: A = message
+	// id, B = total message bytes.
+	EvRdvRTS
+	// EvRdvCTS is an inbound clear-to-send: A = message id, B unused.
+	EvRdvCTS
+	// EvRdvFin is an inbound rendezvous completion: A = message id,
+	// B unused.
+	EvRdvFin
+	// EvRetransmit is a rendezvous control retransmission after a
+	// timeout: A = message id, B = retry ordinal.
+	EvRetransmit
+	// EvEagerRetry is an eager frame retransmission: A = sequence
+	// number, B = retry ordinal.
+	EvEagerRetry
+	// EvTimeout is a transfer failed permanently after exhausting
+	// retries: A = message id or sequence, B = path (0 rendezvous
+	// send, 1 rendezvous receive, 2 eager).
+	EvTimeout
+	// EvRailDeath is a rail marked dead: A = rail index, B = live
+	// rails remaining on the gate.
+	EvRailDeath
+
+	numKinds
+)
+
+// String returns the chrome://tracing event name for the kind.
+func (k Kind) String() string {
+	names := [...]string{
+		EvTaskRun:    "task-run",
+		EvTaskSteal:  "task-steal",
+		EvRdvRTS:     "rdv-rts",
+		EvRdvCTS:     "rdv-cts",
+		EvRdvFin:     "rdv-fin",
+		EvRetransmit: "retransmit",
+		EvEagerRetry: "eager-retry",
+		EvTimeout:    "timeout",
+		EvRailDeath:  "rail-death",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// Event is one drained flight-recorder entry.
+type Event struct {
+	// TS is the clock stamp in the recorder's clock units
+	// (nanoseconds of wall or virtual time).
+	TS int64
+	// Ring is the ring the event was recorded under (CPU or gate id,
+	// clamped modulo the ring count).
+	Ring int
+	// Kind identifies the event.
+	Kind Kind
+	// A and B are the kind-specific payload (see the Kind constants).
+	A, B uint64
+}
+
+// slot is one ring entry. Every field is atomic so a drain racing a
+// record is a skipped or torn-detected slot, never a data race.
+type slot struct {
+	seq  atomic.Uint64 // 0 while being written, position+1 once published
+	ts   atomic.Int64
+	kind atomic.Uint32
+	a    atomic.Uint64
+	b    atomic.Uint64
+}
+
+// ring is one independently-positioned event buffer.
+type ring struct {
+	pos   atomic.Uint64
+	slots []slot
+	mask  uint64
+}
+
+// Recorder is the flight recorder. The zero value is not usable; use
+// New. A nil *Recorder is safe to Record on (a no-op), which is what
+// makes the disabled path free: engines hold the pointer and hot paths
+// guard with a single nil check.
+type Recorder struct {
+	rings []ring
+	clock atomic.Pointer[func() int64]
+}
+
+// New builds a recorder with the given number of rings, each holding
+// capacity events (rounded up to a power of two, minimum 64). rings is
+// clamped to at least 1. clock stamps events; nil means wall-clock
+// nanoseconds.
+func New(rings, capacity int, clock func() int64) *Recorder {
+	if rings < 1 {
+		rings = 1
+	}
+	if capacity < 64 {
+		capacity = 64
+	}
+	capacity = 1 << bits.Len(uint(capacity-1))
+	r := &Recorder{rings: make([]ring, rings)}
+	for i := range r.rings {
+		r.rings[i].slots = make([]slot, capacity)
+		r.rings[i].mask = uint64(capacity - 1)
+	}
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	r.clock.Store(&clock)
+	return r
+}
+
+// SetClock repoints the recorder's timestamp source; the cluster
+// harness uses this to stamp events on the fabric's virtual clock so a
+// drained trace lines up with the scenario's modelled time.
+func (r *Recorder) SetClock(clock func() int64) {
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	r.clock.Store(&clock)
+}
+
+// Record appends one event to the given ring (clamped modulo the ring
+// count), overwriting the oldest entry when the ring is full. Safe for
+// concurrent use and safe on a nil receiver, where it is a no-op.
+func (r *Recorder) Record(ringIdx int, k Kind, a, b uint64) {
+	if r == nil {
+		return
+	}
+	rg := &r.rings[uint(ringIdx)%uint(len(r.rings))]
+	pos := rg.pos.Add(1) - 1
+	s := &rg.slots[pos&rg.mask]
+	s.seq.Store(0)
+	s.ts.Store((*r.clock.Load())())
+	s.kind.Store(uint32(k))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(pos + 1)
+}
+
+// Recorded returns the total number of events ever recorded across all
+// rings (including ones since overwritten).
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	var n uint64
+	for i := range r.rings {
+		n += r.rings[i].pos.Load()
+	}
+	return n
+}
+
+// Events drains a consistent best-effort snapshot of every ring,
+// skipping slots that are mid-write, and returns the events sorted by
+// (timestamp, ring, ring order). The recorder keeps recording; drained
+// events are not removed.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for ri := range r.rings {
+		rg := &r.rings[ri]
+		pos := rg.pos.Load()
+		start := uint64(0)
+		if pos > uint64(len(rg.slots)) {
+			start = pos - uint64(len(rg.slots))
+		}
+		for p := start; p < pos; p++ {
+			s := &rg.slots[p&rg.mask]
+			if s.seq.Load() != p+1 {
+				continue
+			}
+			ev := Event{TS: s.ts.Load(), Ring: ri, Kind: Kind(s.kind.Load()), A: s.a.Load(), B: s.b.Load()}
+			if s.seq.Load() != p+1 { // re-check: a wrapping writer landed mid-read
+				continue
+			}
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Ring < out[j].Ring
+	})
+	return out
+}
+
+// chromeEvent is one entry of the chrome://tracing JSON array format
+// ("i" = instant event; ts is in microseconds).
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s"`
+	Args  map[string]uint64 `json:"args"`
+}
+
+// WriteTrace drains the recorder and writes the events as a
+// chrome://tracing JSON document ({"traceEvents": [...]}), loadable in
+// chrome://tracing or Perfetto. Timestamps are converted from the
+// recorder clock's nanoseconds to the format's microseconds; each ring
+// becomes a tid so per-CPU / per-gate activity lands on its own row.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	events := r.Events()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	for i, ev := range events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		ce := chromeEvent{
+			Name:  ev.Kind.String(),
+			Phase: "i",
+			TS:    float64(ev.TS) / 1e3,
+			PID:   0,
+			TID:   ev.Ring,
+			Scope: "t",
+			Args:  map[string]uint64{"a": ev.A, "b": ev.B},
+		}
+		// Encoder appends a newline after each value; harmless inside
+		// a JSON array and keeps the document diffable.
+		if err := enc.Encode(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

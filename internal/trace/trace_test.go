@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// fixedClock returns a clock that ticks by one per call, starting at
+// base, so event order is encoded in timestamps.
+func fixedClock(base int64) func() int64 {
+	t := base
+	return func() int64 { t++; return t }
+}
+
+func TestRecordAndDrain(t *testing.T) {
+	r := New(2, 64, fixedClock(0))
+	r.Record(0, EvTaskRun, 1, 0)
+	r.Record(1, EvRdvRTS, 42, 4096)
+	r.Record(0, EvTaskSteal, 3, 7)
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("drained %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != EvTaskRun || evs[0].Ring != 0 {
+		t.Fatalf("first event = %+v, want task-run on ring 0", evs[0])
+	}
+	if evs[1].Kind != EvRdvRTS || evs[1].A != 42 || evs[1].B != 4096 {
+		t.Fatalf("second event = %+v, want rdv-rts A=42 B=4096", evs[1])
+	}
+	if got := r.Recorded(); got != 3 {
+		t.Fatalf("Recorded() = %d, want 3", got)
+	}
+	// Draining is non-destructive.
+	if again := r.Events(); len(again) != 3 {
+		t.Fatalf("second drain saw %d events, want 3", len(again))
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	const capacity = 64
+	r := New(1, capacity, fixedClock(0))
+	const total = capacity*3 + 5
+	for i := 0; i < total; i++ {
+		r.Record(0, EvTaskRun, uint64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != capacity {
+		t.Fatalf("drained %d events after wrap, want the last %d", len(evs), capacity)
+	}
+	// The survivors must be exactly the newest `capacity` events, in
+	// order.
+	for i, ev := range evs {
+		want := uint64(total - capacity + i)
+		if ev.A != want {
+			t.Fatalf("event %d has A=%d, want %d (oldest must be overwritten)", i, ev.A, want)
+		}
+	}
+	if got := r.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+}
+
+func TestRingClampAndNilSafety(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Record(0, EvTaskRun, 1, 2) // must not panic
+	if nilRec.Events() != nil || nilRec.Recorded() != 0 {
+		t.Fatal("nil recorder must drain empty")
+	}
+
+	r := New(2, 64, fixedClock(0))
+	r.Record(7, EvRailDeath, 0, 0)  // clamps to ring 7%2 = 1
+	r.Record(-3, EvRailDeath, 1, 0) // negative rings must not panic
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("drained %d events, want 2", len(evs))
+	}
+	if evs[0].Ring != 1 {
+		t.Fatalf("ring 7 clamped to %d, want 1", evs[0].Ring)
+	}
+}
+
+// TestConcurrentRecordDrain hammers one ring from several writers
+// while a reader drains, under -race. Correctness bar: no race, no
+// panic, and every drained event is internally consistent (a payload
+// that matches its kind's writer).
+func TestConcurrentRecordDrain(t *testing.T) {
+	r := New(4, 256, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Record(w, EvTaskRun, uint64(i), uint64(w))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		for _, ev := range r.Events() {
+			if ev.Kind != EvTaskRun {
+				t.Errorf("drained kind %v mid-write, want only task-run", ev.Kind)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWriteTraceChromeJSON(t *testing.T) {
+	r := New(2, 64, fixedClock(1000))
+	r.Record(0, EvTaskRun, 5, 0)
+	r.Record(1, EvRetransmit, 9, 2)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string             `json:"name"`
+			Phase string             `json:"ph"`
+			TS    float64            `json:"ts"`
+			TID   int                `json:"tid"`
+			Args  map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Name != "task-run" || doc.TraceEvents[0].Phase != "i" {
+		t.Fatalf("first event = %+v, want instant task-run", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Name != "retransmit" || doc.TraceEvents[1].TID != 1 {
+		t.Fatalf("second event = %+v, want retransmit on tid 1", doc.TraceEvents[1])
+	}
+	// ns → µs conversion: clock starts at 1001 ns.
+	if doc.TraceEvents[0].TS != 1.001 {
+		t.Fatalf("ts = %v µs, want 1.001", doc.TraceEvents[0].TS)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+}
+
+// BenchmarkRecord prices one enabled-path event append; the disabled
+// path is a nil check on the engine field and is priced by the
+// scheduler guard benchmarks staying within their 5% band.
+func BenchmarkRecord(b *testing.B) {
+	clock := func() int64 { return 1 }
+	r := New(4, 1<<12, clock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(i, EvTaskRun, uint64(i), 0)
+	}
+}
