@@ -115,6 +115,9 @@ func main() {
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()
 		reg.Register(obs.NewGoCollector(), obs.NewClusterCollector(snapshot))
+		if rec != nil {
+			reg.Register(obs.NewTraceCollector(rec))
+		}
 		health := obs.NewHealth()
 		health.Register("scenarios", func() error {
 			for _, r := range snapshot() {

@@ -1,0 +1,178 @@
+// Command tracestat reconstructs message-lifecycle span trees from a
+// flight-recorder trace and reports where the time went: per-phase
+// latency percentiles, the slowest end-to-end messages (the critical
+// path), and anomaly counts (retransmit-stalled, timeout-killed,
+// head-of-line-blocked).
+//
+// Input is chrome://tracing JSON — either a file written by
+// `clusterbench -trace` / trace.Recorder.WriteTrace, or a live drain of
+// an obs.Server's /debug/trace endpoint:
+//
+//	tracestat -in run.json            # analyze a trace file
+//	tracestat -url http://127.0.0.1:9187/debug/trace
+//	                                  # drain a live recorder
+//	tracestat -in run.json -top 10    # show the 10 slowest messages
+//	tracestat -in run.json -check     # CI smoke: exit 1 unless the
+//	                                  # trace reconstructs (≥1 message,
+//	                                  # ≥1 completed, zero orphan spans)
+//
+// Output is deterministic: the same trace bytes produce the same
+// report bytes, so a same-seed clusterbench trace diffs clean across
+// runs and the report itself can serve as a golden fixture.
+//
+// Exit status: 0 on success (and -check passing), 1 when -check fails,
+// 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"pioman/internal/stats"
+	"pioman/internal/trace"
+	"pioman/internal/trace/analyze"
+)
+
+func main() {
+	in := flag.String("in", "", "chrome://tracing JSON file to analyze (\"-\" = stdin)")
+	url := flag.String("url", "", "drain a live /debug/trace endpoint instead of a file")
+	top := flag.Int("top", 5, "number of critical-path (slowest) messages to show")
+	check := flag.Bool("check", false, "exit 1 unless the trace reconstructs: ≥1 message, ≥1 completed, zero orphan spans")
+	flag.Parse()
+
+	events, err := load(*in, *url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(2)
+	}
+	rep := analyze.Analyze(events)
+	os.Stdout.WriteString(Render(rep, *top))
+
+	if *check {
+		if errs := Check(rep); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "check:", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("check: ok")
+	}
+}
+
+// load fetches the event stream from exactly one of a file or a URL.
+func load(in, url string) ([]trace.Event, error) {
+	switch {
+	case in != "" && url != "":
+		return nil, fmt.Errorf("give -in or -url, not both")
+	case in == "" && url == "":
+		return nil, fmt.Errorf("need -in <file> or -url <endpoint> (try -h)")
+	case url != "":
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return nil, fmt.Errorf("%s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+		}
+		return trace.ReadTrace(resp.Body)
+	case in == "-":
+		return trace.ReadTrace(os.Stdin)
+	default:
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadTrace(f)
+	}
+}
+
+// Check applies the CI smoke contract: the trace must reconstruct into
+// at least one message, at least one must have completed, and completed
+// messages must carry fully paired span trees (zero orphans).
+func Check(rep *analyze.Report) []string {
+	var errs []string
+	if len(rep.Messages) == 0 {
+		errs = append(errs, "no messages reconstructed (empty or span-free trace)")
+	} else if rep.Completed == 0 {
+		errs = append(errs, "no message completed")
+	}
+	if rep.OrphanSpans > 0 {
+		errs = append(errs, fmt.Sprintf("%d orphan phase spans on completed messages (begin/end pairing broken)", rep.OrphanSpans))
+	}
+	return errs
+}
+
+// Render produces the full human report. Deterministic: same report in,
+// same bytes out (all iteration orders are sorted upstream).
+func Render(rep *analyze.Report, top int) string {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "messages: %d  completed: %d  failed: %d  incomplete: %d  orphan spans: %d\n",
+		len(rep.Messages), rep.Completed, rep.Failed, rep.Incomplete, rep.OrphanSpans)
+	if len(rep.Anomalies) > 0 {
+		b.WriteString("anomalies:")
+		for _, a := range []analyze.Anomaly{analyze.RetransmitStalled, analyze.TimeoutKilled, analyze.HeadOfLineBlocked} {
+			if n := rep.Anomalies[a]; n > 0 {
+				fmt.Fprintf(&b, " %s=%d", a, n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+
+	if names := rep.PhaseNames(); len(names) > 0 {
+		tb := stats.Table{
+			Title:   "per-phase latency",
+			Header:  []string{"phase", "count", "p50(us)", "p99(us)", "max(us)"},
+			Caption: "Durations of complete top-level phase spans on the trace clock.",
+		}
+		for _, name := range names {
+			h := rep.Phases[name]
+			tb.AddRow(name,
+				strconv.FormatUint(h.Count(), 10),
+				us(h.Quantile(0.5)), us(h.Quantile(0.99)), us(h.Max()))
+		}
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+
+	if slow := rep.CriticalPath(top); len(slow) > 0 {
+		tb := stats.Table{
+			Title:  fmt.Sprintf("critical path (top %d by end-to-end duration)", len(slow)),
+			Header: []string{"message", "bytes", "total(us)", "critical phase", "share", "flags"},
+		}
+		for _, m := range slow {
+			phase, dur := m.CriticalPhase()
+			share := "-"
+			if phase != "" && m.Duration() > 0 {
+				share = fmt.Sprintf("%d%%", dur*100/m.Duration())
+			} else if phase == "" {
+				phase = "-"
+			}
+			flags := "-"
+			if len(m.Anomalies) > 0 {
+				parts := make([]string, len(m.Anomalies))
+				for i, a := range m.Anomalies {
+					parts[i] = string(a)
+				}
+				flags = strings.Join(parts, ",")
+			}
+			tb.AddRow(m.Label(), strconv.FormatUint(m.Bytes, 10), us(m.Duration()), phase, share, flags)
+		}
+		b.WriteString(tb.String())
+	}
+	return b.String()
+}
+
+// us renders nanoseconds as microseconds with one decimal.
+func us(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 1, 64)
+}

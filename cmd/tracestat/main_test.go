@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pioman/internal/cluster"
+	"pioman/internal/obs"
+	"pioman/internal/trace"
+	"pioman/internal/trace/analyze"
+)
+
+// chaosTrace runs the chaos-soup scenario traced and returns its chrome
+// JSON document — the same bytes `clusterbench -trace` would write.
+func chaosTrace(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rec := trace.New(8, 1<<14, nil)
+	only := func(name string) bool { return name == "chaos-soup" }
+	results := cluster.RunTraced(seed, only, rec)
+	if len(results) != 1 || !results[0].Passed() {
+		t.Fatalf("traced chaos-soup did not pass: %+v", results)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// render parses a chrome document the way `tracestat -in` does and
+// renders the report.
+func render(t *testing.T, doc []byte, top int) string {
+	t.Helper()
+	events, err := trace.ReadTrace(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	return Render(analyze.Analyze(events), top)
+}
+
+// TestDeterministicOutput is the acceptance criterion: tracestat output
+// for a same-seed chaos-soup trace is byte-identical across two
+// independent runs — the report can serve as a regression fixture.
+func TestDeterministicOutput(t *testing.T) {
+	doc1 := chaosTrace(t, 1)
+	doc2 := chaosTrace(t, 1)
+	if !bytes.Equal(doc1, doc2) {
+		t.Fatal("same-seed chaos runs drained different chrome documents")
+	}
+	out1 := render(t, doc1, 10)
+	out2 := render(t, doc2, 10)
+	if out1 != out2 {
+		t.Fatalf("tracestat output differs across same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+	// The report must actually say something about a lossy rendezvous
+	// storm: phases attributed, critical path listed, retransmits
+	// flagged.
+	for _, want := range []string{
+		"per-phase latency", "handshake", "critical path",
+		string(analyze.RetransmitStalled),
+	} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("report lacks %q:\n%s", want, out1)
+		}
+	}
+}
+
+// TestCheckContract exercises the -check smoke gate: a healthy chaos
+// trace passes, an empty trace and a trace with a dangling begin fail.
+func TestCheckContract(t *testing.T) {
+	doc := chaosTrace(t, 1)
+	events, err := trace.ReadTrace(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if errs := Check(analyze.Analyze(events)); len(errs) != 0 {
+		t.Errorf("healthy chaos trace failed -check: %v", errs)
+	}
+
+	if errs := Check(analyze.Analyze(nil)); len(errs) == 0 {
+		t.Error("empty trace passed -check")
+	}
+
+	// A completed message (paired send span) carrying a handshake begin
+	// with no end: one orphan, must fail.
+	sid := trace.PackSpanID(1, 2, trace.DirSend, 0, 7)
+	orphaned := []trace.Event{
+		{Kind: trace.EvSendBegin, A: sid, TS: 10},
+		{Kind: trace.EvHandshakeBegin, A: sid, TS: 20},
+		{Kind: trace.EvSendEnd, A: sid, TS: 90},
+	}
+	rep := analyze.Analyze(orphaned)
+	if rep.OrphanSpans != 1 {
+		t.Fatalf("expected 1 orphan span, got %d", rep.OrphanSpans)
+	}
+	if errs := Check(rep); len(errs) == 0 {
+		t.Error("orphaned span tree passed -check")
+	}
+}
+
+// TestLoadFile covers the -in path end to end: a trace written to disk
+// round-trips through load and analyzes identically to the in-memory
+// stream.
+func TestLoadFile(t *testing.T) {
+	doc := chaosTrace(t, 1)
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := load(path, "")
+	if err != nil {
+		t.Fatalf("load(%s): %v", path, err)
+	}
+	if got, want := Render(analyze.Analyze(events), 5), render(t, doc, 5); got != want {
+		t.Fatalf("file round-trip changed the report:\n%s\nvs\n%s", got, want)
+	}
+
+	if _, err := load("", ""); err == nil {
+		t.Error("load with no source did not error")
+	}
+	if _, err := load(path, "http://x"); err == nil {
+		t.Error("load with both sources did not error")
+	}
+}
+
+// TestLoadURL covers the -url path: draining a live obs.Server
+// /debug/trace endpoint yields the same report as the file route.
+func TestLoadURL(t *testing.T) {
+	rec := trace.New(8, 1<<14, nil)
+	only := func(name string) bool { return name == "chaos-soup" }
+	if results := cluster.RunTraced(1, only, rec); len(results) != 1 || !results[0].Passed() {
+		t.Fatalf("traced chaos-soup did not pass: %+v", results)
+	}
+	srv := obs.NewServer(obs.ServerConfig{Trace: rec})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	events, err := load("", ts.URL+"/debug/trace")
+	if err != nil {
+		t.Fatalf("load(-url): %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if got, want := Render(analyze.Analyze(events), 5), render(t, buf.Bytes(), 5); got != want {
+		t.Fatalf("-url report differs from -in report:\n%s\nvs\n%s", got, want)
+	}
+
+	// A server with no recorder 404s; load must surface that, not parse.
+	empty := httptest.NewServer(obs.NewServer(obs.ServerConfig{}).Handler())
+	defer empty.Close()
+	if _, err := load("", empty.URL+"/debug/trace"); err == nil {
+		t.Error("404 endpoint did not error")
+	}
+}

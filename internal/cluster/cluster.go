@@ -126,6 +126,12 @@ type harness struct {
 	xfers  []*xfer
 	hist   stats.Histogram // completed-transfer latency, virtual ns
 	closed bool
+
+	// rec and mark slice the (suite-shared) flight recorder to this
+	// scenario: mark is taken at harness build, so EventsSince(mark)
+	// yields exactly this scenario's span stream for phase attribution.
+	rec  *trace.Recorder
+	mark trace.Mark
 }
 
 // newHarness builds the cluster: one fabric, one shared task engine
@@ -167,6 +173,8 @@ func newHarness(opt Options) *harness {
 	if rec != nil {
 		rec.SetClock(clock)
 	}
+	h.rec = rec
+	h.mark = rec.Mark()
 	h.tasks = core.New(core.Config{
 		Topology:     topo,
 		LatencyStats: true,
@@ -214,6 +222,10 @@ func (h *harness) link(src, dst int) *nmad.Gate {
 	if err != nil {
 		panic(fmt.Sprintf("cluster: gate %d→%d: %v", dst, src, err))
 	}
+	// Span ids carry cluster node indices, so the sender- and
+	// receiver-side spans of one message correlate across engines.
+	ga.SetTraceInfo(src, dst)
+	gb.SetTraceInfo(dst, src)
 	a.gateTo[dst] = ga
 	b.gateTo[src] = gb
 	a.epTo[dst] = ea

@@ -6,6 +6,7 @@ import (
 	"pioman/internal/fabric"
 	"pioman/internal/simtime"
 	"pioman/internal/trace"
+	"pioman/internal/trace/analyze"
 )
 
 // Result is one scenario's BENCH record. Every field is an integer
@@ -44,8 +45,27 @@ type Result struct {
 	LatencyMaxNs int64 `json:"latency_max_ns"`
 	VirtualNs    int64 `json:"virtual_ns"`
 
+	// Phase attribution from the flight recorder's message spans,
+	// present only on traced runs (RunTraced / clusterbench with a
+	// recorder attached); plain runs omit the section so untraced JSON
+	// is unchanged. All integers on the virtual clock, so traced JSON
+	// stays byte-identical under a fixed seed too.
+	TraceMessages    int         `json:"trace_messages,omitempty"`
+	TraceOrphanSpans int         `json:"trace_orphan_spans,omitempty"`
+	Phases           []PhaseStat `json:"phases,omitempty"`
+
 	ExpectHang bool     `json:"expect_hang"`
 	Violations []string `json:"violations"`
+}
+
+// PhaseStat is one protocol phase's latency distribution across every
+// traced message of the scenario (virtual-clock nanoseconds).
+type PhaseStat struct {
+	Phase string `json:"phase"`
+	Count uint64 `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
 }
 
 // Passed reports whether every invariant held.
@@ -144,15 +164,39 @@ type Scenario struct {
 }
 
 // finish is the shared scenario epilogue: resolve stragglers, audit,
-// close, count surviving regions, check the contract.
+// close, count surviving regions, attribute phases, check the contract.
 func finish(h *harness, res *Result, ex expect) Result {
 	h.cancelUnmatched()
 	h.drive(32 * rdvTimeout)
 	h.audit(res)
 	h.close()
 	res.LiveRegions = h.fab.Stats().LiveRegions
+	h.tracePhases(res)
 	check(res, ex)
 	return *res
+}
+
+// tracePhases fills the Result's span-derived section from the
+// scenario's slice of the flight recorder. Runs after close so spans
+// the shutdown path finalizes (hung requests killed by Close) are
+// included. No-op on untraced runs.
+func (h *harness) tracePhases(res *Result) {
+	if h.rec == nil {
+		return
+	}
+	rep := analyze.Analyze(h.rec.EventsSince(h.mark))
+	res.TraceMessages = len(rep.Messages)
+	res.TraceOrphanSpans = rep.OrphanSpans
+	for _, name := range rep.PhaseNames() {
+		hist := rep.Phases[name]
+		res.Phases = append(res.Phases, PhaseStat{
+			Phase: name,
+			Count: hist.Count(),
+			P50Ns: hist.Quantile(0.5),
+			P99Ns: hist.Quantile(0.99),
+			MaxNs: hist.Max(),
+		})
+	}
 }
 
 // mixSeed derives a scenario-local fault seed so scenarios draw

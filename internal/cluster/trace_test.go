@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pioman/internal/trace"
+	"pioman/internal/trace/analyze"
 )
 
 // TestChaosTraceReplaysAsChromeJSON runs the chaos-soup scenario with a
@@ -45,11 +46,40 @@ func TestChaosTraceReplaysAsChromeJSON(t *testing.T) {
 		}
 	}
 	// chaos-soup is all-to-all rendezvous under 10% drop: dispatches,
-	// handshakes, and retransmissions must all be visible.
-	for _, want := range []trace.Kind{trace.EvTaskRun, trace.EvRdvRTS, trace.EvRetransmit} {
+	// handshakes, retransmissions, and lifecycle spans must all be
+	// visible.
+	for _, want := range []trace.Kind{
+		trace.EvTaskRun, trace.EvRdvRTS, trace.EvRetransmit,
+		trace.EvSendBegin, trace.EvSendEnd, trace.EvRecvBegin,
+		trace.EvMatchEnd, trace.EvHandshakeBegin,
+	} {
 		if kinds[want] == 0 {
 			t.Errorf("trace has no %v events (kinds seen: %v)", want, kinds)
 		}
+	}
+
+	// The span trees must reconstruct: every message of the scenario
+	// appears, completed transfers carry fully paired (orphan-free)
+	// trees even under 10% loss, and the lossy run demonstrably flags
+	// retransmit-stalled messages.
+	rep := analyze.Analyze(events)
+	if len(rep.Messages) != tr.Transfers {
+		t.Errorf("analyzer reconstructed %d messages, scenario ran %d transfers", len(rep.Messages), tr.Transfers)
+	}
+	if rep.Completed == 0 {
+		t.Error("analyzer saw no completed message")
+	}
+	if rep.OrphanSpans != 0 {
+		t.Errorf("%d orphan phase spans on completed messages", rep.OrphanSpans)
+	}
+	if rep.Anomalies[analyze.RetransmitStalled] == 0 {
+		t.Error("10%% drop produced no retransmit-stalled message")
+	}
+	if tr.TraceMessages != len(rep.Messages) {
+		t.Errorf("Result.TraceMessages = %d, analyzer saw %d", tr.TraceMessages, len(rep.Messages))
+	}
+	if len(tr.Phases) == 0 {
+		t.Error("traced Result carries no phase breakdown")
 	}
 
 	var buf bytes.Buffer
@@ -70,14 +100,27 @@ func TestChaosTraceReplaysAsChromeJSON(t *testing.T) {
 	if len(doc.TraceEvents) != len(events) {
 		t.Fatalf("JSON has %d events, drain had %d", len(doc.TraceEvents), len(events))
 	}
-	for _, ce := range doc.TraceEvents[:3] {
-		if ce.Name == "" || ce.Phase != "i" {
+	phases := map[string]int{}
+	for _, ce := range doc.TraceEvents {
+		if ce.Name == "" {
 			t.Fatalf("malformed chrome event %+v", ce)
+		}
+		phases[ce.Phase]++
+	}
+	for _, ph := range []string{"i", "b", "e"} {
+		if phases[ph] == 0 {
+			t.Errorf("chrome JSON has no %q events (phases seen: %v)", ph, phases)
+		}
+	}
+	for ph := range phases {
+		if ph != "i" && ph != "b" && ph != "e" {
+			t.Errorf("chrome JSON has unexpected phase %q", ph)
 		}
 	}
 
 	// Determinism: a second traced run of the same seed produces the
-	// identical event stream (same virtual-clock stamps, same order).
+	// identical event stream (same virtual-clock stamps, same order)
+	// and a byte-identical chrome document.
 	rec2 := trace.New(8, 1<<14, nil)
 	RunTraced(1, only, rec2)
 	events2 := rec2.Events()
@@ -87,6 +130,57 @@ func TestChaosTraceReplaysAsChromeJSON(t *testing.T) {
 	for i := range events {
 		if events[i] != events2[i] {
 			t.Fatalf("event %d differs across same-seed runs:\n%+v\n%+v", i, events[i], events2[i])
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := rec2.WriteTrace(&buf2); err != nil {
+		t.Fatalf("WriteTrace (re-run): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome JSON differs across same-seed runs")
+	}
+}
+
+// TestPhaseCoverageLossless is the Σ-phase tie-out: on a lossless
+// scenario every message completes with a fully paired span tree, and
+// each side's phase spans partition its whole-message span — their
+// durations sum to within [95%, 100%] of the submit→completion span on
+// the virtual clock. Under-coverage means a protocol transition lost
+// its span hook; over-coverage means phases overlap (double counting).
+func TestPhaseCoverageLossless(t *testing.T) {
+	only := func(name string) bool { return name == "shuffle" }
+	rec := trace.New(8, 1<<16, nil)
+	results := RunTraced(1, only, rec)
+	if len(results) != 1 || !results[0].Passed() {
+		t.Fatalf("traced shuffle did not pass: %+v", results)
+	}
+	rep := analyze.Analyze(rec.Events())
+	if len(rep.Messages) != results[0].Transfers {
+		t.Fatalf("analyzer saw %d messages, scenario ran %d transfers", len(rep.Messages), results[0].Transfers)
+	}
+	for _, m := range rep.Messages {
+		if !m.Completed() {
+			t.Fatalf("message %s did not complete in a lossless run", m.Label())
+		}
+		if n := m.Orphans(); n != 0 {
+			t.Errorf("message %s has %d orphan spans", m.Label(), n)
+		}
+		for _, dir := range []uint64{trace.DirSend, trace.DirRecv} {
+			phaseSum, span, ok := m.SideCoverage(dir)
+			if !ok {
+				t.Errorf("message %s has no complete whole-message span for dir %d", m.Label(), dir)
+				continue
+			}
+			if span <= 0 {
+				t.Errorf("message %s dir %d: whole-message span duration %d", m.Label(), dir, span)
+				continue
+			}
+			if phaseSum > span {
+				t.Errorf("message %s dir %d: phases sum to %d ns > %d ns span (overlap)", m.Label(), dir, phaseSum, span)
+			}
+			if phaseSum*100 < span*95 {
+				t.Errorf("message %s dir %d: phases cover %d of %d ns (< 95%%)", m.Label(), dir, phaseSum, span)
+			}
 		}
 	}
 }

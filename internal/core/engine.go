@@ -382,6 +382,9 @@ func (e *Engine) Submit(t *Task) error {
 // the home queue, enqueue, and fire the wakeup notifier. The caller has
 // already validated the task and transitioned it to StateSubmitted.
 func (e *Engine) submitTo(t *Task, q *Queue) {
+	if rec := e.rec; rec != nil {
+		t.submitTS = rec.Now()
+	}
 	t.home = q
 	q.enqueue(t)
 	if fn := e.notify.Load(); fn != nil {
@@ -681,12 +684,22 @@ func (e *Engine) run(t *Task, cpu int) {
 	runs := t.runs.Add(1)
 	e.shards[cpu].executions.Add(1)
 	if r := e.rec; r != nil {
-		r.Record(cpu, trace.EvTaskRun, runs, 0)
+		var wait uint64
+		if t.submitTS != 0 {
+			if now := r.Now(); now > t.submitTS {
+				wait = uint64(now - t.submitTS)
+			}
+		}
+		r.Record(cpu, trace.EvTaskRun, runs, wait)
 	}
 	done := t.Fn(t.Arg)
 	if t.Options&Repeat != 0 && !done {
 		t.state.Store(uint32(StateSubmitted))
 		e.shards[cpu].requeues.Add(1)
+		if r := e.rec; r != nil {
+			// Restamp: the next EvTaskRun's wait starts at this requeue.
+			t.submitTS = r.Now()
+		}
 		t.home.enqueue(t)
 		return
 	}

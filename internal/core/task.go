@@ -106,6 +106,12 @@ type Task struct {
 	doneCh     atomic.Pointer[chan struct{}]
 	doneClosed atomic.Bool
 
+	// submitTS stamps when the task last entered a queue (recorder
+	// clock), so EvTaskRun can attribute queue wait. Only written when a
+	// recorder is attached; the queue lock's release/acquire pair orders
+	// the plain write (before enqueue) against the run-side read.
+	submitTS int64
+
 	// next links the task into an intrusive queue; owned by the queue's
 	// lock while the task is queued.
 	next *Task

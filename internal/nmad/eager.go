@@ -1,6 +1,10 @@
 package nmad
 
-import "errors"
+import (
+	"errors"
+
+	"pioman/internal/trace"
+)
 
 // Reliable eager delivery.
 //
@@ -134,6 +138,10 @@ func (e *Engine) eagerAcked(g *Gate, hdr Header) {
 	e.eagerAcks.Add(1)
 	req := st.req
 	e.putEager(st)
+	if req.traceID != 0 {
+		// The ack closes the eager send's final phase (wire-out → ack).
+		e.rec.Record(int(req.traceRing), trace.EvAckWaitEnd, req.traceID, 0)
+	}
 	req.complete(nil)
 }
 

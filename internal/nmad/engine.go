@@ -491,6 +491,7 @@ func (e *Engine) Close() error {
 	e.sendRdv = map[rdvKey]*sendRdvState{}
 	e.eagerPend = map[rdvKey]*eagerState{}
 	e.mu.Unlock()
+	sortVictims(pending)
 	for _, r := range pending {
 		r.complete(ErrClosed)
 	}
@@ -633,6 +634,14 @@ type Gate struct {
 	alive     atomic.Int32
 	nextMsgID atomic.Uint64
 
+	// traceNode/tracePeer are the identities stamped into span ids
+	// (trace.PackSpanID): this side's node and the peer's node in
+	// whatever namespace the harness assigns (cluster node index).
+	// Defaults to the gate id on both, which keeps standalone
+	// engine-pair tests self-consistent; SetTraceInfo rewires them at
+	// link time so the two directions of one connection correlate.
+	traceNode, tracePeer int
+
 	// regCaches interns sender-side registrations per rail domain, so
 	// rails sharing a domain share one cache (and repeated sends of
 	// one buffer share one registration).
@@ -719,6 +728,7 @@ func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 	g.pktPool.New = func() any { return new(Packet) }
 	e.mu.Lock()
 	g.id = len(e.gates)
+	g.traceNode, g.tracePeer = g.id, g.id
 	e.gates = append(e.gates, g)
 	e.mu.Unlock()
 
@@ -854,6 +864,7 @@ func (e *Engine) railFailed(g *Gate, idx int, err error) {
 		}
 	}
 	e.mu.Unlock()
+	sortVictims(victims)
 	for _, r := range victims {
 		r.complete(err)
 	}
@@ -908,9 +919,35 @@ func (e *Engine) failGate(g *Gate, err error) {
 		}
 	}
 	e.mu.Unlock()
+	sortVictims(victims)
 	for _, r := range victims {
 		r.complete(err)
 	}
+}
+
+// sortVictims orders a batch of to-be-failed requests by span id:
+// completion now records trace events, and map iteration produced the
+// batch in randomized order, which a byte-identical seeded trace
+// cannot tolerate. Untraced requests (span id 0) record nothing, so
+// their relative order is irrelevant.
+func sortVictims(v []*Request) {
+	sort.Slice(v, func(i, j int) bool { return v[i].traceID < v[j].traceID })
+}
+
+// SetTraceInfo assigns the gate's span-id identities: node is this
+// side's id and peer the remote side's, in a namespace the caller
+// owns (the cluster harness uses node indices). Both directions of a
+// connection must agree — link A→B as (a, b) and B→A as (b, a) — for
+// their span trees to merge on one message key. Call before traffic
+// flows; the fields are read without synchronization on the record
+// path.
+func (g *Gate) SetTraceInfo(node, peer int) {
+	g.traceNode, g.tracePeer = node, peer
+}
+
+// spanID packs a whole-message or chunk span id for this gate.
+func (g *Gate) spanID(dir uint64, aux uint8, msgID uint64) uint64 {
+	return trace.PackSpanID(g.traceNode, g.tracePeer, dir, aux, msgID)
 }
 
 // Rails returns the number of rails of the gate.
@@ -1119,6 +1156,44 @@ func sendPacketTask(arg any) bool {
 // waiting on a reply that will now never come — fail it visibly
 // instead of leaving both sides hanging.
 func (p *Packet) completeAll(err error) {
+	g := p.gate
+	if err == nil {
+		if rec := g.eng.rec; rec != nil {
+			// Wire-out is a phase boundary: an ack-tracked eager frame
+			// leaving the wire ends its injection phase and starts the
+			// ack wait; a fire-and-forget eager/aggregate frame just
+			// ends injection; a rendezvous data fragment ends its
+			// chunk. Retransmitted frames re-record — the analyzer
+			// folds duplicates as first-begin/last-end.
+			for _, id := range p.pend {
+				sid := g.spanID(trace.DirSend, 0, id)
+				rec.Record(g.id, trace.EvInjectEnd, sid, 0)
+				rec.Record(g.id, trace.EvAckWaitBegin, sid, 0)
+			}
+			switch p.Hdr.Kind {
+			case KindEager:
+				if p.req != nil && p.req.traceID != 0 {
+					rec.Record(g.id, trace.EvInjectEnd, p.req.traceID, 0)
+				}
+				for _, r := range p.reqs {
+					if r.traceID != 0 {
+						rec.Record(g.id, trace.EvInjectEnd, r.traceID, 0)
+					}
+				}
+			case KindAggr:
+				for _, r := range p.reqs {
+					if r.traceID != 0 {
+						rec.Record(g.id, trace.EvInjectEnd, r.traceID, 0)
+					}
+				}
+			case KindData:
+				if p.req != nil && p.req.traceID != 0 {
+					rec.Record(g.id, trace.EvChunkEnd,
+						g.spanID(trace.DirSend, uint8(p.Hdr.FragIdx), p.Hdr.MsgID), 0)
+				}
+			}
+		}
+	}
 	if err != nil && len(p.pend) > 0 && !errors.Is(err, ErrBackpressure) {
 		// Ack-tracked eager messages whose frame could not be sent at
 		// all: fail them now. A transiently backpressured frame is
@@ -1133,6 +1208,11 @@ func (p *Packet) completeAll(err error) {
 		if err != nil {
 			p.req.complete(err)
 		} else if p.req.decRemaining() {
+			if p.Hdr.Kind == KindData && p.req.traceID != 0 {
+				// The last fragment is on the wire: the sender's
+				// transfer phase is over.
+				g.eng.rec.Record(g.id, trace.EvTransferEnd, p.req.traceID, 0)
+			}
 			p.req.complete(nil)
 		}
 	}

@@ -27,6 +27,15 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 
 	if len(data) <= e.cfg.EagerThreshold {
 		e.eagerSent.Add(1)
+		if rec := e.rec; rec != nil {
+			// Open the whole-message span and the injection phase:
+			// submit → frame on the wire (completeAll's wire-out hook
+			// closes it and opens the ack wait).
+			sid := g.spanID(trace.DirSend, 0, msgID)
+			req.traceID, req.traceRing = sid, int32(g.id)
+			rec.Record(g.id, trace.EvSendBegin, sid, uint64(len(data)))
+			rec.Record(g.id, trace.EvInjectBegin, sid, uint64(len(data)))
+		}
 		hdr := Header{Kind: KindEager, Tag: tag, MsgID: msgID, Total: uint32(len(data))}
 		if e.cfg.Strategy == StrategyAggreg {
 			if !e.cfg.NoEagerRetry {
@@ -99,6 +108,15 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 		}
 	}
 	e.rdvStarted.Add(1) // counted only once a handshake actually leaves
+	if rec := e.rec; rec != nil {
+		// Open the whole-message span and the handshake phase: RTS out
+		// → CTS back (push; transfer phase follows) or FIN back (pull;
+		// the handshake span covers the entire remote pull).
+		sid := g.spanID(trace.DirSend, 0, msgID)
+		req.traceID, req.traceRing = sid, int32(g.id)
+		rec.Record(g.id, trace.EvSendBegin, sid, uint64(len(data)))
+		rec.Record(g.id, trace.EvHandshakeBegin, sid, uint64(len(data)))
+	}
 	st.tag = tag
 	st.total = uint32(len(data))
 	st.deadline = e.clock() + e.cfg.RdvTimeout
@@ -140,6 +158,12 @@ func (g *Gate) irecv(tag uint64, buf []byte) *Request {
 	req.gate = g
 	req.tag = tag
 	req.userBuf = buf
+	if rec := e.rec; rec != nil {
+		// The receiver's span identity (the sender's msgID) is unknown
+		// until a frame matches; remember the post stamp so the
+		// whole-message and match-wait spans can open retroactively.
+		req.postTS = rec.Now()
+	}
 	if e.stopped.Load() {
 		req.complete(ErrClosed)
 		return req
@@ -184,11 +208,32 @@ func (g *Gate) Unexpected(tag uint64) bool {
 	return q != nil && !q.empty()
 }
 
+// traceMatch records the receiver-side span openings for a request
+// that just matched its message: the whole-message and match-wait
+// spans open retroactively at the Irecv post stamp (RecordAt), and
+// the match phase closes now. No-op without a recorder.
+func (e *Engine) traceMatch(g *Gate, req *Request, msgID uint64, total uint32) {
+	rec := e.rec
+	if rec == nil {
+		return
+	}
+	sid := g.spanID(trace.DirRecv, 0, msgID)
+	req.traceID, req.traceRing = sid, int32(g.id)
+	post := req.postTS
+	if post == 0 {
+		post = rec.Now()
+	}
+	rec.RecordAt(g.id, trace.EvRecvBegin, sid, uint64(total), post)
+	rec.RecordAt(g.id, trace.EvMatchBegin, sid, 0, post)
+	rec.Record(g.id, trace.EvMatchEnd, sid, 0)
+}
+
 // deliverLocked routes a matched inbound control frame to its receive
 // request. Called without e.mu held.
 func (e *Engine) deliverLocked(req *Request, u inbound) {
 	switch u.hdr.Kind {
 	case KindEager:
+		e.traceMatch(u.gate, req, u.hdr.MsgID, u.hdr.Total)
 		e.msgsRecv.Add(1)
 		if req.userBuf != nil {
 			if len(u.payload) > len(req.userBuf) {
@@ -204,6 +249,9 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 		req.complete(nil)
 	case KindRTS:
 		g := u.gate
+		// Open the receiver spans before the short-buffer check so the
+		// failure path below still closes a recorded whole-message span.
+		e.traceMatch(g, req, u.hdr.MsgID, u.hdr.Total)
 		req.total = u.hdr.Total
 		if req.userBuf != nil {
 			if int(u.hdr.Total) > len(req.userBuf) {
@@ -239,6 +287,11 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 			req.complete(errAllRailsDead)
 			return
 		}
+		if req.traceID != 0 {
+			// Transfer phase: match → every byte home (pull reads or
+			// pushed data frames alike); finishRecvRdv closes it.
+			e.rec.Record(g.id, trace.EvTransferBegin, req.traceID, uint64(u.hdr.Total))
+		}
 		// Receiver-driven pull when the RTS offers keys we can use;
 		// classic clear-to-send push otherwise.
 		if !e.cfg.NoRdvPull && len(u.ext) > 0 && e.startPull(g, st, u.ext) {
@@ -254,13 +307,16 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 // task on whatever core scheduled it.
 func (e *Engine) handleFrame(g *Gate, f Frame) {
 	if r := e.rec; r != nil {
+		// Control-plane instants carry the span id of the message they
+		// belong to: RTS arrives at the receiver (its span is DirRecv),
+		// CTS and FIN come back to the sender (DirSend).
 		switch f.Hdr.Kind {
 		case KindRTS:
-			r.Record(g.id, trace.EvRdvRTS, f.Hdr.MsgID, uint64(f.Hdr.Total))
+			r.Record(g.id, trace.EvRdvRTS, g.spanID(trace.DirRecv, 0, f.Hdr.MsgID), uint64(f.Hdr.Total))
 		case KindCTS:
-			r.Record(g.id, trace.EvRdvCTS, f.Hdr.MsgID, 0)
+			r.Record(g.id, trace.EvRdvCTS, g.spanID(trace.DirSend, 0, f.Hdr.MsgID), 0)
 		case KindFin:
-			r.Record(g.id, trace.EvRdvFin, f.Hdr.MsgID, 0)
+			r.Record(g.id, trace.EvRdvFin, g.spanID(trace.DirSend, 0, f.Hdr.MsgID), 0)
 		}
 	}
 	switch f.Hdr.Kind {
@@ -324,6 +380,13 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 			g.sendControl(KindRdvNack, f.Hdr.Tag, f.Hdr.MsgID, nackRecv, 0)
 			return
 		}
+		if st.req.traceID != 0 {
+			// Push mode: the CTS ends the handshake phase and starts the
+			// transfer (striped data fragments; the wire-out of the last
+			// one closes it in completeAll).
+			e.rec.Record(g.id, trace.EvHandshakeEnd, st.req.traceID, 0)
+			e.rec.Record(g.id, trace.EvTransferBegin, st.req.traceID, uint64(len(st.data)))
+		}
 		st.releaseRegs()
 		g.sendRdvData(st, f.Hdr)
 
@@ -370,6 +433,11 @@ func (e *Engine) handleFrame(g *Gate, f Frame) {
 		st.releaseRegs()
 		req := st.req
 		e.putSendRdv(st)
+		if req.traceID != 0 {
+			// Pull mode: the handshake phase spans RTS → FIN (the remote
+			// pull happens entirely inside it, invisible to the sender).
+			e.rec.Record(g.id, trace.EvHandshakeEnd, req.traceID, 0)
+		}
 		req.complete(nil)
 
 	case KindRdvPush:
@@ -488,6 +556,12 @@ func (g *Gate) sendRdvData(st *sendRdvState, cts Header) {
 	}
 	req.remaining.Add(int32(len(chunks))) // plus the initial 1 consumed below
 	for i, c := range chunks {
+		if req.traceID != 0 {
+			// Per-fragment chunk span, keyed by fragment index in the
+			// aux bits; wire-out closes it in completeAll.
+			g.eng.rec.Record(g.id, trace.EvChunkBegin,
+				g.spanID(trace.DirSend, uint8(i), cts.MsgID), uint64(c.hi-c.lo))
+		}
 		p := g.packet()
 		p.Hdr = Header{
 			Kind: KindData, Tag: cts.Tag, MsgID: cts.MsgID,
@@ -503,6 +577,11 @@ func (g *Gate) sendRdvData(st *sendRdvState, cts Header) {
 	g.putStripeScratch(sc)
 	// Consume the placeholder count from newRequest.
 	if req.decRemaining() {
+		if req.traceID != 0 {
+			// All fragments hit the wire before the placeholder was
+			// consumed; completeAll skipped the transfer close, do it now.
+			g.eng.rec.Record(g.id, trace.EvTransferEnd, req.traceID, 0)
+		}
 		req.complete(nil)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"pioman/internal/fabric"
+	"pioman/internal/trace"
 )
 
 // chunk states of a pull-mode transfer. chunkPending is deliberately
@@ -45,6 +46,7 @@ const (
 type pullChunk struct {
 	st     *recvRdvState
 	rail   int
+	idx    int // position in st.chunks; the chunk span's aux id
 	lo, hi int
 	state  uint8
 }
@@ -208,6 +210,13 @@ func (e *Engine) issuePull(g *Gate, st *recvRdvState, i int) {
 		st.mu.Unlock()
 		return
 	}
+	// Capture the chunk span identity under st.mu — st.req is off
+	// limits once the lock drops — and record only after unlocking.
+	var sid uint64
+	if e.rec != nil && st.req.traceID != 0 {
+		sid = g.spanID(trace.DirRecv, uint8(i), st.msgID)
+	}
+	chunkLen := c.hi - c.lo
 	wasReading := c.state == chunkReading
 	for {
 		r := g.rails[c.rail]
@@ -220,6 +229,11 @@ func (e *Engine) issuePull(g *Gate, st *recvRdvState, i int) {
 				}
 				c.state = chunkReading
 				st.mu.Unlock()
+				if sid != 0 {
+					// Re-issues record another begin; the analyzer folds
+					// duplicates to first-begin/last-end.
+					e.rec.Record(g.id, trace.EvChunkBegin, sid, uint64(chunkLen))
+				}
 				e.rdvPulls.Add(1)
 				return
 			}
@@ -262,6 +276,14 @@ func (e *Engine) issuePull(g *Gate, st *recvRdvState, i int) {
 			c.state = chunkPushed
 			lo, hi := c.lo, c.hi
 			st.mu.Unlock()
+			if sid != 0 {
+				// Degraded to a sender push: close the chunk span
+				// immediately (B=2 marks the degradation) — the pushed
+				// bytes are tracked by the transfer span's byte counter,
+				// not per-chunk, so an open span here would never end.
+				e.rec.Record(g.id, trace.EvChunkBegin, sid, uint64(chunkLen))
+				e.rec.Record(g.id, trace.EvChunkEnd, sid, 2)
+			}
 			e.rdvPushRanges.Add(1)
 			g.sendControl(KindRdvPush, st.tag, st.msgID, uint32(lo), uint32(hi-lo))
 			return
@@ -314,7 +336,14 @@ func (e *Engine) pullDone(g *Gate, railIdx int, ev fabric.Event) {
 	// the state, so no field of st may be touched after our Add unless
 	// we are that handler.
 	req := st.req
+	var sid uint64
+	if e.rec != nil && req.traceID != 0 {
+		sid = g.spanID(trace.DirRecv, uint8(c.idx), st.msgID)
+	}
 	st.mu.Unlock()
+	if sid != 0 {
+		e.rec.Record(g.id, trace.EvChunkEnd, sid, 0)
+	}
 	g.rails[railIdx].pullBytes.Add(uint64(n))
 	e.rdvPullBytes.Add(uint64(n))
 	if req.got.Add(uint32(n)) >= req.total {
@@ -348,6 +377,10 @@ func (e *Engine) finishRecvRdv(st *recvRdvState) {
 	canRecycle := st.reading == 0 && st.sweeps == 0
 	st.mu.Unlock()
 	e.msgsRecv.Add(1)
+	if req.traceID != 0 {
+		// Every byte is home: the receiver's transfer phase ends.
+		e.rec.Record(g.id, trace.EvTransferEnd, req.traceID, 0)
+	}
 	req.complete(nil)
 	if pull {
 		e.rdvFins.Add(1)

@@ -3,6 +3,8 @@ package nmad
 import (
 	"runtime"
 	"sync/atomic"
+
+	"pioman/internal/trace"
 )
 
 // Request is the completion handle for a non-blocking send or receive.
@@ -41,6 +43,16 @@ type Request struct {
 	tag   uint64
 	total uint32
 	got   atomic.Uint32
+
+	// traceID is the whole-message span id (trace.PackSpanID) when a
+	// flight recorder is attached, 0 otherwise; traceRing is the ring
+	// (gate id) its events land on, and postTS the Irecv post stamp a
+	// receiver's span begins at. complete() closes the span exactly
+	// once, on every completion path — ack, FIN, timeout, NACK, gate
+	// failure, engine close.
+	traceID   uint64
+	traceRing int32
+	postTS    int64
 }
 
 func newRequest(e *Engine) *Request {
@@ -60,6 +72,19 @@ func (r *Request) decRemaining() bool { return r.remaining.Add(-1) == 0 }
 func (r *Request) complete(err error) {
 	if !r.completing.CompareAndSwap(false, true) {
 		return
+	}
+	if r.traceID != 0 {
+		// The winning completer closes the whole-message span; riding
+		// the CAS makes this exactly-once across every completion path.
+		kind := trace.EvRecvEnd
+		if trace.SpanDir(r.traceID) == trace.DirSend {
+			kind = trace.EvSendEnd
+		}
+		status := uint64(0)
+		if err != nil {
+			status = 1
+		}
+		r.eng.rec.Record(int(r.traceRing), kind, r.traceID, status)
 	}
 	r.err = err
 	r.completed.Store(true)
@@ -185,5 +210,8 @@ func (r *Request) Free() {
 	r.tag = 0
 	r.total = 0
 	r.got.Store(0)
+	r.traceID = 0
+	r.traceRing = 0
+	r.postTS = 0
 	e.reqPool.Put(r)
 }

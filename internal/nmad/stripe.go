@@ -171,8 +171,8 @@ func (g *Gate) stripePullChunks(st *recvRdvState, total int) bool {
 	}
 	st.mu.Lock()
 	st.chunks = st.chunks[:0]
-	for _, c := range chunks {
-		st.chunks = append(st.chunks, pullChunk{st: st, rail: c.rail, lo: c.lo, hi: c.hi})
+	for i, c := range chunks {
+		st.chunks = append(st.chunks, pullChunk{st: st, rail: c.rail, idx: i, lo: c.lo, hi: c.hi})
 	}
 	st.mu.Unlock()
 	return true

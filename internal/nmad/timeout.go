@@ -280,7 +280,7 @@ func (e *Engine) sweepDeadlines() {
 		if a.fail {
 			e.rdvTimeouts.Add(1)
 			if r := e.rec; r != nil {
-				r.Record(a.g.id, trace.EvTimeout, a.msgID, 0)
+				r.Record(a.g.id, trace.EvTimeout, a.g.spanID(trace.DirSend, 0, a.msgID), 0)
 			}
 			a.st.releaseRegs()
 			req := a.st.req
@@ -292,7 +292,7 @@ func (e *Engine) sweepDeadlines() {
 		}
 		e.rdvRetries.Add(1)
 		if r := e.rec; r != nil {
-			r.Record(a.g.id, trace.EvRetransmit, a.msgID, uint64(a.retries))
+			r.Record(a.g.id, trace.EvRetransmit, a.g.spanID(trace.DirSend, 0, a.msgID), uint64(a.retries))
 		}
 		rail := -1
 		if len(a.offer) > 0 {
@@ -315,7 +315,7 @@ func (e *Engine) sweepDeadlines() {
 		if a.fail {
 			e.rdvTimeouts.Add(1)
 			if r := e.rec; r != nil {
-				r.Record(a.g.id, trace.EvTimeout, a.msgID, 1)
+				r.Record(a.g.id, trace.EvTimeout, a.g.spanID(trace.DirRecv, 0, a.msgID), 1)
 			}
 			a.g.sendControl(KindRdvNack, a.tag, a.msgID, nackSend, 0)
 			a.st.req.complete(ErrRdvTimeout)
@@ -323,7 +323,7 @@ func (e *Engine) sweepDeadlines() {
 		}
 		e.rdvRetries.Add(1)
 		if r := e.rec; r != nil {
-			r.Record(a.g.id, trace.EvRetransmit, a.msgID, uint64(a.retries))
+			r.Record(a.g.id, trace.EvRetransmit, a.g.spanID(trace.DirRecv, 0, a.msgID), uint64(a.retries))
 		}
 		st := a.st
 		if !a.pull {
@@ -408,7 +408,7 @@ func (e *Engine) sweepEager(now int64) {
 		if a.fail {
 			e.eagerTimeouts.Add(1)
 			if r := e.rec; r != nil {
-				r.Record(a.g.id, trace.EvTimeout, a.msgID, 2)
+				r.Record(a.g.id, trace.EvTimeout, a.g.spanID(trace.DirSend, 0, a.msgID), 2)
 			}
 			a.req.complete(ErrEagerTimeout)
 			continue
@@ -419,7 +419,7 @@ func (e *Engine) sweepEager(now int64) {
 		}
 		e.eagerRetries.Add(1)
 		if r := e.rec; r != nil {
-			r.Record(a.g.id, trace.EvEagerRetry, a.msgID, uint64(a.retries))
+			r.Record(a.g.id, trace.EvEagerRetry, a.g.spanID(trace.DirSend, 0, a.msgID), uint64(a.retries))
 		}
 		p := a.g.packet()
 		p.Hdr = Header{Kind: KindEager, Tag: a.tag, MsgID: a.msgID, Total: uint32(len(a.data))}

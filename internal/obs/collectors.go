@@ -7,6 +7,8 @@ import (
 	"pioman/internal/cluster"
 	"pioman/internal/core"
 	"pioman/internal/nmad"
+	"pioman/internal/trace"
+	"pioman/internal/trace/analyze"
 )
 
 // NewCoreCollector exports a core task engine's counters, queue depth,
@@ -117,6 +119,31 @@ func NewClusterCollector(results func() []cluster.Result) Collector {
 			w.Gauge("pioman_cluster_latency_p50_ns", "Median transfer latency on the virtual clock.", float64(r.LatencyP50Ns), l...)
 			w.Gauge("pioman_cluster_latency_p99_ns", "99th-percentile transfer latency on the virtual clock.", float64(r.LatencyP99Ns), l...)
 			w.Gauge("pioman_cluster_violations", "Invariant violations detected post-quiesce.", float64(len(r.Violations)), l...)
+		}
+	})
+}
+
+// NewTraceCollector exports the flight recorder: per-ring append and
+// overwrite counts (the loss visibility that tells an operator whether
+// the trace they are about to drain is truncated), and per-phase
+// message-latency histograms reconstructed from the recorder's span
+// stream. Reconstruction runs per scrape over a bounded ring drain, so
+// it costs milliseconds, not memory; rec may be nil (no series).
+func NewTraceCollector(rec *trace.Recorder) Collector {
+	return CollectorFunc(func(w *MetricWriter) {
+		if rec == nil {
+			return
+		}
+		for i, rs := range rec.RingStats() {
+			l := []string{"ring", strconv.Itoa(i)}
+			w.Counter("pioman_trace_ring_recorded_total", "Events ever appended to the ring.", rs.Recorded, l...)
+			w.Counter("pioman_trace_ring_dropped_total", "Events lost to ring wraparound (nonzero = truncated trace).", rs.Dropped, l...)
+		}
+		rep := analyze.Analyze(rec.Events())
+		w.Gauge("pioman_trace_messages", "Messages reconstructed from the current span stream.", float64(len(rep.Messages)))
+		w.Gauge("pioman_trace_orphan_spans", "Unpaired phase spans on completed messages (pairing invariant).", float64(rep.OrphanSpans))
+		for _, name := range rep.PhaseNames() {
+			w.Histogram("pioman_trace_phase_latency_ns", "Per-phase message latency from lifecycle spans.", *rep.Phases[name], "phase", name)
 		}
 	})
 }

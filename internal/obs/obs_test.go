@@ -223,6 +223,51 @@ func TestHealthzTransitions(t *testing.T) {
 	}
 }
 
+// TestHealthzStallRecovery pins the recovery direction of the liveness
+// contract: /healthz must flip 503→200 every time progression resumes
+// after a stall, across repeated stall/recover cycles, with the
+// per-probe report tracking the state. A probe that latches unhealthy
+// (or a server that caches a verdict) fails here even though the
+// single-transition test passes.
+func TestHealthzStallRecovery(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1)
+	clock := func() int64 { return now.Load() }
+	tasks := core.New(core.Config{})
+	e := nmad.NewEngine(nmad.Config{Tasks: tasks, NoAutoProgress: true, Clock: clock})
+	defer e.Close()
+
+	h := NewHealth()
+	h.Register("nmad", NmadLiveness(e, clock, time.Second))
+	handler := NewServer(ServerConfig{Health: h}).Handler()
+
+	tasks.Schedule(0) // first progression pass: healthy baseline
+	if code, body := scrape(t, handler, "/healthz"); code != http.StatusOK {
+		t.Fatalf("baseline /healthz = %d (%q), want 200", code, body)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		// Stall: the clock runs past the window with no progression.
+		now.Add(int64(2 * time.Second))
+		code, body := scrape(t, handler, "/healthz")
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("cycle %d stalled /healthz = %d (%q), want 503", cycle, code, body)
+		}
+		if !strings.Contains(body, "progression last ran") {
+			t.Fatalf("cycle %d stalled report %q should blame the stall", cycle, body)
+		}
+		// Recovery: one progression pass restamps the clock; the very
+		// next scrape must be 200 again.
+		tasks.Schedule(0)
+		code, body = scrape(t, handler, "/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("cycle %d recovered /healthz = %d (%q), want 200", cycle, code, body)
+		}
+		if !strings.Contains(body, "nmad: ok") {
+			t.Fatalf("cycle %d recovered report %q should show the probe ok", cycle, body)
+		}
+	}
+}
+
 // TestMetricsScrapeUnderLiveTraffic scrapes /metrics concurrently with
 // live eager+rendezvous traffic — the -race leg proving the collectors'
 // snapshot reads don't race the sharded writers.

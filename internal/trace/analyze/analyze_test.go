@@ -1,0 +1,283 @@
+package analyze
+
+import (
+	"testing"
+
+	"pioman/internal/trace"
+)
+
+// msg builds the canonical lossless eager-reliable stream for one
+// message: sender inject + ackwait partitioning the send span, receiver
+// match partitioning the recv span.
+func msg(src, dst int, id uint64, base int64) []trace.Event {
+	s := trace.PackSpanID(src, dst, trace.DirSend, 0, id)
+	r := trace.PackSpanID(dst, src, trace.DirRecv, 0, id)
+	return []trace.Event{
+		{Kind: trace.EvSendBegin, A: s, B: 1024, TS: base},
+		{Kind: trace.EvInjectBegin, A: s, TS: base},
+		{Kind: trace.EvInjectEnd, A: s, TS: base + 10},
+		{Kind: trace.EvAckWaitBegin, A: s, TS: base + 10},
+		{Kind: trace.EvRecvBegin, A: r, B: 1024, TS: base + 2},
+		{Kind: trace.EvMatchBegin, A: r, TS: base + 2},
+		{Kind: trace.EvMatchEnd, A: r, TS: base + 12},
+		{Kind: trace.EvRecvEnd, A: r, B: 0, TS: base + 12},
+		{Kind: trace.EvAckWaitEnd, A: s, TS: base + 30},
+		{Kind: trace.EvSendEnd, A: s, B: 0, TS: base + 30},
+	}
+}
+
+func TestAnalyzeLossless(t *testing.T) {
+	var events []trace.Event
+	events = append(events, msg(1, 2, 1, 100)...)
+	events = append(events, msg(1, 3, 2, 200)...)
+	rep := Analyze(events)
+
+	if len(rep.Messages) != 2 || rep.Completed != 2 || rep.Failed != 0 || rep.Incomplete != 0 {
+		t.Fatalf("partition = %d msgs, %d/%d/%d", len(rep.Messages), rep.Completed, rep.Failed, rep.Incomplete)
+	}
+	if rep.OrphanSpans != 0 {
+		t.Fatalf("lossless stream has %d orphan spans", rep.OrphanSpans)
+	}
+	m := rep.Messages[0]
+	if m.Src != 1 || m.Dst != 2 || m.MsgID != 1 || m.Bytes != 1024 {
+		t.Fatalf("identity = %+v", m)
+	}
+	if m.Label() != "1→2 #1" {
+		t.Fatalf("Label() = %q", m.Label())
+	}
+	if m.Duration() != 30 {
+		t.Fatalf("Duration() = %d, want 30", m.Duration())
+	}
+	// Both sides tie out exactly: inject(10)+ackwait(20) = send 30;
+	// match(10) = recv 10.
+	if sum, span, ok := m.SideCoverage(trace.DirSend); !ok || sum != 30 || span != 30 {
+		t.Fatalf("send coverage = %d/%d ok=%v", sum, span, ok)
+	}
+	if sum, span, ok := m.SideCoverage(trace.DirRecv); !ok || sum != 10 || span != 10 {
+		t.Fatalf("recv coverage = %d/%d ok=%v", sum, span, ok)
+	}
+	if phase, dur := m.CriticalPhase(); phase != "ackwait" || dur != 20 {
+		t.Fatalf("CriticalPhase = %q %d, want ackwait 20", phase, dur)
+	}
+	if got := rep.PhaseNames(); len(got) != 3 || got[0] != "ackwait" || got[1] != "inject" || got[2] != "match" {
+		t.Fatalf("PhaseNames = %v", got)
+	}
+	if h := rep.Phases["inject"]; h.Count() != 2 || h.Max() != 10 {
+		t.Fatalf("inject histogram = count %d max %d", h.Count(), h.Max())
+	}
+	if len(rep.Anomalies) != 0 {
+		t.Fatalf("lossless stream flagged anomalies: %v", rep.Anomalies)
+	}
+}
+
+// TestRetransmitFolding: a phase that restarts records a second begin
+// under the same span id; the span must fold to first begin → last end
+// and stay complete (no orphan), with the retransmit instant flagging
+// the message.
+func TestRetransmitFolding(t *testing.T) {
+	s := trace.PackSpanID(1, 2, trace.DirSend, 0, 5)
+	events := []trace.Event{
+		{Kind: trace.EvSendBegin, A: s, B: 512, TS: 10},
+		{Kind: trace.EvInjectBegin, A: s, TS: 10},
+		{Kind: trace.EvInjectEnd, A: s, TS: 20},
+		{Kind: trace.EvRetransmit, A: s, TS: 50},
+		{Kind: trace.EvInjectBegin, A: s, TS: 50}, // re-injection
+		{Kind: trace.EvInjectEnd, A: s, TS: 60},
+		{Kind: trace.EvSendEnd, A: s, B: 0, TS: 80},
+	}
+	rep := Analyze(events)
+	if len(rep.Messages) != 1 || rep.Completed != 1 {
+		t.Fatalf("partition = %+v", rep)
+	}
+	m := rep.Messages[0]
+	if m.Retransmits != 1 {
+		t.Fatalf("Retransmits = %d, want 1", m.Retransmits)
+	}
+	if len(m.Spans) != 1 {
+		t.Fatalf("duplicate begins split into %d spans, want 1 folded", len(m.Spans))
+	}
+	sp := m.Spans[0]
+	if sp.Begins != 2 || sp.Ends != 2 || !sp.Complete() {
+		t.Fatalf("folded span = %+v", sp)
+	}
+	if sp.Start != 10 || sp.End != 60 || sp.Duration() != 50 {
+		t.Fatalf("extent = [%d,%d], want first begin 10 → last end 60", sp.Start, sp.End)
+	}
+	if rep.OrphanSpans != 0 {
+		t.Fatalf("folded retransmission left %d orphans", rep.OrphanSpans)
+	}
+	if rep.Anomalies[RetransmitStalled] != 1 {
+		t.Fatalf("Anomalies = %v, want retransmit-stalled=1", rep.Anomalies)
+	}
+}
+
+// TestOrphansAndIncomplete: a dangling phase begin on a completed
+// message counts as an orphan; a message with no whole-message end is
+// incomplete and its open spans do not count (in-flight messages
+// legitimately carry open spans).
+func TestOrphansAndIncomplete(t *testing.T) {
+	done := trace.PackSpanID(1, 2, trace.DirSend, 0, 1)
+	open := trace.PackSpanID(1, 2, trace.DirSend, 0, 2)
+	events := []trace.Event{
+		{Kind: trace.EvSendBegin, A: done, TS: 10},
+		{Kind: trace.EvInjectBegin, A: done, TS: 10}, // never ends
+		{Kind: trace.EvSendEnd, A: done, B: 0, TS: 40},
+
+		{Kind: trace.EvSendBegin, A: open, TS: 20},
+		{Kind: trace.EvInjectBegin, A: open, TS: 20}, // in flight
+	}
+	rep := Analyze(events)
+	if rep.Completed != 1 || rep.Incomplete != 1 {
+		t.Fatalf("partition = %d completed, %d incomplete", rep.Completed, rep.Incomplete)
+	}
+	if rep.OrphanSpans != 1 {
+		t.Fatalf("OrphanSpans = %d, want 1 (completed message only)", rep.OrphanSpans)
+	}
+	if rep.Messages[0].Orphans() != 1 {
+		t.Fatalf("completed message Orphans() = %d", rep.Messages[0].Orphans())
+	}
+	// The in-flight message has open spans but doesn't feed the report
+	// counter.
+	if rep.Messages[1].Orphans() != 2 { // inject + whole-message span
+		t.Fatalf("in-flight message Orphans() = %d", rep.Messages[1].Orphans())
+	}
+}
+
+// TestTimeoutKilled: an EvTimeout instant or a failure-status
+// whole-message end marks the message failed.
+func TestTimeoutKilled(t *testing.T) {
+	a := trace.PackSpanID(1, 2, trace.DirSend, 0, 1)
+	b := trace.PackSpanID(1, 2, trace.DirSend, 0, 2)
+	events := []trace.Event{
+		{Kind: trace.EvSendBegin, A: a, TS: 10},
+		{Kind: trace.EvTimeout, A: a, TS: 90},
+
+		{Kind: trace.EvSendBegin, A: b, TS: 10},
+		{Kind: trace.EvSendEnd, A: b, B: 1, TS: 70}, // error status
+	}
+	rep := Analyze(events)
+	if rep.Failed != 2 || rep.Completed != 0 {
+		t.Fatalf("partition = %d failed, %d completed", rep.Failed, rep.Completed)
+	}
+	if rep.Anomalies[TimeoutKilled] != 2 {
+		t.Fatalf("Anomalies = %v, want timeout-killed=2", rep.Anomalies)
+	}
+	if !rep.Messages[0].TimedOut || !rep.Messages[0].Failed() {
+		t.Fatalf("message 1 = %+v, want timed out", rep.Messages[0])
+	}
+}
+
+// TestHeadOfLineBlocked: the receiver-side match wait must both
+// dominate the recv span and be a ≥4× outlier against the stream's
+// median match wait before the flag fires — ordinary eager messages
+// (match is their whole recv span) must not flag.
+func TestHeadOfLineBlocked(t *testing.T) {
+	recvMsg := func(id uint64, base, matchEnd int64) []trace.Event {
+		r := trace.PackSpanID(2, 1, trace.DirRecv, 0, id)
+		return []trace.Event{
+			{Kind: trace.EvRecvBegin, A: r, B: 64, TS: base},
+			{Kind: trace.EvMatchBegin, A: r, TS: base},
+			{Kind: trace.EvMatchEnd, A: r, TS: matchEnd},
+			{Kind: trace.EvRecvEnd, A: r, B: 0, TS: matchEnd},
+		}
+	}
+	var events []trace.Event
+	// Nine ordinary messages (match wait 10) establish the median; one
+	// pathological message waits 40× that.
+	for id := uint64(1); id <= 9; id++ {
+		events = append(events, recvMsg(id, int64(id)*100, int64(id)*100+10)...)
+	}
+	events = append(events, recvMsg(10, 1000, 1400)...)
+	rep := Analyze(events)
+	if rep.Anomalies[HeadOfLineBlocked] != 1 {
+		t.Fatalf("Anomalies = %v, want head-of-line-blocked=1", rep.Anomalies)
+	}
+	last := rep.Messages[len(rep.Messages)-1]
+	if len(last.Anomalies) != 1 || last.Anomalies[0] != HeadOfLineBlocked {
+		t.Fatalf("outlier message anomalies = %v", last.Anomalies)
+	}
+}
+
+// TestCriticalPath: slowest completed messages first, incomplete ones
+// excluded, n truncates.
+func TestCriticalPath(t *testing.T) {
+	var events []trace.Event
+	events = append(events, msg(1, 2, 1, 100)...) // duration 30 each
+	slow := trace.PackSpanID(1, 3, trace.DirSend, 0, 2)
+	events = append(events,
+		trace.Event{Kind: trace.EvSendBegin, A: slow, TS: 100},
+		trace.Event{Kind: trace.EvSendEnd, A: slow, B: 0, TS: 900},
+	)
+	inflight := trace.PackSpanID(1, 4, trace.DirSend, 0, 3)
+	events = append(events, trace.Event{Kind: trace.EvSendBegin, A: inflight, TS: 100})
+
+	rep := Analyze(events)
+	top := rep.CriticalPath(5)
+	if len(top) != 2 {
+		t.Fatalf("CriticalPath returned %d messages, want 2 completed", len(top))
+	}
+	if top[0].MsgID != 2 || top[0].Duration() != 800 {
+		t.Fatalf("slowest = %s (%d ns), want #2 at 800", top[0].Label(), top[0].Duration())
+	}
+	if got := rep.CriticalPath(1); len(got) != 1 || got[0].MsgID != 2 {
+		t.Fatalf("CriticalPath(1) = %v", got)
+	}
+}
+
+// TestChunkSpansExcludedFromPhases: chunk spans are children of
+// transfer; they must appear in the span tree but not the phase
+// histograms or side coverage (double counting).
+func TestChunkSpansExcludedFromPhases(t *testing.T) {
+	r := trace.PackSpanID(2, 1, trace.DirRecv, 0, 1)
+	c0 := trace.PackSpanID(2, 1, trace.DirRecv, 0, 1)
+	c1 := trace.PackSpanID(2, 1, trace.DirRecv, 1, 1)
+	events := []trace.Event{
+		{Kind: trace.EvRecvBegin, A: r, B: 8192, TS: 0},
+		{Kind: trace.EvTransferBegin, A: r, TS: 0},
+		{Kind: trace.EvChunkBegin, A: c0, B: 4096, TS: 0},
+		{Kind: trace.EvChunkBegin, A: c1, B: 4096, TS: 0},
+		{Kind: trace.EvChunkEnd, A: c0, TS: 50},
+		{Kind: trace.EvChunkEnd, A: c1, TS: 90},
+		{Kind: trace.EvTransferEnd, A: r, TS: 100},
+		{Kind: trace.EvRecvEnd, A: r, B: 0, TS: 100},
+	}
+	rep := Analyze(events)
+	if rep.Phases["chunk"] != nil {
+		t.Fatal("chunk spans leaked into the phase histograms")
+	}
+	if h := rep.Phases["transfer"]; h == nil || h.Count() != 1 {
+		t.Fatalf("transfer histogram = %+v", h)
+	}
+	m := rep.Messages[0]
+	if len(m.Spans) != 3 { // transfer + 2 chunks
+		t.Fatalf("span tree has %d spans, want 3", len(m.Spans))
+	}
+	// Coverage counts transfer (100) only, not transfer+chunks (240).
+	if sum, span, ok := m.SideCoverage(trace.DirRecv); !ok || sum != 100 || span != 100 {
+		t.Fatalf("recv coverage = %d/%d ok=%v", sum, span, ok)
+	}
+}
+
+// TestDeterministicOrder: the same events in any arrival order produce
+// the same report ordering (messages sorted by start, spans by start).
+func TestDeterministicOrder(t *testing.T) {
+	var fwd []trace.Event
+	fwd = append(fwd, msg(1, 2, 1, 100)...)
+	fwd = append(fwd, msg(3, 2, 2, 50)...)
+	rev := make([]trace.Event, len(fwd))
+	for i, ev := range fwd {
+		rev[len(fwd)-1-i] = ev
+	}
+	a, b := Analyze(fwd), Analyze(rev)
+	if len(a.Messages) != 2 || len(b.Messages) != 2 {
+		t.Fatalf("message counts %d/%d", len(a.Messages), len(b.Messages))
+	}
+	for i := range a.Messages {
+		if a.Messages[i].Key != b.Messages[i].Key {
+			t.Fatalf("message %d ordered differently: %#x vs %#x", i, a.Messages[i].Key, b.Messages[i].Key)
+		}
+	}
+	if a.Messages[0].MsgID != 2 {
+		t.Fatalf("messages not start-sorted: first is #%d", a.Messages[0].MsgID)
+	}
+}
