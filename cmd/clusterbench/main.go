@@ -159,8 +159,8 @@ func main() {
 		fmt.Printf("wrote %s (%d events)\n", *traceOut, rec.Recorded())
 	}
 
-	fmt.Printf("%-20s %6s %6s %7s %5s %5s %5s %5s %10s %10s  %s\n",
-		"scenario", "nodes", "gates", "xfers", "ok", "fail", "hung", "retry", "p50(µs)", "p99(µs)", "verdict")
+	fmt.Printf("%-20s %6s %6s %7s %5s %5s %5s %5s %5s %10s %10s  %s\n",
+		"scenario", "nodes", "gates", "xfers", "ok", "fail", "hung", "retry", "rej", "p50(µs)", "p99(µs)", "verdict")
 	violated := false
 	for _, r := range results {
 		verdict := "pass"
@@ -170,9 +170,9 @@ func main() {
 		} else if r.ExpectHang {
 			verdict = "pass (hang caught)"
 		}
-		fmt.Printf("%-20s %6d %6d %7d %5d %5d %5d %5d %10.1f %10.1f  %s\n",
+		fmt.Printf("%-20s %6d %6d %7d %5d %5d %5d %5d %5d %10.1f %10.1f  %s\n",
 			r.Scenario, r.Nodes, r.GateEndpoints, r.Transfers, r.Completed,
-			r.FailedVisibly+r.Canceled, r.Hung, r.RdvRetries,
+			r.FailedVisibly+r.Canceled, r.Hung, r.RdvRetries, r.AdmitRejected,
 			float64(r.LatencyP50Ns)/1e3, float64(r.LatencyP99Ns)/1e3, verdict)
 	}
 

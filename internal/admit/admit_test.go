@@ -1,0 +1,140 @@
+package admit
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAcquireReleaseBudgets(t *testing.T) {
+	l := NewLedger(2, 100, 0.85, 0.6)
+	if ok, _ := l.TryAcquire(60); !ok {
+		t.Fatal("first acquire refused under an empty ledger")
+	}
+	if ok, _ := l.TryAcquire(60); ok {
+		t.Fatal("second acquire granted past the byte budget")
+	}
+	if ok, _ := l.TryAcquire(30); !ok {
+		t.Fatal("fitting acquire refused")
+	}
+	if ok, _ := l.TryAcquire(1); ok {
+		t.Fatal("third acquire granted past the request budget")
+	}
+	l.Release(60)
+	l.Release(30)
+	if !l.Idle() {
+		t.Fatalf("ledger not idle after matched releases: %+v", l.Snapshot())
+	}
+}
+
+func TestOversizedSingleAdmitsWhenEmpty(t *testing.T) {
+	l := NewLedger(4, 100, 0.85, 0.6)
+	if ok, _ := l.TryAcquire(1000); !ok {
+		t.Fatal("oversized submission refused by an empty ledger; it could never progress")
+	}
+	if ok, _ := l.TryAcquire(1); ok {
+		t.Fatal("acquire granted while an oversized submission holds the whole budget")
+	}
+	l.Release(1000)
+	if !l.Idle() {
+		t.Fatal("ledger not idle after the oversized release")
+	}
+}
+
+func TestWatermarkHysteresis(t *testing.T) {
+	l := NewLedger(100, 1000, 0.8, 0.5)
+	if _, flipped := l.TryAcquire(700); flipped || l.Degraded() {
+		t.Fatal("degraded below the high watermark")
+	}
+	if _, flipped := l.TryAcquire(150); !flipped || !l.Degraded() {
+		t.Fatal("not degraded at 85% utilization with a 80% high watermark")
+	}
+	// Drain into the hysteresis band: still degraded.
+	if flipped := l.Release(150); flipped || !l.Degraded() {
+		t.Fatal("recovered inside the hysteresis band")
+	}
+	// Drain past the low watermark: recovered.
+	if flipped := l.Release(700); !flipped || l.Degraded() {
+		t.Fatal("still degraded below the low watermark")
+	}
+}
+
+func TestSetLimitsReevaluatesWatermark(t *testing.T) {
+	l := NewLedger(100, 1000, 0.8, 0.5)
+	l.TryAcquire(400)
+	if l.Degraded() {
+		t.Fatal("degraded at 40% utilization")
+	}
+	if flipped := l.SetLimits(100, 450); !flipped || !l.Degraded() {
+		t.Fatal("shrinking the budget under live holdings must enter degraded mode")
+	}
+	if flipped := l.SetLimits(100, 10000); !flipped || l.Degraded() {
+		t.Fatal("growing the budget must recover")
+	}
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release without a matching acquire did not panic")
+		}
+	}()
+	NewLedger(4, 100, 0.85, 0.6).Release(1)
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.MaxRequests != DefaultMaxRequests || c.MaxBytes != DefaultMaxBytes {
+		t.Fatalf("budgets not defaulted: %+v", c)
+	}
+	if c.HighWater != DefaultHighWater || c.LowWater != DefaultLowWater {
+		t.Fatalf("watermarks not defaulted: %+v", c)
+	}
+	if c.MaxWaiters != 4*DefaultMaxRequests {
+		t.Fatalf("waiter bound not defaulted: %+v", c)
+	}
+	if c.GateRequests != 0 || c.GateBytes != 0 {
+		t.Fatalf("gate budgets must stay zero (live BDP derivation): %+v", c)
+	}
+	// An inverted watermark pair must come out consistent.
+	c = Config{HighWater: 0.3, LowWater: 0.9}.WithDefaults()
+	if c.LowWater >= c.HighWater {
+		t.Fatalf("inverted watermarks not repaired: %+v", c)
+	}
+}
+
+func TestConcurrentAccountingBalances(t *testing.T) {
+	l := NewLedger(64, 1<<20, 0.85, 0.6)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if ok, _ := l.TryAcquire(4096); ok {
+					l.Release(4096)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !l.Idle() {
+		t.Fatalf("credits leaked under concurrency: %+v", l.Snapshot())
+	}
+}
+
+// BenchmarkAdmitContended is the overload-plane hot path: many
+// producer goroutines acquiring and releasing against one shared
+// ledger — the per-submission cost admission control adds to Isend.
+func BenchmarkAdmitContended(b *testing.B) {
+	l := NewLedger(1<<16, 1<<30, 0.85, 0.6)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if ok, _ := l.TryAcquire(4096); ok {
+				l.Release(4096)
+			}
+		}
+	})
+	if !l.Idle() {
+		b.Fatal("credits leaked")
+	}
+}

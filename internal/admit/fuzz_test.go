@@ -1,0 +1,98 @@
+package admit
+
+import "testing"
+
+// FuzzCreditAccounting drives a Ledger through arbitrary interleavings
+// of the four things the engine does to it — admit, release in
+// completion order, release out of order (timeouts, NACKs and cancels
+// finish requests in any order), and live budget changes (the BDP
+// re-derivation) — and cross-checks every observable against a
+// reference model that is nothing but a slice of outstanding sizes.
+// A divergence here is a leaked or conjured credit: exactly the bug
+// class the post-quiesce CheckIdle audit exists to catch, found at
+// fuzz speed instead of chaos-suite speed.
+func FuzzCreditAccounting(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 20, 1, 2, 1, 1})              // admit, admit, release both orders
+	f.Add([]byte{0, 255, 0, 255, 0, 255, 2, 1, 1, 1})    // fill past the watermark, shrink, drain
+	f.Add([]byte{3, 1, 0, 200, 0, 200, 1, 0, 3, 255})    // tiny budget, oversized single, regrow
+	f.Add([]byte("admit-release-admit-release-overrun")) // arbitrary ascii soup
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			maxReqs  = 4
+			maxBytes = 512
+		)
+		l := NewLedger(maxReqs, maxBytes, 0.8, 0.5)
+		curReqs, curBytes := maxReqs, int64(maxBytes)
+		var outstanding []int64
+		sum := func() int64 {
+			var s int64
+			for _, n := range outstanding {
+				s += n
+			}
+			return s
+		}
+		degraded := false
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]&3, int64(data[i+1])
+			switch op {
+			case 0: // TryAcquire(arg * 4) — sizes up to 1020 cross the 512 budget
+				n := arg * 4
+				wantOK := len(outstanding)+1 <= curReqs &&
+					(sum()+n <= int64(curBytes) || len(outstanding) == 0)
+				ok, _ := l.TryAcquire(n)
+				if ok != wantOK {
+					t.Fatalf("op %d: TryAcquire(%d) = %v, model (reqs %d/%d, bytes %d/%d) says %v",
+						i/2, n, ok, len(outstanding), curReqs, sum(), curBytes, wantOK)
+				}
+				if ok {
+					outstanding = append(outstanding, n)
+				}
+			case 1: // Release oldest (completion order)
+				if len(outstanding) == 0 {
+					continue
+				}
+				l.Release(outstanding[0])
+				outstanding = outstanding[1:]
+			case 2: // Release newest (out-of-order completion)
+				if len(outstanding) == 0 {
+					continue
+				}
+				l.Release(outstanding[len(outstanding)-1])
+				outstanding = outstanding[:len(outstanding)-1]
+			case 3: // SetLimits — live re-derivation, including shrink-under-load
+				curReqs = 1 + int(arg)%8
+				curBytes = int64(64 + 64*(arg%16))
+				l.SetLimits(curReqs, curBytes)
+			}
+			// Re-derive the reference degraded flag with the same
+			// hysteresis rule, from first principles each step.
+			u := float64(len(outstanding)) / float64(curReqs)
+			if ub := float64(sum()) / float64(curBytes); ub > u {
+				u = ub
+			}
+			if !degraded && u >= 0.8 {
+				degraded = true
+			} else if degraded && u <= 0.5 {
+				degraded = false
+			}
+			reqs, bytes := l.Inflight()
+			if reqs != len(outstanding) || bytes != sum() {
+				t.Fatalf("op %d: inflight (%d, %d) diverged from model (%d, %d)",
+					i/2, reqs, bytes, len(outstanding), sum())
+			}
+			if l.Degraded() != degraded {
+				t.Fatalf("op %d: degraded %v, model (util %.3f) says %v", i/2, l.Degraded(), u, degraded)
+			}
+			if l.Idle() != (len(outstanding) == 0) {
+				t.Fatalf("op %d: Idle() = %v with %d outstanding", i/2, l.Idle(), len(outstanding))
+			}
+		}
+		// Drain everything: a balanced history must leave an idle ledger.
+		for _, n := range outstanding {
+			l.Release(n)
+		}
+		if !l.Idle() {
+			t.Fatalf("credits leaked after full drain: %+v", l.Snapshot())
+		}
+	})
+}

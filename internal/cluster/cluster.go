@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pioman/internal/admit"
 	"pioman/internal/core"
 	"pioman/internal/fabric"
 	"pioman/internal/nmad"
@@ -91,6 +92,23 @@ type Options struct {
 	// timeline. Observation only: attaching it must not perturb a
 	// seeded run. Nil falls back to the recorder RunTraced installs.
 	Trace *trace.Recorder
+	// Admit enables engine-level admission control on every node: each
+	// engine gets its own credit plane built from this config (gate
+	// budgets left zero derive from the live rail BDP). Nil keeps
+	// admission off — the ablation, and the default every pre-existing
+	// scenario runs under so seeded trajectories stay byte-identical.
+	Admit *admit.Config
+	// AdmitPolicy selects what an over-budget submission sees: block
+	// (the zero value), fail-fast reject, or degraded-mode shedding.
+	AdmitPolicy nmad.AdmitPolicy
+	// AdmitWait bounds how long the blocking policy parks a submission,
+	// in virtual nanoseconds (0 → the engines' rendezvous timeout).
+	AdmitWait int64
+	// TrackInflight samples every node's live protocol-state count on
+	// each driver step and records the cluster-wide per-node peak — the
+	// "queue depth" the overload scenarios assert is bounded with
+	// admission on and unbounded in the ablation.
+	TrackInflight bool
 }
 
 // node is one simulated cluster member: an nmad engine with one NIC
@@ -127,6 +145,11 @@ type harness struct {
 	hist   stats.Histogram // completed-transfer latency, virtual ns
 	closed bool
 
+	// trackInflight/peakInflight implement Options.TrackInflight: the
+	// highest InflightStates any single node reached during drive.
+	trackInflight bool
+	peakInflight  int
+
 	// rec and mark slice the (suite-shared) flight recorder to this
 	// scenario: mark is taken at harness build, so EventsSince(mark)
 	// yields exactly this scenario's span stream for phase attribution.
@@ -162,8 +185,9 @@ func newHarness(opt Options) *harness {
 			Faults:        opt.Faults,
 			SharedIngress: opt.SharedIngress,
 		}),
-		ncpu: topo.NCPUs,
-		topo: opt.Topo,
+		ncpu:          topo.NCPUs,
+		topo:          opt.Topo,
+		trackInflight: opt.TrackInflight,
 	}
 	clock := func() int64 { return int64(h.fab.Now()) }
 	rec := opt.Trace
@@ -193,6 +217,9 @@ func newHarness(opt Options) *harness {
 				NoRdvTimeout:   opt.NoRdvTimeout,
 				NoEagerRetry:   opt.NoEagerRetry,
 				Trace:          rec,
+				Admit:          opt.Admit,
+				AdmitPolicy:    opt.AdmitPolicy,
+				AdmitWait:      opt.AdmitWait,
 			}),
 			gateTo: make(map[int]*nmad.Gate),
 			epTo:   make(map[int]*fabric.SimEndpoint),
@@ -272,6 +299,24 @@ func (h *harness) transfer(src, dst int, tag uint64, size int) *xfer {
 	return x
 }
 
+// transferDeadline is transfer with an absolute send deadline on the
+// virtual clock: the send is abandoned wherever the deadline catches it
+// — parked in the admission queue, awaiting its handshake, or at the
+// receiver before the RMA read is posted.
+func (h *harness) transferDeadline(src, dst int, tag uint64, size int, deadline simtime.Time) *xfer {
+	gs := h.link(src, dst)
+	gr := h.nodes[dst].gateTo[src]
+	x := &xfer{
+		src: src, dst: dst, tag: tag,
+		payload:  pattern(src, dst, tag, size),
+		postedAt: h.fab.Now(),
+	}
+	x.rreq = gr.Irecv(tag)
+	x.sreq = gs.IsendDeadline(tag, x.payload, int64(deadline))
+	h.xfers = append(h.xfers, x)
+	return x
+}
+
 // step runs a few scheduling passes over every driver CPU, collecting
 // settled transfers between passes so completion stamps track the
 // virtual clock as finely as the drive loop can see it.
@@ -321,9 +366,26 @@ func (h *harness) settledAll() bool {
 func (h *harness) drive(budget simtime.Duration) {
 	limit := h.fab.Now() + simtime.Time(budget)
 	for !h.settledAll() && h.fab.Now() <= limit {
+		h.sampleInflight()
 		before := h.fab.Now()
 		if h.step() == 0 && h.fab.Now() == before {
 			h.fab.Advance(driveTick)
+		}
+	}
+	h.sampleInflight()
+}
+
+// sampleInflight records the highest per-node protocol-state count seen
+// so far (Options.TrackInflight). The overload scenarios gate on the
+// peak: admission keeps it at the credit budget, the ablation lets the
+// sink's state table grow with everything the senders could post.
+func (h *harness) sampleInflight() {
+	if !h.trackInflight {
+		return
+	}
+	for _, n := range h.nodes {
+		if v := n.eng.InflightStates(); v > h.peakInflight {
+			h.peakInflight = v
 		}
 	}
 }
@@ -370,6 +432,16 @@ func (h *harness) audit(res *Result) {
 		default:
 			res.FailedVisibly++
 		}
+		// Count admission-reject errors per request, not per transfer:
+		// the invariant is that every rejection the engines counted
+		// surfaced as exactly one visible error (never a silent drop,
+		// never a hang).
+		if x.sreq.Err() == nmad.ErrAdmissionReject {
+			res.AdmitRejectErrors++
+		}
+		if x.rreq.Err() == nmad.ErrAdmissionReject {
+			res.AdmitRejectErrors++
+		}
 	}
 	for _, n := range h.nodes {
 		peers := make([]int, 0, len(n.gateTo))
@@ -383,12 +455,23 @@ func (h *harness) audit(res *Result) {
 				rep.PostedRecvs + rep.UnexpectedMsgs + rep.PendingAggr +
 				rep.EagerPending
 			res.LeakedRegs += rep.RegInFlight
+			// The zero-leaked-credits invariant: a quiesced gate holds no
+			// request credits, no byte credits, and no parked submissions.
+			// Any nonzero term is a leak, so one summed indicator suffices.
+			res.LeakedCredits += int64(rep.AdmitRequests) + rep.AdmitBytes +
+				int64(rep.AdmitWaiting)
 		}
 		st := n.eng.Stats()
 		res.RdvRetries += st.RdvRetries
 		res.RdvTimeouts += st.RdvTimeouts
 		res.EagerRetries += st.EagerRetries
 		res.EagerTimeouts += st.EagerTimeouts
+		res.AdmitAdmitted += st.AdmitAdmitted
+		res.AdmitRejected += st.AdmitRejected
+		res.AdmitShed += st.AdmitShed
+		res.AdmitBlocked += st.AdmitBlocked
+		res.AdmitExpired += st.AdmitExpired
+		res.DeadlineExpired += st.DeadlineExpired
 	}
 	fst := h.fab.Stats()
 	res.DroppedFrames = fst.DroppedFrames
@@ -401,4 +484,5 @@ func (h *harness) audit(res *Result) {
 	res.LatencyP99Ns = h.hist.Quantile(0.99)
 	res.LatencyMaxNs = h.hist.Max()
 	res.VirtualNs = int64(h.fab.Now())
+	res.PeakInflight = h.peakInflight
 }

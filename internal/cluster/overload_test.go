@@ -1,0 +1,61 @@
+package cluster
+
+import "testing"
+
+// TestOverloadScenarios runs the admission-control quartet on its own
+// and spot-checks the counters the generic invariant plumbing only
+// gates loosely: exact reject/shed/block counts, the admission-vs-
+// ablation peak-inflight contrast, and zero leaked credits.
+func TestOverloadScenarios(t *testing.T) {
+	names := []string{"incast-overload", "slow-receiver", "burst-then-drain", "overload-ablation"}
+	byName := map[string]Result{}
+	for _, r := range Run(1, func(n string) bool {
+		for _, w := range names {
+			if n == w {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Logf("%-18s xfers=%d ok=%d admitted=%d rejected=%d shed=%d blocked=%d expired=%d deadline=%d peak=%d p99=%dns",
+			r.Scenario, r.Transfers, r.Completed, r.AdmitAdmitted, r.AdmitRejected,
+			r.AdmitShed, r.AdmitBlocked, r.AdmitExpired, r.DeadlineExpired,
+			r.PeakInflight, r.LatencyP99Ns)
+		if !r.Passed() {
+			t.Errorf("%s violated invariants: %v", r.Scenario, r.Violations)
+		}
+		byName[r.Scenario] = r
+	}
+	if len(byName) != len(names) {
+		t.Fatalf("ran %d overload scenarios, expected %d", len(byName), len(names))
+	}
+
+	in, ab := byName["incast-overload"], byName["overload-ablation"]
+	if in.AdmitRejected != 128 || in.AdmitRejectErrors != 128 {
+		t.Errorf("incast-overload: rejected=%d errors=%d, want 128/128",
+			in.AdmitRejected, in.AdmitRejectErrors)
+	}
+	if in.LeakedCredits != 0 {
+		t.Errorf("incast-overload leaked %d admission credits", in.LeakedCredits)
+	}
+	// The load-bearing contrast: the same traffic deck must pile at
+	// least twice as deep into the sink without admission as with it.
+	if ab.PeakInflight < 2*in.PeakInflight {
+		t.Errorf("ablation peak %d is not ≥ 2× the admitted peak %d",
+			ab.PeakInflight, in.PeakInflight)
+	}
+
+	sr := byName["slow-receiver"]
+	if sr.DeadlineExpired == 0 {
+		t.Errorf("slow-receiver: the doomed deadline send never expired")
+	}
+	if sr.AdmitBlocked != 25 {
+		t.Errorf("slow-receiver: blocked=%d, want 25", sr.AdmitBlocked)
+	}
+
+	bd := byName["burst-then-drain"]
+	if bd.AdmitShed != 16 || bd.AdmitShed != bd.AdmitRejected {
+		t.Errorf("burst-then-drain: shed=%d rejected=%d, want 16 with shed == rejected",
+			bd.AdmitShed, bd.AdmitRejected)
+	}
+}

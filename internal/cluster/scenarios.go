@@ -3,7 +3,9 @@ package cluster
 import (
 	"fmt"
 
+	"pioman/internal/admit"
 	"pioman/internal/fabric"
+	"pioman/internal/nmad"
 	"pioman/internal/simtime"
 	"pioman/internal/trace"
 	"pioman/internal/trace/analyze"
@@ -39,6 +41,23 @@ type Result struct {
 	RdvTimeouts   uint64 `json:"rdv_timeouts"`
 	EagerRetries  uint64 `json:"eager_retries"`
 	EagerTimeouts uint64 `json:"eager_timeouts"`
+
+	// Admission-control section, summed across every node's engine.
+	// Present only when a scenario enables admission (omitempty keeps
+	// pre-admission baseline entries byte-identical).
+	AdmitAdmitted     uint64 `json:"admit_admitted,omitempty"`
+	AdmitRejected     uint64 `json:"admit_rejected,omitempty"`
+	AdmitShed         uint64 `json:"admit_shed,omitempty"`
+	AdmitBlocked      uint64 `json:"admit_blocked,omitempty"`
+	AdmitExpired      uint64 `json:"admit_expired,omitempty"`
+	DeadlineExpired   uint64 `json:"deadline_expired,omitempty"`
+	AdmitRejectErrors int    `json:"admit_reject_errors,omitempty"`
+	// LeakedCredits sums post-quiesce admission residue over every gate:
+	// request credits + byte credits + parked submissions. Must be zero.
+	LeakedCredits int64 `json:"leaked_admit_credits,omitempty"`
+	// PeakInflight is the highest protocol-state count any single node
+	// reached (Options.TrackInflight scenarios only).
+	PeakInflight int `json:"peak_inflight,omitempty"`
 
 	LatencyP50Ns int64 `json:"latency_p50_ns"`
 	LatencyP99Ns int64 `json:"latency_p99_ns"`
@@ -94,6 +113,11 @@ type expect struct {
 	// maxP99 bounds the completed-transfer p99 latency in virtual time
 	// (0 = unbounded).
 	maxP99 simtime.Duration
+	// maxPeakInflight bounds the per-node protocol-state peak under
+	// admission (0 = unchecked); minPeakInflight is the ablation's
+	// inverse — the peak must EXCEED it to prove unbounded growth.
+	maxPeakInflight int
+	minPeakInflight int
 	// expectHang inverts the hang invariant: the scenario exists to
 	// prove the harness catches hangs, so zero hung requests is the
 	// violation. Leak checks are skipped (a hang leaks by definition).
@@ -127,6 +151,13 @@ func check(res *Result, ex expect) {
 	if res.LiveRegions > 0 {
 		fail("%d fabric regions alive after engine close", res.LiveRegions)
 	}
+	if res.LeakedCredits > 0 {
+		fail("%d admission credits leaked after quiesce", res.LeakedCredits)
+	}
+	if res.AdmitRejectErrors != int(res.AdmitRejected) {
+		fail("admission accounting mismatch: engines counted %d rejects, %d surfaced as errors",
+			res.AdmitRejected, res.AdmitRejectErrors)
+	}
 	if ex.allComplete && res.Completed != res.Transfers {
 		fail("%d of %d transfers did not complete", res.Transfers-res.Completed, res.Transfers)
 	}
@@ -149,6 +180,13 @@ func check(res *Result, ex expect) {
 	}
 	if ex.maxP99 > 0 && res.LatencyP99Ns > int64(ex.maxP99) {
 		fail("p99 latency %d ns exceeds the %d ns bound", res.LatencyP99Ns, int64(ex.maxP99))
+	}
+	if ex.maxPeakInflight > 0 && res.PeakInflight > ex.maxPeakInflight {
+		fail("peak inflight %d exceeds the admission bound of %d", res.PeakInflight, ex.maxPeakInflight)
+	}
+	if ex.minPeakInflight > 0 && res.PeakInflight < ex.minPeakInflight {
+		fail("peak inflight only %d, ablation requires > %d to prove unbounded growth",
+			res.PeakInflight, ex.minPeakInflight)
 	}
 }
 
@@ -596,6 +634,167 @@ func runBrokenEager(seed int64) Result {
 	return out
 }
 
+// postIncastOverload posts the overload deck incast-overload and its
+// ablation share: 32 senders each push six rendezvous blocks (6×24 KiB,
+// 2.25× the 64 KiB per-gate BDP byte budget) at one shared-ingress
+// sink, all up front.
+func postIncastOverload(h *harness) {
+	for s := 1; s < 33; s++ {
+		for t := 0; t < 6; t++ {
+			h.transfer(s, 0, uint64(1+t), rdvSize)
+		}
+	}
+}
+
+// runIncastOverload: the incast storm resubmitted at 6× the per-gate
+// byte budget under fail-fast admission. Every sender gets exactly two
+// rendezvous blocks in flight (2×24 KiB of its 64 KiB BDP budget); the
+// other four are rejected at Isend before a single protocol state or
+// wire frame materializes. What was admitted must complete byte-exact
+// with bounded p99, every reject must surface as ErrAdmissionReject,
+// and the sink's state table stays capped by what the senders' credit
+// planes let through.
+func runIncastOverload(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{
+		Nodes: 33, SharedIngress: true,
+		Admit:         &admit.Config{},
+		AdmitPolicy:   nmad.AdmitReject,
+		TrackInflight: true,
+	})
+	postIncastOverload(h)
+	h.drive(400 * rdvTimeout)
+	out := finish(h, &res, expect{
+		minVisibleFailures: 128,
+		maxP99:             200 * rdvTimeout,
+		maxPeakInflight:    64,
+		minCompletedNum:    1, minCompletedDen: 3,
+	})
+	if out.AdmitRejected != 128 {
+		out.Violations = append(out.Violations, fmt.Sprintf(
+			"expected 128 fail-fast rejects (4 of every sender's 6), got %d", out.AdmitRejected))
+	}
+	return out
+}
+
+// runSlowReceiverBackpressure: four senders flood a 10×-degraded sink
+// at 4× their gate budgets under the blocking policy — over-budget
+// sends park in the admission queue and drain strictly FIFO as the
+// slow receiver completes earlier work, so everything lands without
+// the sink's state table ever exceeding the admitted window. One extra
+// send carries a deadline too short for the backlog: wherever the
+// clock catches it — parked, in flight, or at the receiver before the
+// RMA read — it must fail with deadline semantics, never hang.
+func runSlowReceiverBackpressure(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{
+		Nodes:         5,
+		Admit:         &admit.Config{},
+		AdmitWait:     int64(400 * rdvTimeout),
+		TrackInflight: true,
+	})
+	h.nodes[0].dom.SetCapabilities(fabric.Capabilities{
+		Latency:   20 * simtime.Microsecond,
+		Bandwidth: 4e8,
+		MaxInject: 8 << 10,
+		RMA:       true,
+	})
+	for s := 1; s < 5; s++ {
+		for t := 0; t < 8; t++ {
+			h.transfer(s, 0, uint64(1+t), rdvSize)
+		}
+	}
+	h.transferDeadline(1, 0, 99, rdvSize, h.fab.Now()+simtime.Time(8*simtime.Microsecond))
+	h.drive(600 * rdvTimeout)
+	out := finish(h, &res, expect{
+		minVisibleFailures: 1,
+		maxPeakInflight:    8,
+		maxP99:             300 * rdvTimeout,
+	})
+	if out.Completed != out.Transfers-1 {
+		out.Violations = append(out.Violations, fmt.Sprintf(
+			"backpressure lost traffic: %d of %d completed, expected all but the doomed deadline send",
+			out.Completed, out.Transfers))
+	}
+	if out.AdmitBlocked != 25 {
+		out.Violations = append(out.Violations, fmt.Sprintf(
+			"expected 25 parked submissions (6 of every sender's 8, plus the deadline send), got %d",
+			out.AdmitBlocked))
+	}
+	if out.DeadlineExpired == 0 {
+		out.Violations = append(out.Violations,
+			"the doomed send's deadline never fired")
+	}
+	return out
+}
+
+// runBurstThenDrain: degraded-mode shedding and recovery. Each of 8
+// senders bursts four rendezvous blocks plus one eager message at the
+// sink; the second block pushes its gate ledger past the 0.5 high
+// watermark (2×24 KiB of 64 KiB), so blocks three and four are shed
+// while the eager message — and everything already admitted — sails
+// through degraded mode. Once the burst drains below the low
+// watermark every scope must recover, and a second rendezvous wave
+// must admit clean: degradation is a valve, not a ratchet.
+func runBurstThenDrain(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{
+		Nodes:         9,
+		Admit:         &admit.Config{HighWater: 0.5, LowWater: 0.2},
+		AdmitPolicy:   nmad.AdmitDegrade,
+		TrackInflight: true,
+	})
+	for s := 1; s < 9; s++ {
+		for t := 0; t < 4; t++ {
+			h.transfer(s, 0, uint64(1+t), rdvSize)
+		}
+		h.transfer(s, 0, 9, eagerSize)
+	}
+	h.drive(200 * rdvTimeout)
+	wave1 := len(h.xfers)
+	for _, n := range h.nodes {
+		if n.eng.AdmitInfo().Degraded {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"node %d still degraded after the burst drained", n.id))
+		}
+	}
+	for s := 1; s < 9; s++ {
+		h.transfer(s, 0, 10, rdvSize)
+		h.transfer(s, 0, 11, rdvSize)
+	}
+	h.drive(200 * rdvTimeout)
+	out := finish(h, &res, expect{minVisibleFailures: 16, maxPeakInflight: 16})
+	if out.AdmitShed != 16 {
+		out.Violations = append(out.Violations, fmt.Sprintf(
+			"expected 16 degraded-mode sheds (2 of every sender's 4 blocks), got %d", out.AdmitShed))
+	}
+	for _, x := range h.xfers[wave1:] {
+		if x.sreq.Err() != nil || x.rreq.Err() != nil {
+			out.Violations = append(out.Violations,
+				"recovered scopes did not carry a clean second wave")
+			break
+		}
+	}
+	return out
+}
+
+// runOverloadAblation: the exact incast-overload deck with admission
+// off — the control proving the credit plane is load-bearing. With
+// nothing bounding submission, all 192 rendezvous states pile into the
+// sink's state table at once; the scenario passes only if the peak
+// provably exceeds anything admission would allow.
+func runOverloadAblation(seed int64) Result {
+	res := Result{Seed: seed}
+	h := newHarness(Options{
+		Nodes: 33, SharedIngress: true,
+		RdvRetries:    6,
+		TrackInflight: true,
+	})
+	postIncastOverload(h)
+	h.drive(800 * rdvTimeout)
+	return finish(h, &res, expect{allComplete: true, minPeakInflight: 96})
+}
+
 // Scenarios returns the full suite in its canonical order.
 func Scenarios() []Scenario {
 	return []Scenario{
@@ -615,6 +814,10 @@ func Scenarios() []Scenario {
 		{"sparse-shuffle", "random 4-regular shuffle of 64 under 5% drop", false, runSparseShuffle},
 		{"link-flap", "32-ring with one edge direction cut and healed", false, runLinkFlap},
 		{"broken-eager", "fire-and-forget eager vs 15% drop (must lose traffic)", false, runBrokenEager},
+		{"incast-overload", "32→1 storm at 6× the gate budget under fail-fast admission", false, runIncastOverload},
+		{"slow-receiver", "blocking admission backpressure into a 10×-degraded sink", false, runSlowReceiverBackpressure},
+		{"burst-then-drain", "degraded-mode shedding, recovery, and a clean second wave", false, runBurstThenDrain},
+		{"overload-ablation", "the same storm with admission off (must grow unbounded)", false, runOverloadAblation},
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pioman/internal/admit"
 	"pioman/internal/core"
 	"pioman/internal/cpuset"
 	"pioman/internal/fabric"
@@ -110,6 +111,20 @@ type Config struct {
 	// are recorded under the owning gate's ring, stamped on Clock.
 	// Nil (the default) leaves each hook as one nil check.
 	Trace *trace.Recorder
+	// Admit enables engine-level admission control (admission.go):
+	// every Isend/IrecvInto takes request and byte credits against
+	// engine-wide and per-gate budgets before injection, and overload
+	// surfaces to the submitter per AdmitPolicy instead of growing the
+	// protocol maps without bound. Nil (the default) disables admission
+	// entirely — the submission paths are untouched.
+	Admit *admit.Config
+	// AdmitPolicy selects the overload behaviour when Admit is set:
+	// block with a wait budget (default), fail fast, or degrade.
+	AdmitPolicy AdmitPolicy
+	// AdmitWait is the blocking policy's wait budget in Clock
+	// nanoseconds: how long a parked submission may wait for credits
+	// before failing with ErrDeadlineExpired (default RdvTimeout).
+	AdmitWait int64
 }
 
 // Stats are engine-wide counters.
@@ -134,6 +149,13 @@ type Stats struct {
 	EagerRetries    uint64 // eager messages retransmitted after a timeout
 	EagerTimeouts   uint64 // eager messages failed with ErrEagerTimeout
 	EagerAcks       uint64 // eager messages acknowledged by the peer
+
+	AdmitAdmitted   uint64 // submissions granted admission credits
+	AdmitRejected   uint64 // submissions failed with ErrAdmissionReject (all causes)
+	AdmitShed       uint64 // rendezvous submissions shed by degraded mode (subset of rejected)
+	AdmitBlocked    uint64 // submissions parked by the blocking policy
+	AdmitExpired    uint64 // parked submissions that waited past their budget
+	DeadlineExpired uint64 // requests failed with ErrDeadlineExpired (all causes)
 }
 
 // Engine is one communication endpoint multiplexing any number of gates
@@ -183,6 +205,13 @@ type Engine struct {
 	rdvFins, recvCopied                        atomic.Uint64
 	rdvRetries, rdvTimeouts                    atomic.Uint64
 	eagerRetries, eagerTimeouts, eagerAcks     atomic.Uint64
+
+	// admit is the admission plane (Config.Admit); nil means admission
+	// is off and every submission path skips it with one nil check.
+	admit                                   *admitPlane
+	admitAdmitted, admitRejected, admitShed atomic.Uint64
+	admitBlocked, admitExpired              atomic.Uint64
+	deadlineExpired                         atomic.Uint64
 }
 
 type rdvKey struct {
@@ -368,10 +397,13 @@ func NewEngine(cfg Config) *Engine {
 		eagerPend:   make(map[rdvKey]*eagerState),
 		rec:         cfg.Trace,
 	}
-	// The sweeper serves both deadline families — rendezvous handshakes
-	// and the eager retransmission window — so it runs unless both are
-	// disabled.
-	if !cfg.NoRdvTimeout || !cfg.NoEagerRetry {
+	if cfg.Admit != nil {
+		e.admit = newAdmitPlane(cfg)
+	}
+	// The sweeper serves every deadline family — rendezvous handshakes,
+	// the eager retransmission window, and the admission wait queue —
+	// so it runs unless all of them are disabled.
+	if !cfg.NoRdvTimeout || !cfg.NoEagerRetry || e.admit != nil {
 		e.startSweeper()
 	}
 	if !cfg.NoAutoProgress {
@@ -495,6 +527,11 @@ func (e *Engine) Close() error {
 	for _, r := range pending {
 		r.complete(ErrClosed)
 	}
+	// Admission-parked submissions hold no credits and no trace span
+	// yet; fail them after the injected victims, in FIFO order.
+	for _, w := range e.admitTakeWaiters(nil) {
+		w.req.complete(ErrClosed)
+	}
 	var firstErr error
 	for _, g := range gates {
 		for _, c := range g.regCaches {
@@ -536,6 +573,13 @@ func (e *Engine) Stats() Stats {
 		EagerRetries:    e.eagerRetries.Load(),
 		EagerTimeouts:   e.eagerTimeouts.Load(),
 		EagerAcks:       e.eagerAcks.Load(),
+
+		AdmitAdmitted:   e.admitAdmitted.Load(),
+		AdmitRejected:   e.admitRejected.Load(),
+		AdmitShed:       e.admitShed.Load(),
+		AdmitBlocked:    e.admitBlocked.Load(),
+		AdmitExpired:    e.admitExpired.Load(),
+		DeadlineExpired: e.deadlineExpired.Load(),
 	}
 }
 
@@ -654,6 +698,11 @@ type Gate struct {
 
 	pktPool    sync.Pool
 	stripePool sync.Pool // *stripeScratch
+
+	// admitL is the gate's admission ledger when the engine runs
+	// admission control (nil otherwise); its budgets track the rails'
+	// live BDP estimate unless the config pins them.
+	admitL *admit.Ledger
 }
 
 type pendingSend struct {
@@ -698,6 +747,10 @@ func (e *Engine) NewGateEndpoints(eps ...fabric.Endpoint) (*Gate, error) {
 		eps = wrapped
 	}
 	g := &Gate{eng: e}
+	if e.admit != nil {
+		ac := e.admit.cfg
+		g.admitL = admit.NewLedger(ac.GateRequests, ac.GateBytes, ac.HighWater, ac.LowWater)
+	}
 	for _, ep := range eps {
 		r := &rail{ep: ep}
 		// Ext capability is declared by the transport's envelope, not
@@ -922,6 +975,11 @@ func (e *Engine) failGate(g *Gate, err error) {
 	sortVictims(victims)
 	for _, r := range victims {
 		r.complete(err)
+	}
+	// Submissions still parked at admission for this gate can never be
+	// injected now; fail them too (they hold no credits).
+	for _, w := range e.admitTakeWaiters(g) {
+		w.req.complete(err)
 	}
 }
 

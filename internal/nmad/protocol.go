@@ -16,12 +16,39 @@ import (
 // (rendezvous). Under Config.NoEagerRetry, eager sends revert to
 // buffered semantics and complete when the frame is on the wire.
 func (g *Gate) Isend(tag uint64, data []byte) *Request {
+	return g.IsendDeadline(tag, data, 0)
+}
+
+// IsendDeadline is Isend with an absolute deadline on the engine clock
+// (Config.Clock); 0 means none. The deadline is checked at admission,
+// re-checked by the deadline sweep while the transfer is in flight (a
+// doomed rendezvous or eager message is failed with ErrDeadlineExpired
+// instead of retransmitted), and propagated to the receiver inside the
+// RTS pull offer so it stops posting RMA reads for expired work. The
+// in-flight sweeps ride the handshake-timeout machinery, so
+// Config.NoRdvTimeout/NoEagerRetry disable them along with the
+// retransmissions they gate.
+func (g *Gate) IsendDeadline(tag uint64, data []byte, deadline int64) *Request {
 	e := g.eng
 	req := newRequest(e)
+	req.deadline = deadline
 	if e.stopped.Load() {
 		req.complete(ErrClosed)
 		return req
 	}
+	if e.admit != nil && !e.admitSubmit(g, req, tag, data, false) {
+		return req
+	}
+	g.injectSend(req, tag, data)
+	return req
+}
+
+// injectSend runs the admitted send: the submission path below the
+// admission plane. Called from IsendDeadline directly (admission off or
+// credits granted) or from admitDrain when a parked submission's
+// credits free up.
+func (g *Gate) injectSend(req *Request, tag uint64, data []byte) {
+	e := g.eng
 	e.msgsSent.Add(1)
 	msgID := g.nextMsgID.Add(1)
 
@@ -42,12 +69,12 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 				e.trackEager(g, msgID, tag, data, req)
 			}
 			g.aggPush(hdr, data, req)
-			return req
+			return
 		}
 		rail := g.pickEager()
 		if rail < 0 {
 			req.complete(errAllRailsDead)
-			return req
+			return
 		}
 		p := g.packet()
 		p.Hdr = hdr
@@ -63,7 +90,7 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 			p.pend = append(p.pend[:0], msgID)
 		}
 		g.sendPacket(p)
-		return req
+		return
 	}
 
 	// Rendezvous: announce with an RTS and wait for the receiver's
@@ -80,6 +107,12 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 	rail := -1
 	if !e.cfg.NoRdvPull {
 		if extRail := g.pickControl(true); extRail >= 0 {
+			// A deadline rides the offer as a sentinel entry, costing one
+			// real offer slot.
+			offerLimit := maxOfferRails
+			if req.deadline != 0 {
+				offerLimit--
+			}
 			offered := 0
 			for i, r := range g.rails {
 				if r.rma == nil || r.cache == nil || r.dead.Load() {
@@ -91,12 +124,18 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 				}
 				st.regs = append(st.regs, reg)
 				st.offer = appendOfferEntry(st.offer, uint32(i), uint64(reg.Key()))
-				if offered++; offered == maxOfferRails {
+				if offered++; offered == offerLimit {
 					break
 				}
 			}
 			if offered > 0 {
 				rail = extRail
+				if req.deadline != 0 {
+					// Propagate the deadline to the receiver: decoders
+					// that predate it skip the sentinel as an out-of-range
+					// rail index.
+					st.offer = appendOfferEntry(st.offer, deadlineRailSentinel, uint64(req.deadline))
+				}
 			}
 		}
 	}
@@ -104,7 +143,7 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 		if rail = g.pickEager(); rail < 0 {
 			e.putSendRdv(st)
 			req.complete(errAllRailsDead)
-			return req
+			return
 		}
 	}
 	e.rdvStarted.Add(1) // counted only once a handshake actually leaves
@@ -128,7 +167,6 @@ func (g *Gate) Isend(tag uint64, data []byte) *Request {
 	p.ext = st.offer
 	p.rail = rail
 	g.sendPacket(p)
-	return req
 }
 
 // Send is the blocking convenience wrapper around Isend.
@@ -168,7 +206,22 @@ func (g *Gate) irecv(tag uint64, buf []byte) *Request {
 		req.complete(ErrClosed)
 		return req
 	}
-	key := matchKey{gate: g, tag: tag}
+	// Only sized receives (IrecvInto) are admitted: an open Irecv
+	// carries no byte commitment to charge, and admitting it would let
+	// an idle receiver starve its own inbound path.
+	if e.admit != nil && buf != nil && !e.admitSubmit(g, req, tag, nil, true) {
+		return req
+	}
+	g.injectRecv(req)
+	return req
+}
+
+// injectRecv posts the admitted receive: the submission path below the
+// admission plane. The tag and buffer ride the request (req.tag,
+// req.userBuf), so admitDrain can inject a parked receive verbatim.
+func (g *Gate) injectRecv(req *Request) {
+	e := g.eng
+	key := matchKey{gate: req.gate, tag: req.tag}
 	e.mu.Lock()
 	// A matching message may already have arrived unexpectedly.
 	if q := e.unexpected[key]; q != nil {
@@ -176,7 +229,7 @@ func (g *Gate) irecv(tag uint64, buf []byte) *Request {
 			dropFIFOIfEmpty(e.unexpected, &e.inbFIFOPool, key, q)
 			e.mu.Unlock()
 			e.deliverLocked(req, u)
-			return req
+			return
 		}
 	}
 	q := e.recvQ[key]
@@ -186,7 +239,6 @@ func (g *Gate) irecv(tag uint64, buf []byte) *Request {
 	}
 	q.push(req)
 	e.mu.Unlock()
-	return req
 }
 
 // Recv is the blocking convenience wrapper around Irecv.
@@ -265,12 +317,23 @@ func (e *Engine) deliverLocked(req *Request, u inbound) {
 		} else {
 			req.Data = make([]byte, u.hdr.Total)
 		}
+		absDeadline := extDeadline(u.ext)
+		if absDeadline != 0 && e.clock() >= absDeadline {
+			// The sender's deadline already passed: it has given up on
+			// this transfer (or its sweep is about to fail it). Refuse
+			// the handshake instead of pulling bytes nobody wants.
+			e.deadlineExpired.Add(1)
+			g.sendControl(KindRdvNack, u.hdr.Tag, u.hdr.MsgID, nackSend, 0)
+			req.complete(ErrDeadlineExpired)
+			return
+		}
 		st := e.getRecvRdv()
 		st.req = req
 		st.gate = g
 		st.msgID = u.hdr.MsgID
 		st.tag = u.hdr.Tag
 		st.deadline = e.clock() + e.cfg.RdvTimeout
+		st.absDeadline = absDeadline
 		key := rdvKey{gate: g, msgID: u.hdr.MsgID}
 		e.mu.Lock()
 		e.rdvRecv[key] = st

@@ -64,6 +64,11 @@ type recvRdvState struct {
 	deadline int64
 	retries  int
 
+	// absDeadline is the sender's propagated request deadline (the RTS
+	// offer's sentinel entry), 0 for none. Immutable after the state is
+	// published, so the sweep and issuePull read it freely.
+	absDeadline int64
+
 	mu      sync.Mutex
 	chunks  []pullChunk // fixed length once issued; entries mutate in place
 	keys    []fabric.RKey
@@ -137,6 +142,7 @@ func (e *Engine) putRecvRdv(st *recvRdvState) {
 	st.pull = false
 	st.deadline = 0
 	st.retries = 0
+	st.absDeadline = 0
 	st.chunks = st.chunks[:0]
 	st.keys = st.keys[:0]
 	st.covered = st.covered[:0]
@@ -204,10 +210,25 @@ func (e *Engine) startPull(g *Gate, st *recvRdvState, ext []byte) bool {
 // the chunk's rail, falling over to another offered rail when the post
 // fails, and to a sender push as the last resort.
 func (e *Engine) issuePull(g *Gate, st *recvRdvState, i int) {
+	// Read the clock before taking st.mu: Clock may reach into provider
+	// state, and holding the lock across it is needless coupling.
+	var now int64
+	if st.absDeadline != 0 {
+		now = e.clock()
+	}
 	st.mu.Lock()
 	c := &st.chunks[i]
 	if st.failed || c.state == chunkDone {
 		st.mu.Unlock()
+		return
+	}
+	if d := st.absDeadline; d != 0 && now >= d {
+		// The sender's deadline passed: posting this read would move
+		// bytes its submitter has already abandoned. Fail the receive
+		// instead (lock order: the cleanup takes Engine.mu, so release
+		// st.mu first).
+		st.mu.Unlock()
+		e.expireRecvDeadline(g, st)
 		return
 	}
 	// Capture the chunk span identity under st.mu — st.req is off
@@ -313,6 +334,30 @@ func (e *Engine) reissueDeadRailChunks(g *Gate, st *recvRdvState, idx int) {
 	for _, i := range stale {
 		e.issuePull(g, st, i)
 	}
+}
+
+// expireRecvDeadline fails a rendezvous receive whose sender-propagated
+// deadline passed before every read could be posted: remove the state,
+// NACK the sender (its half fails promptly instead of waiting out its
+// own sweep), complete the receive with ErrDeadlineExpired. Idempotent
+// against racing sweeps through the same remove-first pattern as
+// finishRecvRdv.
+func (e *Engine) expireRecvDeadline(g *Gate, st *recvRdvState) {
+	key := rdvKey{gate: g, msgID: st.msgID}
+	e.mu.Lock()
+	cur := e.rdvRecv[key]
+	if cur == st {
+		delete(e.rdvRecv, key)
+		e.settleRecvLocked(key)
+	}
+	e.mu.Unlock()
+	if cur != st {
+		return // completed or failed by another path first
+	}
+	st.markFailed()
+	e.deadlineExpired.Add(1)
+	g.sendControl(KindRdvNack, st.tag, st.msgID, nackSend, 0)
+	st.req.complete(ErrDeadlineExpired)
 }
 
 // pullDone handles one EventRMADone: account the landed chunk and

@@ -53,6 +53,17 @@ type Request struct {
 	traceID   uint64
 	traceRing int32
 	postTS    int64
+
+	// deadline is the request's absolute deadline on the engine clock
+	// (IsendDeadline), 0 for none. Immutable once the request is
+	// published to the protocol maps, so sweeps read it without extra
+	// synchronization.
+	deadline int64
+	// admitGate/admitBytes are the admission credits the request holds
+	// (admission.go): the gate whose ledger was charged and the byte
+	// count. complete() releases them exactly once via its CAS.
+	admitGate  *Gate
+	admitBytes int64
 }
 
 func newRequest(e *Engine) *Request {
@@ -85,6 +96,14 @@ func (r *Request) complete(err error) {
 			status = 1
 		}
 		r.eng.rec.Record(int(r.traceRing), kind, r.traceID, status)
+	}
+	if r.admitGate != nil {
+		// Return the admission credits on this, the single chokepoint
+		// every completion path funnels through, and drain any parked
+		// submissions they unblock. Runs before completed is published,
+		// so an observer that saw the request finish also sees its
+		// credits returned — the post-quiesce leak audit depends on it.
+		r.eng.admitRelease(r)
 	}
 	r.err = err
 	r.completed.Store(true)
@@ -152,14 +171,25 @@ func (r *Request) WaitBlocking() error {
 	return r.err
 }
 
-// Cancel withdraws a posted receive that has not matched yet and
-// completes it with ErrCanceled. It reports whether the cancellation
-// won: false means the request already matched (or completed), in
-// which case the caller must keep waiting for its real outcome.
-// Only receives can be canceled; on sends Cancel always returns false.
+// Cancel withdraws a request that has not entered the protocol yet and
+// completes it with ErrCanceled: a posted receive that has not matched,
+// or a send/receive still parked in the admission queue (blocking
+// policy) — a parked submission holds no credits and was never
+// injected, so it can always be taken back. It reports whether the
+// cancellation won: false means the request already matched or was
+// injected (or completed), in which case the caller must keep waiting
+// for its real outcome. Injected sends cannot be canceled.
 func (r *Request) Cancel() bool {
-	e, g := r.eng, r.gate
-	if e == nil || g == nil {
+	e := r.eng
+	if e == nil {
+		return false
+	}
+	if e.admitCancel(r) {
+		r.complete(ErrCanceled)
+		return true
+	}
+	g := r.gate
+	if g == nil {
 		return false
 	}
 	key := matchKey{gate: g, tag: r.tag}
@@ -213,5 +243,8 @@ func (r *Request) Free() {
 	r.traceID = 0
 	r.traceRing = 0
 	r.postTS = 0
+	r.deadline = 0
+	r.admitGate = nil
+	r.admitBytes = 0
 	e.reqPool.Put(r)
 }

@@ -189,6 +189,11 @@ func (e *Engine) sweepDeadlines() {
 	}
 	e.nextSweep.Store(now + e.cfg.RdvTimeout/8)
 
+	if e.admit != nil {
+		// Parked submissions expire regardless of the timeout ablation
+		// knobs: a blocked submitter must never hang.
+		e.sweepAdmit(now)
+	}
 	if !e.cfg.NoEagerRetry {
 		e.sweepEager(now)
 	}
@@ -205,6 +210,7 @@ func (e *Engine) sweepDeadlines() {
 		offer   []byte
 		retries int
 		fail    bool
+		expired bool
 	}
 	type recvAct struct {
 		st      *recvRdvState
@@ -215,11 +221,20 @@ func (e *Engine) sweepDeadlines() {
 		pull    bool
 		retries int
 		fail    bool
+		expired bool
 	}
 	var sends []sendAct
 	var recvs []recvAct
 	e.mu.Lock()
 	for key, st := range e.sendRdv {
+		if d := st.req.deadline; d != 0 && now >= d {
+			// The submitter's deadline passed: cancel the doomed
+			// handshake now instead of retransmitting it into the ground.
+			delete(e.sendRdv, key)
+			e.settleSendLocked(key)
+			sends = append(sends, sendAct{st: st, g: key.gate, msgID: key.msgID, tag: st.tag, fail: true, expired: true})
+			continue
+		}
 		if st.deadline == 0 || now < st.deadline {
 			continue
 		}
@@ -240,6 +255,15 @@ func (e *Engine) sweepDeadlines() {
 		})
 	}
 	for key, st := range e.rdvRecv {
+		if d := st.absDeadline; d != 0 && now >= d {
+			// The sender's propagated deadline passed: stop reassembling
+			// bytes whose submitter has already given up.
+			delete(e.rdvRecv, key)
+			e.settleRecvLocked(key)
+			st.markFailed()
+			recvs = append(recvs, recvAct{st: st, g: key.gate, msgID: key.msgID, tag: st.tag, fail: true, expired: true})
+			continue
+		}
 		if st.deadline == 0 || now < st.deadline {
 			continue
 		}
@@ -278,7 +302,13 @@ func (e *Engine) sweepDeadlines() {
 
 	for _, a := range sends {
 		if a.fail {
-			e.rdvTimeouts.Add(1)
+			failErr := ErrRdvTimeout
+			if a.expired {
+				failErr = ErrDeadlineExpired
+				e.deadlineExpired.Add(1)
+			} else {
+				e.rdvTimeouts.Add(1)
+			}
 			if r := e.rec; r != nil {
 				r.Record(a.g.id, trace.EvTimeout, a.g.spanID(trace.DirSend, 0, a.msgID), 0)
 			}
@@ -287,7 +317,7 @@ func (e *Engine) sweepDeadlines() {
 			// Best-effort: tell the receiver its half is orphaned so it
 			// fails now instead of burning its own retry budget.
 			a.g.sendControl(KindRdvNack, a.tag, a.msgID, nackRecv, 0)
-			req.complete(ErrRdvTimeout)
+			req.complete(failErr)
 			continue
 		}
 		e.rdvRetries.Add(1)
@@ -313,12 +343,18 @@ func (e *Engine) sweepDeadlines() {
 	}
 	for _, a := range recvs {
 		if a.fail {
-			e.rdvTimeouts.Add(1)
+			failErr := ErrRdvTimeout
+			if a.expired {
+				failErr = ErrDeadlineExpired
+				e.deadlineExpired.Add(1)
+			} else {
+				e.rdvTimeouts.Add(1)
+			}
 			if r := e.rec; r != nil {
 				r.Record(a.g.id, trace.EvTimeout, a.g.spanID(trace.DirRecv, 0, a.msgID), 1)
 			}
 			a.g.sendControl(KindRdvNack, a.tag, a.msgID, nackSend, 0)
-			a.st.req.complete(ErrRdvTimeout)
+			a.st.req.complete(failErr)
 			continue
 		}
 		e.rdvRetries.Add(1)
@@ -379,10 +415,18 @@ func (e *Engine) sweepEager(now int64) {
 		req     *Request
 		retries int
 		fail    bool
+		expired bool
 	}
 	var acts []eagerAct
 	e.mu.Lock()
 	for key, st := range e.eagerPend {
+		if d := st.req.deadline; d != 0 && now >= d {
+			// The submitter's deadline passed mid-window: stop
+			// retransmitting and fail the message now.
+			delete(e.eagerPend, key)
+			acts = append(acts, eagerAct{g: key.gate, msgID: key.msgID, req: st.req, fail: true, expired: true})
+			continue
+		}
 		if st.deadline == 0 || now < st.deadline {
 			continue
 		}
@@ -406,11 +450,17 @@ func (e *Engine) sweepEager(now int64) {
 
 	for _, a := range acts {
 		if a.fail {
-			e.eagerTimeouts.Add(1)
+			failErr := ErrEagerTimeout
+			if a.expired {
+				failErr = ErrDeadlineExpired
+				e.deadlineExpired.Add(1)
+			} else {
+				e.eagerTimeouts.Add(1)
+			}
 			if r := e.rec; r != nil {
 				r.Record(a.g.id, trace.EvTimeout, a.g.spanID(trace.DirSend, 0, a.msgID), 2)
 			}
-			a.req.complete(ErrEagerTimeout)
+			a.req.complete(failErr)
 			continue
 		}
 		rail := a.g.pickEager()
@@ -456,6 +506,16 @@ type IdleReport struct {
 	// RegCached counts idle interned registrations (by design; see
 	// fabric.RegCache).
 	RegCached int
+	// AdmitRequests counts admission request credits the gate's ledger
+	// still holds — zero on a quiesced gate, or a completion path
+	// leaked them.
+	AdmitRequests int
+	// AdmitBytes counts admission byte credits the gate's ledger still
+	// holds.
+	AdmitBytes int64
+	// AdmitWaiting counts submissions for this gate still parked in the
+	// admission queue.
+	AdmitWaiting int
 }
 
 // Clean reports whether the gate holds no protocol state or pinned
@@ -463,7 +523,8 @@ type IdleReport struct {
 func (r IdleReport) Clean() bool {
 	return r.SendRendezvous == 0 && r.RecvRendezvous == 0 && r.PostedRecvs == 0 &&
 		r.UnexpectedMsgs == 0 && r.PendingAggr == 0 && r.EagerPending == 0 &&
-		r.RegInFlight == 0
+		r.RegInFlight == 0 && r.AdmitRequests == 0 && r.AdmitBytes == 0 &&
+		r.AdmitWaiting == 0
 }
 
 // CheckIdle audits the gate for leaked protocol state: rendezvous
@@ -508,6 +569,17 @@ func (g *Gate) CheckIdle() IdleReport {
 		st := c.Stats()
 		rep.RegInFlight += st.LiveRefs
 		rep.RegCached += st.Entries
+	}
+	if g.admitL != nil {
+		rep.AdmitRequests, rep.AdmitBytes = g.admitL.Inflight()
+		p := e.admit
+		p.mu.Lock()
+		for _, w := range p.waiting {
+			if w.g == g {
+				rep.AdmitWaiting++
+			}
+		}
+		p.mu.Unlock()
 	}
 	return rep
 }

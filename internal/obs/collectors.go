@@ -73,6 +73,27 @@ func NewNmadCollector(engine string, e *nmad.Engine) Collector {
 		w.Counter("pioman_nmad_eager_timeouts_total", "Eager messages failed with ErrEagerTimeout.", st.EagerTimeouts, l...)
 		w.Counter("pioman_nmad_eager_acks_total", "Eager messages acknowledged by the peer.", st.EagerAcks, l...)
 
+		if ai := e.AdmitInfo(); ai.Enabled {
+			// Admission-control plane: series exist only when admission is
+			// on, so engines without it keep an identical exposition.
+			w.Counter("pioman_nmad_admit_admitted_total", "Submissions granted admission credits.", st.AdmitAdmitted, l...)
+			w.Counter("pioman_nmad_admit_rejected_total", "Submissions refused with ErrAdmissionReject.", st.AdmitRejected, l...)
+			w.Counter("pioman_nmad_admit_shed_total", "Rendezvous submissions shed in degraded mode.", st.AdmitShed, l...)
+			w.Counter("pioman_nmad_admit_blocked_total", "Submissions parked by the blocking policy.", st.AdmitBlocked, l...)
+			w.Counter("pioman_nmad_admit_expired_total", "Parked submissions that waited past their budget.", st.AdmitExpired, l...)
+			w.Counter("pioman_nmad_deadline_expired_total", "Requests failed with ErrDeadlineExpired on any path.", st.DeadlineExpired, l...)
+			w.Gauge("pioman_nmad_admit_inflight_requests", "Engine-wide request credits currently held.", float64(ai.Requests), l...)
+			w.Gauge("pioman_nmad_admit_inflight_bytes", "Engine-wide payload-byte credits currently held.", float64(ai.Bytes), l...)
+			w.Gauge("pioman_nmad_admit_max_requests", "Engine-wide request budget.", float64(ai.MaxRequests), l...)
+			w.Gauge("pioman_nmad_admit_max_bytes", "Engine-wide payload-byte budget.", float64(ai.MaxBytes), l...)
+			w.Gauge("pioman_nmad_admit_waiting", "Submissions parked in the admission queue.", float64(ai.Waiting), l...)
+			deg := 0.0
+			if ai.Degraded {
+				deg = 1
+			}
+			w.Gauge("pioman_nmad_admit_degraded", "Whether any scope is past its high watermark (degraded is load-shedding, not dead).", deg, l...)
+		}
+
 		send, recv, eager := e.SettledOccupancy()
 		w.Gauge("pioman_nmad_settled_log_entries", "Dedup-log occupancy by log.", float64(send), "engine", engine, "log", "send")
 		w.Gauge("pioman_nmad_settled_log_entries", "Dedup-log occupancy by log.", float64(recv), "engine", engine, "log", "recv")
@@ -119,6 +140,15 @@ func NewClusterCollector(results func() []cluster.Result) Collector {
 			w.Gauge("pioman_cluster_latency_p50_ns", "Median transfer latency on the virtual clock.", float64(r.LatencyP50Ns), l...)
 			w.Gauge("pioman_cluster_latency_p99_ns", "99th-percentile transfer latency on the virtual clock.", float64(r.LatencyP99Ns), l...)
 			w.Gauge("pioman_cluster_violations", "Invariant violations detected post-quiesce.", float64(len(r.Violations)), l...)
+			if r.AdmitAdmitted+r.AdmitRejected+r.AdmitBlocked > 0 || r.PeakInflight > 0 {
+				// Overload scenarios only: the admission ledger and the
+				// queue-depth peak the credit plane exists to bound.
+				w.Gauge("pioman_cluster_admit_admitted", "Submissions admitted across every node.", float64(r.AdmitAdmitted), l...)
+				w.Gauge("pioman_cluster_admit_rejected", "Submissions rejected across every node.", float64(r.AdmitRejected), l...)
+				w.Gauge("pioman_cluster_admit_shed", "Degraded-mode sheds across every node.", float64(r.AdmitShed), l...)
+				w.Gauge("pioman_cluster_deadline_expired", "Deadline expiries across every node.", float64(r.DeadlineExpired), l...)
+				w.Gauge("pioman_cluster_peak_inflight", "Highest per-node protocol-state count observed.", float64(r.PeakInflight), l...)
+			}
 		}
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"pioman/internal/admit"
 	"pioman/internal/cluster"
 	"pioman/internal/core"
 	"pioman/internal/nmad"
@@ -362,6 +363,83 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 	if len(doc.TraceEvents) != 2 {
 		t.Fatalf("/debug/trace has %d events, want 2", len(doc.TraceEvents))
+	}
+}
+
+// TestAdmissionObservability walks the overload surface end to end: an
+// engine with a one-request gate budget holds a rendezvous send
+// inflight, a second send is rejected fail-fast, /metrics exposes the
+// admission counters and the degraded gauge, and /healthz reports the
+// degraded state through the info section while STAYING 200 — degraded
+// is load-shedding, not dead. Draining the inflight must recover both.
+func TestAdmissionObservability(t *testing.T) {
+	da, db := nmad.MemPair()
+	sender := nmad.NewEngine(nmad.Config{
+		Admit:       &admit.Config{GateRequests: 1, GateBytes: 1 << 20, HighWater: 0.5, LowWater: 0.25},
+		AdmitPolicy: nmad.AdmitReject,
+	})
+	receiver := nmad.NewEngine(nmad.Config{})
+	defer sender.Close()
+	defer receiver.Close()
+	ga, err := sender.NewGate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := receiver.NewGate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	reg.Register(NewNmadCollector("sender", sender))
+	h := NewHealth()
+	h.RegisterInfo("admission", NmadAdmission(sender))
+	handler := NewServer(ServerConfig{Registry: reg, Health: h}).Handler()
+
+	// A rendezvous send with no posted receive holds its credits; the
+	// gate budget is one request, so the next send is shed fail-fast.
+	big := make([]byte, 64<<10)
+	inflight := ga.Isend(1, big)
+	if err := ga.Isend(2, big).Wait(); err != nmad.ErrAdmissionReject {
+		t.Fatalf("second send err = %v, want ErrAdmissionReject", err)
+	}
+
+	code, body := scrape(t, handler, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`pioman_nmad_admit_rejected_total{engine="sender"} 1`,
+		`pioman_nmad_admit_inflight_requests{engine="sender"} 1`,
+		`pioman_nmad_admit_degraded{engine="sender"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	code, body = scrape(t, handler, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded /healthz = %d, want 200 — degraded is not dead", code)
+	}
+	if !strings.Contains(body, "degraded (shedding load, not dead)") {
+		t.Fatalf("degraded /healthz report %q should surface the degraded state", body)
+	}
+
+	// Drain the inflight: credits come back, the scope recovers, and
+	// both surfaces must reflect it.
+	recv := gb.Irecv(1)
+	if err := inflight.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, body = scrape(t, handler, "/metrics"); !strings.Contains(body,
+		`pioman_nmad_admit_degraded{engine="sender"} 0`) {
+		t.Errorf("/metrics should show the scope recovered:\n%s", body)
+	}
+	if _, body = scrape(t, handler, "/healthz"); !strings.Contains(body, "admission: healthy") {
+		t.Errorf("recovered /healthz report %q should show admission healthy", body)
 	}
 }
 

@@ -83,6 +83,14 @@ const (
 	// EvRailDeath is a rail marked dead: A = rail index, B = live
 	// rails remaining on the gate.
 	EvRailDeath
+	// EvShed is a submission refused by admission control: A = payload
+	// bytes, B = reason (0 budget reject, 1 degraded-mode shed, 2 wait
+	// queue full, 3 blocked wait expired).
+	EvShed
+	// EvDegrade is an admission scope crossing a watermark: A = 1
+	// entering degraded mode, 0 recovering; B = in-flight payload
+	// bytes at the transition.
+	EvDegrade
 
 	// EvSendBegin opens a sender-side whole-message span at Isend:
 	// A = span id, B = message bytes.
@@ -160,6 +168,8 @@ var kindNames = [...]string{
 	EvEagerRetry:     "eager-retry",
 	EvTimeout:        "timeout",
 	EvRailDeath:      "rail-death",
+	EvShed:           "shed",
+	EvDegrade:        "degrade",
 	EvSendBegin:      "send-begin",
 	EvSendEnd:        "send-end",
 	EvRecvBegin:      "recv-begin",
